@@ -1,0 +1,24 @@
+//! Criterion bench behind Table 2's baseline column: cost of simulating the
+//! OneQ repeat-until-success execution at different fusion success
+//! probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneperc_circuit::{benchmarks, ProgramGraph};
+use oneperc_oneq::{OneqCompiler, OneqConfig, OneqPlan};
+
+fn bench_baseline_retry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_retry");
+    group.sample_size(10);
+    let program = ProgramGraph::from_circuit(&benchmarks::qaoa(4, 1));
+    let plan = OneqPlan::derive(&program, 2).unwrap();
+    for &p in &[0.9f64, 0.8, 0.75] {
+        group.bench_with_input(BenchmarkId::new("qaoa4", format!("p{p}")), &p, |b, &p| {
+            let compiler = OneqCompiler::new(OneqConfig::new(2, p, 5).with_rsl_cap(100_000));
+            b.iter(|| std::hint::black_box(compiler.execute_plan(&plan).rsl_consumed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_retry);
+criterion_main!(benches);

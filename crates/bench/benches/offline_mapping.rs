@@ -1,0 +1,37 @@
+//! Criterion bench behind Fig. 15: offline mapping time as a function of
+//! program size and virtual-hardware size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneperc_circuit::benchmarks;
+use oneperc_circuit::ProgramGraph;
+use oneperc_ir::VirtualHardware;
+use oneperc_mapper::{Mapper, MapperConfig};
+
+fn bench_program_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_mapping_program_size");
+    group.sample_size(10);
+    for &qubits in &[4usize, 9, 16] {
+        let program = ProgramGraph::from_circuit(&benchmarks::qft(qubits));
+        group.bench_with_input(BenchmarkId::new("qft", qubits), &program, |b, program| {
+            let mapper = Mapper::new(MapperConfig::new(VirtualHardware::square(4)));
+            b.iter(|| std::hint::black_box(mapper.map(program).unwrap().stats.layers));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardware_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_mapping_hardware_size");
+    group.sample_size(10);
+    let program = ProgramGraph::from_circuit(&benchmarks::qaoa(16, 3));
+    for &side in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("qaoa16", side), &side, |b, &side| {
+            let mapper = Mapper::new(MapperConfig::new(VirtualHardware::square(side)));
+            b.iter(|| std::hint::black_box(mapper.map(&program).unwrap().stats.layers));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_program_size, bench_hardware_size);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind Fig. 14(a): online processing cost of a single
+//! resource-state layer (fusion sampling + 2D renormalization) as the RSL
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneperc_hardware::{FusionEngine, HardwareConfig};
+use oneperc_percolation::renormalize;
+
+fn bench_online_per_rsl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_per_rsl");
+    group.sample_size(10);
+    for &rsl in &[24usize, 48, 96] {
+        let node_size = rsl / 4;
+        group.bench_with_input(BenchmarkId::new("generate_and_renormalize", rsl), &rsl, |b, &rsl| {
+            let mut engine = FusionEngine::new(HardwareConfig::new(rsl, 7, 0.75), 7);
+            b.iter(|| {
+                let layer = engine.generate_layer();
+                std::hint::black_box(renormalize(&layer, node_size).node_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_per_rsl);
+criterion_main!(benches);

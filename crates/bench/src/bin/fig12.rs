@@ -1,0 +1,82 @@
+//! Fig. 12: sensitivity of `#RSL` to (a) resource-state size, (b) hardware
+//! (RSL) size and (c) fusion success probability.
+//!
+//! The paper runs 36-qubit benchmarks with 7-qubit resource states on an
+//! 84x84 RSL (p = 0.75 unless swept). The reduced default uses 16-qubit
+//! benchmarks on a 48x48 RSL; `--full` restores the paper's sizes.
+
+use oneperc::CompilerConfig;
+use oneperc_bench::{run_oneperc_with_config, ExperimentArgs};
+use oneperc_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = ExperimentArgs::from_env("fig12");
+    let qubits: usize = if args.full { 36 } else { 16 };
+    let virtual_side = (qubits as f64).sqrt().ceil() as usize;
+    let base_rsl: usize = if args.full { 84 } else { 64 };
+    let base_p = 0.75;
+
+    let mut rows = Vec::new();
+
+    // (a) Resource-state size sweep: 4 .. 7 qubits per star.
+    println!("Fig 12(a): #RSL vs resource-state size ({qubits}-qubit benchmarks, {base_rsl}x{base_rsl} RSL, p = {base_p})");
+    println!("{:<12} {:>6} {:>10}", "benchmark", "size", "#RSL");
+    for bench in Benchmark::all() {
+        for size in 4..=7usize {
+            let config = CompilerConfig::for_sensitivity(base_rsl, virtual_side, base_p, args.seed)
+                .with_resource_state_size(size);
+            let report = run_oneperc_with_config(bench, qubits, config, args.seed);
+            let marker = if report.complete { "" } else { "*" };
+            println!("{:<12} {:>6} {:>10}{marker}", bench.name(), size, report.rsl_consumed);
+            rows.push(format!(
+                "a,{bench},{size},,{},{},{}",
+                base_p, report.rsl_consumed, report.complete
+            ));
+        }
+    }
+
+    // (b) Hardware (RSL) size sweep with 7-qubit resource states.
+    let rsl_sizes: Vec<usize> = if args.full {
+        vec![48, 60, 72, 84, 96, 108, 120]
+    } else {
+        vec![48, 64, 80, 96]
+    };
+    println!("\nFig 12(b): #RSL vs RSL size (7-qubit resource states, p = {base_p})");
+    println!("{:<12} {:>6} {:>10}", "benchmark", "N", "#RSL");
+    for bench in Benchmark::all() {
+        for &n in &rsl_sizes {
+            let config = CompilerConfig::for_sensitivity(n, virtual_side, base_p, args.seed);
+            let report = run_oneperc_with_config(bench, qubits, config, args.seed);
+            let marker = if report.complete { "" } else { "*" };
+            println!("{:<12} {:>6} {:>10}{marker}", bench.name(), n, report.rsl_consumed);
+            rows.push(format!(
+                "b,{bench},7,{n},{},{},{}",
+                base_p, report.rsl_consumed, report.complete
+            ));
+        }
+    }
+
+    // (c) Fusion success probability sweep.
+    let probabilities = [0.66, 0.69, 0.72, 0.75, 0.78];
+    println!("\nFig 12(c): #RSL vs fusion success probability (7-qubit resource states, {base_rsl}x{base_rsl} RSL)");
+    println!("{:<12} {:>6} {:>10}", "benchmark", "p", "#RSL");
+    for bench in Benchmark::all() {
+        for &p in &probabilities {
+            let config = CompilerConfig::for_sensitivity(base_rsl, virtual_side, p, args.seed);
+            let report = run_oneperc_with_config(bench, qubits, config, args.seed);
+            let marker = if report.complete { "" } else { "*" };
+            println!("{:<12} {:>6.2} {:>10}{marker}", bench.name(), p, report.rsl_consumed);
+            rows.push(format!(
+                "c,{bench},7,{base_rsl},{p},{},{}",
+                report.rsl_consumed, report.complete
+            ));
+        }
+    }
+
+    let path = args.write_csv(
+        "fig12.csv",
+        "panel,benchmark,resource_state_size,rsl_size,fusion_success_prob,rsl,complete",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,56 @@
+//! Fig. 15: offline compilation time — (a) vs program size on a 4x4 virtual
+//! hardware, (b) vs virtual-hardware size for a fixed program.
+
+use std::time::Instant;
+
+use oneperc_bench::ExperimentArgs;
+use oneperc_circuit::benchmarks::Benchmark;
+use oneperc_circuit::ProgramGraph;
+use oneperc_ir::VirtualHardware;
+use oneperc_mapper::{Mapper, MapperConfig};
+
+fn offline_seconds(bench: Benchmark, qubits: usize, side: usize, seed: u64) -> f64 {
+    let program = ProgramGraph::from_circuit(&bench.circuit(qubits, seed));
+    let mapper = Mapper::new(MapperConfig::new(VirtualHardware::square(side)));
+    let start = Instant::now();
+    mapper.map(&program).expect("offline mapping failed");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env("fig15");
+    let mut rows = Vec::new();
+
+    // ---- (a) offline compile time vs program size (4x4 virtual hardware) ----
+    let program_sizes: Vec<usize> =
+        if args.full { vec![4, 9, 16, 25, 36, 49] } else { vec![4, 9, 16, 25] };
+    println!("Fig 15(a): offline compilation time vs program size (4x4 virtual hardware)");
+    println!("{:<12} {:>8} {:>12}", "benchmark", "qubits", "seconds");
+    for bench in Benchmark::all() {
+        for &qubits in &program_sizes {
+            let secs = offline_seconds(bench, qubits, 4, args.seed);
+            println!("{:<12} {:>8} {:>12.4}", bench.name(), qubits, secs);
+            rows.push(format!("a,{bench},{qubits},4,{secs:.6}"));
+        }
+    }
+
+    // ---- (b) offline compile time vs virtual-hardware size ----
+    let qubits = if args.full { 36 } else { 16 };
+    let sides: Vec<usize> = if args.full { (3..=10).collect() } else { (3..=7).collect() };
+    println!("\nFig 15(b): offline compilation time vs virtual-hardware side ({qubits}-qubit benchmarks)");
+    println!("{:<12} {:>6} {:>12}", "benchmark", "side", "seconds");
+    for bench in Benchmark::all() {
+        for &side in &sides {
+            let secs = offline_seconds(bench, qubits, side, args.seed);
+            println!("{:<12} {:>6} {:>12.4}", bench.name(), side, secs);
+            rows.push(format!("b,{bench},{qubits},{side},{secs:.6}"));
+        }
+    }
+
+    let path = args.write_csv(
+        "fig15.csv",
+        "panel,benchmark,qubits,virtual_side,offline_seconds",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Fig. 16: 2D renormalization success rate vs average node size, for fusion
+//! success probabilities 0.66–0.78 (200x200 RSL in the paper).
+
+use oneperc_bench::ExperimentArgs;
+use oneperc_hardware::{FusionEngine, HardwareConfig};
+use oneperc_percolation::renormalize;
+
+fn main() {
+    let args = ExperimentArgs::from_env("fig16");
+    let rsl = if args.full { 200 } else { 96 };
+    let trials: u64 = if args.full { 30 } else { 10 };
+    let node_sizes: Vec<usize> = if args.full {
+        vec![2, 4, 6, 8, 10, 14, 18, 24, 32, 40, 50, 60]
+    } else {
+        vec![2, 4, 6, 8, 12, 16, 24, 32]
+    };
+    let probabilities = [0.66, 0.69, 0.72, 0.75, 0.78];
+
+    println!("Fig 16: renormalization success rate vs average node size ({rsl}x{rsl} RSL, {trials} trials)");
+    print!("{:>10}", "node size");
+    for p in probabilities {
+        print!(" {:>8.2}", p);
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for &node_size in &node_sizes {
+        print!("{:>10}", node_size);
+        for &p in &probabilities {
+            let mut ok = 0;
+            for t in 0..trials {
+                let mut engine = FusionEngine::new(HardwareConfig::new(rsl, 7, p), args.seed + t);
+                let layer = engine.generate_layer();
+                if renormalize(&layer, node_size).is_success() {
+                    ok += 1;
+                }
+            }
+            let rate = ok as f64 / trials as f64;
+            print!(" {:>8.2}", rate);
+            rows.push(format!("{p},{rsl},{node_size},{rate:.4}"));
+        }
+        println!();
+    }
+
+    let path = args.write_csv(
+        "fig16.csv",
+        "fusion_success_prob,rsl_size,node_size,renormalization_success_rate",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

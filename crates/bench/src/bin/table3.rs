@@ -1,0 +1,61 @@
+//! Table 3: effect of the refresh mechanism on `#RSL` under a 32 GB RAM
+//! budget (p = 0.75, 4-qubit resource states, refresh every 50 logical
+//! layers in the paper).
+//!
+//! Reduced run (default): 4- and 9-qubit benchmarks with a refresh period
+//! of 10 layers so the mechanism actually triggers at small scale. `--full`
+//! uses the paper's 25/64/100-qubit benchmarks and 50-layer period.
+
+use oneperc_bench::{run_oneperc, ExperimentArgs};
+use oneperc_circuit::benchmarks::Benchmark;
+
+const RAM_BUDGET_GIB: f64 = 32.0;
+
+fn main() {
+    let args = ExperimentArgs::from_env("table3");
+    let p = 0.75;
+    let (qubit_list, refresh_period) =
+        if args.full { (vec![25usize, 64, 100], 50usize) } else { (vec![4usize, 9], 10usize) };
+
+    println!(
+        "Table 3: effect of refresh (p = {p}, refresh every {refresh_period} logical layers, {RAM_BUDGET_GIB} GiB budget)"
+    );
+    println!(
+        "{:<10} {:>7} {:>16} {:>16} {:>14} {:>14}",
+        "benchmark", "qubits", "no-refresh #RSL", "refreshed #RSL", "no-refresh GiB", "refreshed GiB"
+    );
+
+    let mut rows = Vec::new();
+    for bench in Benchmark::all() {
+        for &qubits in &qubit_list {
+            let plain = run_oneperc(bench, qubits, p, None, args.seed);
+            let refreshed = run_oneperc(bench, qubits, p, Some(refresh_period), args.seed);
+            let plain_fits = plain.peak_memory_gib() <= RAM_BUDGET_GIB;
+            let plain_rsl = if plain_fits { plain.rsl_consumed.to_string() } else { "-".to_string() };
+            println!(
+                "{:<10} {:>7} {:>16} {:>16} {:>14.2} {:>14.2}",
+                bench.name(),
+                qubits,
+                plain_rsl,
+                refreshed.rsl_consumed,
+                plain.peak_memory_gib(),
+                refreshed.peak_memory_gib(),
+            );
+            rows.push(format!(
+                "{bench},{qubits},{},{},{},{:.3},{:.3}",
+                plain.rsl_consumed,
+                plain_fits,
+                refreshed.rsl_consumed,
+                plain.peak_memory_gib(),
+                refreshed.peak_memory_gib()
+            ));
+        }
+    }
+
+    let path = args.write_csv(
+        "table3.csv",
+        "benchmark,qubits,no_refresh_rsl,no_refresh_fits_32gib,refreshed_rsl,no_refresh_gib,refreshed_gib",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

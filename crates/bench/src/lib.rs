@@ -1,0 +1,184 @@
+//! Shared utilities for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` (see DESIGN.md for the experiment index). This library
+//! holds the pieces they share: command-line handling, CSV output and the
+//! standard way of running OnePerc and the OneQ baseline on a benchmark.
+//!
+//! Default experiment sizes are reduced so every binary finishes on a
+//! laptop in seconds to a couple of minutes; pass `--full` to use the
+//! paper's sizes (hours of CPU time, exactly like the original artifact).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use oneperc::{Compiler, CompilerConfig, ExecutionReport};
+use oneperc_circuit::benchmarks::Benchmark;
+use oneperc_oneq::{OneqCompiler, OneqConfig, OneqReport};
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Use the paper's full experiment sizes instead of the reduced
+    /// defaults.
+    pub full: bool,
+    /// Directory CSV results are written to.
+    pub out_dir: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs { full: false, out_dir: PathBuf::from("results"), seed: 2024 }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `--full`, `--out <dir>` and `--seed <n>` from the process
+    /// arguments. Unknown arguments cause a help message and exit.
+    pub fn from_env(experiment: &str) -> Self {
+        let mut args = ExperimentArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => args.full = true,
+                "--out" => {
+                    args.out_dir = PathBuf::from(iter.next().unwrap_or_else(|| {
+                        eprintln!("--out needs a directory");
+                        std::process::exit(2);
+                    }));
+                }
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--seed needs an integer");
+                            std::process::exit(2);
+                        });
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "{experiment}: reproduces the corresponding table/figure of the OnePerc paper.\n\
+                         options: --full (paper-sized run), --out <dir> (default: results/), --seed <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Writes a CSV file (header plus rows) into the output directory and
+    /// returns its path.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> PathBuf {
+        fs::create_dir_all(&self.out_dir).expect("create results directory");
+        let path = self.out_dir.join(name);
+        let mut contents = String::from(header);
+        contents.push('\n');
+        for row in rows {
+            contents.push_str(row);
+            contents.push('\n');
+        }
+        fs::write(&path, contents).expect("write csv");
+        path
+    }
+}
+
+/// Runs OnePerc end to end on a benchmark with the Table 1 sizing for the
+/// given qubit count and fusion success probability.
+pub fn run_oneperc(
+    bench: Benchmark,
+    qubits: usize,
+    fusion_success_prob: f64,
+    refresh: Option<usize>,
+    seed: u64,
+) -> ExecutionReport {
+    let config = CompilerConfig::for_qubits(qubits, fusion_success_prob, seed)
+        .with_refresh_period(refresh);
+    run_oneperc_with_config(bench, qubits, config, seed)
+}
+
+/// Runs OnePerc end to end with an explicit configuration.
+pub fn run_oneperc_with_config(
+    bench: Benchmark,
+    qubits: usize,
+    config: CompilerConfig,
+    seed: u64,
+) -> ExecutionReport {
+    let circuit = bench.circuit(qubits, seed);
+    let compiler = Compiler::new(config);
+    compiler
+        .compile_and_execute(&circuit)
+        .unwrap_or_else(|e| panic!("OnePerc failed on {bench}-{qubits}: {e}"))
+}
+
+/// Runs the OneQ baseline on a benchmark with the paper's repeat-until-
+/// success strategy and `10^6`-RSL cap (a smaller cap is used for reduced
+/// runs).
+pub fn run_oneq(
+    bench: Benchmark,
+    qubits: usize,
+    fusion_success_prob: f64,
+    rsl_cap: u64,
+    seed: u64,
+) -> OneqReport {
+    let circuit = bench.circuit(qubits, seed);
+    // OneQ maps each program slice onto the physical RSL directly, so its
+    // per-layer lattice is considerably larger than OnePerc's virtual
+    // hardware; twice the program side keeps the plan shallow while the
+    // repeat-until-success execution stays the bottleneck.
+    let side = 2 * (qubits as f64).sqrt().ceil() as usize;
+    let config = OneqConfig::new(side.max(2), fusion_success_prob, seed).with_rsl_cap(rsl_cap);
+    OneqCompiler::new(config)
+        .run(&circuit)
+        .unwrap_or_else(|e| panic!("OneQ failed on {bench}-{qubits}: {e}"))
+}
+
+/// Formats a count the way the paper's Table 2 does: plain numbers below the
+/// saturation cap, `"> cap"` once the cap is hit.
+pub fn format_capped(value: u64, saturated: bool, cap: u64) -> String {
+    if saturated {
+        format!("> {cap}")
+    } else {
+        value.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_formatting() {
+        assert_eq!(format_capped(123, false, 1_000_000), "123");
+        assert_eq!(format_capped(1_000_000, true, 1_000_000), "> 1000000");
+    }
+
+    #[test]
+    fn csv_writing_roundtrip() {
+        let args = ExperimentArgs {
+            out_dir: std::env::temp_dir().join("oneperc-bench-test"),
+            ..ExperimentArgs::default()
+        };
+        let path = args.write_csv("t.csv", "a,b", &["1,2".to_string()]);
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("a,b\n1,2\n"));
+    }
+
+    #[test]
+    fn oneperc_and_oneq_run_on_a_tiny_benchmark() {
+        let report = run_oneperc(Benchmark::Vqe, 4, 0.9, None, 3);
+        assert!(report.rsl_consumed > 0);
+        let baseline = run_oneq(Benchmark::Vqe, 4, 0.9, 50_000, 3);
+        assert!(baseline.rsl_consumed > 0);
+    }
+}

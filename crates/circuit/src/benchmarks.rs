@@ -1,0 +1,284 @@
+//! Benchmark circuit generators.
+//!
+//! These reproduce the benchmark families of the paper's evaluation
+//! (Table 1): QAOA max-cut on random graphs, the quantum Fourier transform,
+//! the Cuccaro ripple-carry adder and a full-entanglement VQE ansatz. All
+//! generators are deterministic given their seed, which keeps the experiment
+//! harness reproducible.
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// The benchmark families used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Quantum approximate optimization algorithm (max-cut, random graph).
+    Qaoa,
+    /// Quantum Fourier transform.
+    Qft,
+    /// Cuccaro ripple-carry adder.
+    Rca,
+    /// Variational quantum eigensolver, full-entanglement ansatz.
+    Vqe,
+}
+
+impl Benchmark {
+    /// All benchmark families in the order used by the paper's tables.
+    pub fn all() -> [Benchmark; 4] {
+        [Benchmark::Qaoa, Benchmark::Qft, Benchmark::Rca, Benchmark::Vqe]
+    }
+
+    /// Short upper-case name as used in the paper (`QAOA`, `QFT`, `RCA`,
+    /// `VQE`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Qaoa => "QAOA",
+            Benchmark::Qft => "QFT",
+            Benchmark::Rca => "RCA",
+            Benchmark::Vqe => "VQE",
+        }
+    }
+
+    /// Generates the benchmark circuit on `n_qubits` qubits with the given
+    /// seed (only QAOA and VQE consume randomness).
+    pub fn circuit(&self, n_qubits: usize, seed: u64) -> Circuit {
+        match self {
+            Benchmark::Qaoa => qaoa(n_qubits, seed),
+            Benchmark::Qft => qft(n_qubits),
+            Benchmark::Rca => rca(n_qubits),
+            Benchmark::Vqe => vqe(n_qubits, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// QAOA for max-cut on a random graph over `n` vertices where half of all
+/// possible edges are present (as specified in Section 7.1), one
+/// cost+mixer layer.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn qaoa(n: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QAOA needs at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all_edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            all_edges.push((i, j));
+        }
+    }
+    all_edges.shuffle(&mut rng);
+    let m = all_edges.len() / 2;
+    let edges = &all_edges[..m.max(1)];
+
+    let gamma: f64 = rng.gen_range(0.1..PI);
+    let beta: f64 = rng.gen_range(0.1..PI);
+
+    let mut c = Circuit::new(n);
+    // Initial layer of Hadamards.
+    for q in 0..n {
+        c.push(Gate::H { qubit: q });
+    }
+    // Cost unitary exp(-iγ Z_i Z_j) per edge.
+    for &(i, j) in edges {
+        c.push(Gate::Cnot { control: i, target: j });
+        c.push(Gate::Rz { qubit: j, theta: 2.0 * gamma });
+        c.push(Gate::Cnot { control: i, target: j });
+    }
+    // Mixer layer exp(-iβ X_q).
+    for q in 0..n {
+        c.push(Gate::Rx { qubit: q, theta: 2.0 * beta });
+    }
+    c
+}
+
+/// The `n`-qubit quantum Fourier transform (without the final qubit-reversal
+/// swaps, matching common compiler benchmarks).
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "QFT needs at least 1 qubit");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push(Gate::H { qubit: i });
+        for j in (i + 1)..n {
+            let theta = PI / f64::from(1u32 << (j - i).min(30) as u32);
+            c.push(Gate::Cphase { control: j, target: i, theta });
+        }
+    }
+    c
+}
+
+/// Cuccaro-style ripple-carry adder using `n` qubits in total.
+///
+/// The register is split into an ancilla/carry-in qubit, two ⌊(n-2)/2⌋-bit
+/// operand registers and (when `n` is even) a carry-out qubit; this mirrors
+/// the structure of the original construction while letting the caller pick
+/// the total qubit budget as in the paper's benchmark table.
+///
+/// # Panics
+///
+/// Panics when `n < 4` (the smallest adder needs carry-in, one bit of each
+/// operand and a carry-out).
+pub fn rca(n: usize) -> Circuit {
+    assert!(n >= 4, "the ripple-carry adder needs at least 4 qubits");
+    let bits = (n - 2) / 2;
+    let carry_in = 0usize;
+    let a = |i: usize| 1 + 2 * i; // operand A bit i
+    let b = |i: usize| 2 + 2 * i; // operand B bit i
+    let carry_out = if n % 2 == 0 { Some(n - 1) } else { None };
+
+    let mut c = Circuit::new(n);
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.push(Gate::Cnot { control: z, target: y });
+        c.push(Gate::Cnot { control: z, target: x });
+        c.push(Gate::Toffoli { a: x, b: y, target: z });
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.push(Gate::Toffoli { a: x, b: y, target: z });
+        c.push(Gate::Cnot { control: z, target: x });
+        c.push(Gate::Cnot { control: x, target: y });
+    };
+
+    // MAJ ripple up.
+    maj(&mut c, carry_in, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    // Carry out.
+    if let Some(co) = carry_out {
+        if bits > 0 {
+            c.push(Gate::Cnot { control: a(bits - 1), target: co });
+        }
+    }
+    // UMA ripple down.
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, carry_in, b(0), a(0));
+    c
+}
+
+/// VQE with the commonly used full-entanglement ansatz: alternating layers
+/// of parameterized single-qubit rotations and all-to-all CZ entanglers,
+/// followed by a final rotation layer.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn vqe(n: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "VQE needs at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layers = 1;
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push(Gate::Ry { qubit: q, theta: rng.gen_range(0.0..PI) });
+            c.push(Gate::Rz { qubit: q, theta: rng.gen_range(0.0..PI) });
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.push(Gate::Cz { a: i, b: j });
+            }
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::Ry { qubit: q, theta: rng.gen_range(0.0..PI) });
+        c.push(Gate::Rz { qubit: q, theta: rng.gen_range(0.0..PI) });
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qaoa_is_deterministic_per_seed() {
+        let a = qaoa(6, 7);
+        let b = qaoa(6, 7);
+        let c = qaoa(6, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.n_qubits(), 6);
+    }
+
+    #[test]
+    fn qaoa_edge_count_is_half_of_possible() {
+        let n = 8;
+        let c = qaoa(n, 1);
+        // Each edge contributes exactly 2 CNOTs (and no other CNOTs exist).
+        let cnots = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Cnot { .. }))
+            .count();
+        assert_eq!(cnots, 2 * (n * (n - 1) / 2 / 2));
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        let n = 5;
+        let c = qft(n);
+        let h = c.gates().iter().filter(|g| matches!(g, Gate::H { .. })).count();
+        let cp = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Cphase { .. }))
+            .count();
+        assert_eq!(h, n);
+        assert_eq!(cp, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn rca_structure() {
+        let c = rca(6); // 2-bit adder with carry-out
+        assert_eq!(c.n_qubits(), 6);
+        let toffolis = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Toffoli { .. }))
+            .count();
+        // 2 MAJ + 2 UMA → 4 Toffolis.
+        assert_eq!(toffolis, 4);
+    }
+
+    #[test]
+    fn vqe_full_entanglement_has_all_pairs() {
+        let n = 5;
+        let c = vqe(n, 3);
+        let czs = c.gates().iter().filter(|g| matches!(g, Gate::Cz { .. })).count();
+        assert_eq!(czs, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn benchmark_enum_dispatch() {
+        for b in Benchmark::all() {
+            let c = b.circuit(4, 11);
+            assert_eq!(c.n_qubits(), 4);
+            assert!(!c.is_empty());
+            assert!(!b.name().is_empty());
+            assert_eq!(b.to_string(), b.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 qubits")]
+    fn rca_too_small_panics() {
+        let _ = rca(3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Gate definitions and lowering into the `{J(α), CZ}` universal set.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+use std::fmt;
+
+/// A quantum gate in the circuit IR.
+///
+/// The only gates the MBQC translation understands are [`Gate::J`] and
+/// [`Gate::Cz`]; everything else is convenience syntax that
+/// [`Gate::lower`] expands into that set. Angles are in radians. Gate order
+/// in a circuit is application order (the first gate of the list acts
+/// first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// The one-qubit gate `J(α) = H · Rz(α)` — the native single-qubit gate
+    /// of the MBQC translation.
+    J {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle `α` in radians.
+        alpha: f64,
+    },
+    /// Controlled-Z between two qubits (symmetric).
+    Cz {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Hadamard.
+    H {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Pauli X.
+    X {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Pauli Z.
+    Z {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Phase gate `S = Rz(π/2)` (up to global phase).
+    S {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// `T = Rz(π/4)` (up to global phase).
+    T {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// `T† = Rz(-π/4)` (up to global phase).
+    Tdg {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Z-axis rotation.
+    Rz {
+        /// Target qubit.
+        qubit: usize,
+        /// Angle in radians.
+        theta: f64,
+    },
+    /// X-axis rotation.
+    Rx {
+        /// Target qubit.
+        qubit: usize,
+        /// Angle in radians.
+        theta: f64,
+    },
+    /// Y-axis rotation.
+    Ry {
+        /// Target qubit.
+        qubit: usize,
+        /// Angle in radians.
+        theta: f64,
+    },
+    /// Controlled-NOT.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled phase rotation (diagonal `diag(1,1,1,e^{iθ})`).
+    Cphase {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Phase angle in radians.
+        theta: f64,
+    },
+    /// Swap of two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Toffoli (CCX) gate.
+    Toffoli {
+        /// First control.
+        a: usize,
+        /// Second control.
+        b: usize,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate acts on.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::J { qubit, .. }
+            | Gate::H { qubit }
+            | Gate::X { qubit }
+            | Gate::Z { qubit }
+            | Gate::S { qubit }
+            | Gate::T { qubit }
+            | Gate::Tdg { qubit }
+            | Gate::Rz { qubit, .. }
+            | Gate::Rx { qubit, .. }
+            | Gate::Ry { qubit, .. } => vec![qubit],
+            Gate::Cz { a, b } | Gate::Swap { a, b } => vec![a, b],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Cphase { control, target, .. } => vec![control, target],
+            Gate::Toffoli { a, b, target } => vec![a, b, target],
+        }
+    }
+
+    /// Returns `true` when the gate is already in the `{J, CZ}` set.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Gate::J { .. } | Gate::Cz { .. })
+    }
+
+    /// Lowers the gate into an equivalent sequence over `{J(α), CZ}`
+    /// (application order). Primitive gates lower to themselves.
+    pub fn lower(&self) -> Vec<Gate> {
+        // Helper sequences, all in application order.
+        fn rz(q: usize, theta: f64) -> Vec<Gate> {
+            vec![Gate::J { qubit: q, alpha: theta }, Gate::J { qubit: q, alpha: 0.0 }]
+        }
+        fn rx(q: usize, theta: f64) -> Vec<Gate> {
+            vec![Gate::J { qubit: q, alpha: 0.0 }, Gate::J { qubit: q, alpha: theta }]
+        }
+        fn h(q: usize) -> Vec<Gate> {
+            vec![Gate::J { qubit: q, alpha: 0.0 }]
+        }
+        fn cnot(c: usize, t: usize) -> Vec<Gate> {
+            let mut out = h(t);
+            out.push(Gate::Cz { a: c, b: t });
+            out.extend(h(t));
+            out
+        }
+        match *self {
+            Gate::J { .. } | Gate::Cz { .. } => vec![self.clone()],
+            Gate::H { qubit } => h(qubit),
+            Gate::X { qubit } => rx(qubit, PI),
+            Gate::Z { qubit } => rz(qubit, PI),
+            Gate::S { qubit } => rz(qubit, FRAC_PI_2),
+            Gate::T { qubit } => rz(qubit, FRAC_PI_4),
+            Gate::Tdg { qubit } => rz(qubit, -FRAC_PI_4),
+            Gate::Rz { qubit, theta } => rz(qubit, theta),
+            Gate::Rx { qubit, theta } => rx(qubit, theta),
+            Gate::Ry { qubit, theta } => {
+                // Ry(θ) = Rz(π/2) · Rx(θ) · Rz(-π/2) (application order:
+                // Rz(-π/2) first).
+                let mut out = rz(qubit, -FRAC_PI_2);
+                out.extend(rx(qubit, theta));
+                out.extend(rz(qubit, FRAC_PI_2));
+                out
+            }
+            Gate::Cnot { control, target } => cnot(control, target),
+            Gate::Cphase { control, target, theta } => {
+                // Controlled-phase(θ) up to global phase:
+                // Rz(θ/2) on both, CNOT, Rz(-θ/2) on target, CNOT.
+                let mut out = rz(control, theta / 2.0);
+                out.extend(rz(target, theta / 2.0));
+                out.extend(cnot(control, target));
+                out.extend(rz(target, -theta / 2.0));
+                out.extend(cnot(control, target));
+                out
+            }
+            Gate::Swap { a, b } => {
+                let mut out = cnot(a, b);
+                out.extend(cnot(b, a));
+                out.extend(cnot(a, b));
+                out
+            }
+            Gate::Toffoli { a, b, target } => {
+                // Standard 6-CNOT, 7-T decomposition.
+                let mut seq: Vec<Gate> = Vec::new();
+                seq.push(Gate::H { qubit: target });
+                seq.push(Gate::Cnot { control: b, target });
+                seq.push(Gate::Tdg { qubit: target });
+                seq.push(Gate::Cnot { control: a, target });
+                seq.push(Gate::T { qubit: target });
+                seq.push(Gate::Cnot { control: b, target });
+                seq.push(Gate::Tdg { qubit: target });
+                seq.push(Gate::Cnot { control: a, target });
+                seq.push(Gate::T { qubit: b });
+                seq.push(Gate::T { qubit: target });
+                seq.push(Gate::H { qubit: target });
+                seq.push(Gate::Cnot { control: a, target: b });
+                seq.push(Gate::T { qubit: a });
+                seq.push(Gate::Tdg { qubit: b });
+                seq.push(Gate::Cnot { control: a, target: b });
+                seq.into_iter().flat_map(|g| g.lower()).collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::J { qubit, alpha } => write!(f, "J({alpha:.3}) q{qubit}"),
+            Gate::Cz { a, b } => write!(f, "CZ q{a}, q{b}"),
+            Gate::H { qubit } => write!(f, "H q{qubit}"),
+            Gate::X { qubit } => write!(f, "X q{qubit}"),
+            Gate::Z { qubit } => write!(f, "Z q{qubit}"),
+            Gate::S { qubit } => write!(f, "S q{qubit}"),
+            Gate::T { qubit } => write!(f, "T q{qubit}"),
+            Gate::Tdg { qubit } => write!(f, "Tdg q{qubit}"),
+            Gate::Rz { qubit, theta } => write!(f, "Rz({theta:.3}) q{qubit}"),
+            Gate::Rx { qubit, theta } => write!(f, "Rx({theta:.3}) q{qubit}"),
+            Gate::Ry { qubit, theta } => write!(f, "Ry({theta:.3}) q{qubit}"),
+            Gate::Cnot { control, target } => write!(f, "CNOT q{control}, q{target}"),
+            Gate::Cphase { control, target, theta } => {
+                write!(f, "CP({theta:.3}) q{control}, q{target}")
+            }
+            Gate::Swap { a, b } => write!(f, "SWAP q{a}, q{b}"),
+            Gate::Toffoli { a, b, target } => write!(f, "CCX q{a}, q{b}, q{target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_gates_lower_to_themselves() {
+        let j = Gate::J { qubit: 0, alpha: 1.0 };
+        assert_eq!(j.lower(), vec![j.clone()]);
+        let cz = Gate::Cz { a: 0, b: 1 };
+        assert_eq!(cz.lower(), vec![cz.clone()]);
+        assert!(j.is_primitive());
+        assert!(cz.is_primitive());
+        assert!(!Gate::H { qubit: 0 }.is_primitive());
+    }
+
+    #[test]
+    fn lowering_only_produces_primitives() {
+        let gates = vec![
+            Gate::H { qubit: 0 },
+            Gate::X { qubit: 1 },
+            Gate::Ry { qubit: 0, theta: 0.3 },
+            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cphase { control: 0, target: 1, theta: 0.5 },
+            Gate::Swap { a: 0, b: 1 },
+            Gate::Toffoli { a: 0, b: 1, target: 2 },
+        ];
+        for g in gates {
+            for p in g.lower() {
+                assert!(p.is_primitive(), "lowering of {g} produced {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_acts_on_expected_qubits() {
+        let g = Gate::Cnot { control: 3, target: 7 };
+        let lowered = g.lower();
+        let mut touched: Vec<usize> = lowered.iter().flat_map(Gate::qubits).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        assert_eq!(touched, vec![3, 7]);
+    }
+
+    #[test]
+    fn toffoli_lowering_has_expected_scale() {
+        let lowered = Gate::Toffoli { a: 0, b: 1, target: 2 }.lower();
+        // 6 CNOTs → 6 CZ, plus single-qubit J chains; sanity-check the CZ count.
+        let czs = lowered.iter().filter(|g| matches!(g, Gate::Cz { .. })).count();
+        assert_eq!(czs, 6);
+    }
+
+    #[test]
+    fn qubits_helper() {
+        assert_eq!(Gate::Toffoli { a: 1, b: 2, target: 3 }.qubits(), vec![1, 2, 3]);
+        assert_eq!(Gate::Rz { qubit: 5, theta: 0.1 }.qubits(), vec![5]);
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        assert_eq!(Gate::Cz { a: 1, b: 2 }.to_string(), "CZ q1, q2");
+        assert!(Gate::J { qubit: 0, alpha: 0.5 }.to_string().starts_with("J(0.500)"));
+    }
+}

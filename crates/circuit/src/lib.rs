@@ -1,0 +1,42 @@
+//! Quantum circuit front-end for the OnePerc reproduction.
+//!
+//! The photonic MBQC compiler consumes *program graph states* — graph states
+//! plus a measurement pattern — rather than gate-model circuits. This crate
+//! provides everything needed to get there:
+//!
+//! * [`Gate`] / [`Circuit`] — a small circuit IR whose universal gate set is
+//!   `{J(α), CZ}`, with convenience gates (`H`, `Rz`, `CNOT`, `Toffoli`, …)
+//!   that lower onto that set structurally.
+//! * [`benchmarks`] — generators for the benchmark families evaluated in the
+//!   paper: QAOA max-cut on random graphs, the quantum Fourier transform,
+//!   the Cuccaro ripple-carry adder and a full-entanglement VQE ansatz.
+//! * [`ProgramGraph`] — the measurement-pattern translation of a circuit
+//!   (Fig. 3 of the paper): `J(α)` gates become equatorial measurements on a
+//!   wire of graph-state qubits, `CZ` gates become edges.
+//! * [`DependencyDag`] — the flow-induced partial order among graph-state
+//!   qubits used by the offline mapper for dynamic scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc_circuit::{benchmarks, ProgramGraph};
+//!
+//! let circuit = benchmarks::qft(3);
+//! let program = ProgramGraph::from_circuit(&circuit);
+//! assert!(program.node_count() > 3);
+//! assert_eq!(program.outputs().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod circuit;
+mod dag;
+mod gate;
+mod program;
+
+pub use circuit::Circuit;
+pub use dag::DependencyDag;
+pub use gate::Gate;
+pub use program::{ProgramGraph, ProgramNode};

@@ -1,0 +1,311 @@
+//! Translation from circuits to program graph states (measurement patterns).
+//!
+//! Following the standard MBQC translation (Fig. 3 of the paper), every
+//! circuit qubit becomes a *wire* of graph-state qubits: a `J(α)` gate
+//! appends a fresh qubit to the wire, entangles it with the wire's current
+//! end and marks the old end for an equatorial measurement `E(α)`; a `CZ`
+//! gate becomes an edge between the current ends of the two wires. The
+//! qubits remaining at the ends of the wires when the circuit finishes are
+//! the output qubits.
+
+use graphstate::{GraphState, MeasBasis, VertexId};
+
+use crate::circuit::Circuit;
+use crate::dag::DependencyDag;
+use crate::gate::Gate;
+
+/// Role and measurement assignment of one node of a program graph state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramNode {
+    /// The circuit wire (logical qubit) this node belongs to.
+    pub wire: usize,
+    /// Position of the node along its wire (0 = circuit input).
+    pub wire_index: usize,
+    /// Measurement basis driving the computation. `None` for output qubits,
+    /// which are left unmeasured (or read out in whatever basis the
+    /// application needs).
+    pub basis: Option<MeasBasis>,
+}
+
+impl ProgramNode {
+    /// Returns `true` when this node is an output (unmeasured) qubit.
+    pub fn is_output(&self) -> bool {
+        self.basis.is_none()
+    }
+}
+
+/// A program graph state: the graph structure required by the program plus
+/// the measurement pattern on its qubits.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_circuit::{Circuit, Gate, ProgramGraph};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H { qubit: 0 });
+/// c.push(Gate::Cnot { control: 0, target: 1 });
+/// let pg = ProgramGraph::from_circuit(&c);
+/// assert_eq!(pg.outputs().len(), 2);
+/// assert!(pg.edge_count() >= pg.outputs().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramGraph {
+    graph: GraphState,
+    nodes: Vec<ProgramNode>,
+    inputs: Vec<VertexId>,
+    outputs: Vec<VertexId>,
+    creation_order: Vec<VertexId>,
+    n_wires: usize,
+}
+
+impl ProgramGraph {
+    /// Builds the program graph state of a circuit. The circuit is lowered
+    /// to the `{J, CZ}` set first.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let lowered = circuit.lowered();
+        let n = lowered.n_qubits();
+        let mut graph = GraphState::new();
+        let mut nodes: Vec<ProgramNode> = Vec::new();
+        let mut creation_order: Vec<VertexId> = Vec::new();
+
+        // Current end of each wire and its position along the wire.
+        let mut current: Vec<VertexId> = Vec::with_capacity(n);
+        let mut wire_len: Vec<usize> = vec![0; n];
+        let mut inputs = Vec::with_capacity(n);
+        for wire in 0..n {
+            let v = graph.add_vertex();
+            nodes.push(ProgramNode { wire, wire_index: 0, basis: None });
+            creation_order.push(v);
+            current.push(v);
+            inputs.push(v);
+        }
+
+        for gate in lowered.gates() {
+            match *gate {
+                Gate::J { qubit, alpha } => {
+                    let old = current[qubit];
+                    let fresh = graph.add_vertex();
+                    wire_len[qubit] += 1;
+                    nodes.push(ProgramNode {
+                        wire: qubit,
+                        wire_index: wire_len[qubit],
+                        basis: None,
+                    });
+                    creation_order.push(fresh);
+                    graph.add_edge(old, fresh);
+                    // The consumed wire end is measured in E(α).
+                    nodes[old].basis = Some(MeasBasis::equatorial(alpha));
+                    current[qubit] = fresh;
+                }
+                Gate::Cz { a, b } => {
+                    graph.add_edge(current[a], current[b]);
+                }
+                ref other => {
+                    unreachable!("lowered circuit contains non-primitive gate {other}")
+                }
+            }
+        }
+
+        let outputs = current;
+        ProgramGraph {
+            graph,
+            nodes,
+            inputs,
+            outputs,
+            creation_order,
+            n_wires: n,
+        }
+    }
+
+    /// The underlying graph structure.
+    pub fn graph(&self) -> &GraphState {
+        &self.graph
+    }
+
+    /// Number of graph-state qubits (nodes).
+    pub fn node_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of graph-state edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Number of circuit wires (logical qubits).
+    pub fn n_wires(&self) -> usize {
+        self.n_wires
+    }
+
+    /// Metadata of a node.
+    pub fn node(&self, v: VertexId) -> &ProgramNode {
+        &self.nodes[v]
+    }
+
+    /// The circuit-input qubits (one per wire).
+    pub fn inputs(&self) -> &[VertexId] {
+        &self.inputs
+    }
+
+    /// The circuit-output qubits (one per wire, unmeasured).
+    pub fn outputs(&self) -> &[VertexId] {
+        &self.outputs
+    }
+
+    /// All node ids in creation order (wire inputs first, then in gate
+    /// order).
+    pub fn creation_order(&self) -> &[VertexId] {
+        &self.creation_order
+    }
+
+    /// Builds the flow-induced dependency DAG over the program nodes, used
+    /// by the offline mapper for dynamic scheduling (Section 6.2).
+    ///
+    /// The causal flow of the wire construction maps every measured node to
+    /// its successor on the same wire; the induced partial order requires a
+    /// node to be mapped after its wire predecessor and after the wire
+    /// predecessors of all of its graph neighbors.
+    pub fn dependency_dag(&self) -> DependencyDag {
+        let mut dag = DependencyDag::new(self.graph.id_bound());
+        // Wire order: predecessor before successor.
+        let mut prev_on_wire: Vec<Option<VertexId>> = vec![None; self.n_wires];
+        for &v in &self.creation_order {
+            let wire = self.nodes[v].wire;
+            if let Some(p) = prev_on_wire[wire] {
+                dag.add_dependency(p, v);
+            }
+            prev_on_wire[wire] = Some(v);
+        }
+        // Neighbor order: a node's wire predecessor must be mapped before
+        // any neighbor of the node is completed; conservatively we require
+        // the predecessor of v before every neighbor of v that was created
+        // later than it.
+        for &v in &self.creation_order {
+            if let Some(nbrs) = self.graph.neighbors(v) {
+                let wire = self.nodes[v].wire;
+                let wire_idx = self.nodes[v].wire_index;
+                for &u in nbrs {
+                    // Cross-wire CZ edges induce an ordering from the earlier
+                    // created node to the later one so that the front layer
+                    // only exposes nodes whose entangling partners exist.
+                    if self.nodes[u].wire != wire && u < v && self.nodes[u].wire_index <= wire_idx
+                    {
+                        dag.add_dependency(u, v);
+                    }
+                }
+            }
+        }
+        dag
+    }
+
+    /// Convenience: the number of measured (non-output) nodes.
+    pub fn measured_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_output()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn single_j_gate_makes_two_node_wire() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::J { qubit: 0, alpha: 0.4 });
+        let pg = ProgramGraph::from_circuit(&c);
+        assert_eq!(pg.node_count(), 2);
+        assert_eq!(pg.edge_count(), 1);
+        assert_eq!(pg.inputs().len(), 1);
+        assert_eq!(pg.outputs().len(), 1);
+        let input = pg.inputs()[0];
+        let output = pg.outputs()[0];
+        assert!(pg.node(input).basis.is_some());
+        assert!(pg.node(output).is_output());
+        assert!((pg.node(input).basis.unwrap().equatorial_angle().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cz_gate_adds_edge_between_wire_ends() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz { a: 0, b: 1 });
+        let pg = ProgramGraph::from_circuit(&c);
+        assert_eq!(pg.node_count(), 2);
+        assert_eq!(pg.edge_count(), 1);
+        assert!(pg.graph().has_edge(pg.outputs()[0], pg.outputs()[1]));
+    }
+
+    #[test]
+    fn translation_matches_fig3_shape() {
+        // Fig. 3: J(α), J(β) on two wires joined by CZ gates produce a
+        // ladder-like graph; check node/edge counts for a tiny instance.
+        let mut c = Circuit::new(2);
+        c.push(Gate::J { qubit: 0, alpha: 0.1 });
+        c.push(Gate::J { qubit: 1, alpha: 0.2 });
+        c.push(Gate::Cz { a: 0, b: 1 });
+        c.push(Gate::J { qubit: 0, alpha: 0.3 });
+        let pg = ProgramGraph::from_circuit(&c);
+        // 2 inputs + 3 J-created nodes.
+        assert_eq!(pg.node_count(), 5);
+        // 3 wire edges + 1 CZ edge.
+        assert_eq!(pg.edge_count(), 4);
+        assert_eq!(pg.measured_count(), 3);
+    }
+
+    #[test]
+    fn output_nodes_are_unmeasured_and_per_wire() {
+        let c = benchmarks::qft(4);
+        let pg = ProgramGraph::from_circuit(&c);
+        assert_eq!(pg.outputs().len(), 4);
+        for (wire, &o) in pg.outputs().iter().enumerate() {
+            assert!(pg.node(o).is_output());
+            assert_eq!(pg.node(o).wire, wire);
+        }
+        assert_eq!(pg.measured_count(), pg.node_count() - 4);
+    }
+
+    #[test]
+    fn dependency_dag_is_acyclic_and_covers_all_nodes() {
+        let c = benchmarks::qaoa(5, 2);
+        let pg = ProgramGraph::from_circuit(&c);
+        let dag = pg.dependency_dag();
+        let order = dag.topological_order().expect("program DAG must be acyclic");
+        assert_eq!(order.len(), pg.node_count());
+    }
+
+    #[test]
+    fn wire_predecessors_precede_successors_in_dag() {
+        let c = benchmarks::vqe(3, 9);
+        let pg = ProgramGraph::from_circuit(&c);
+        let dag = pg.dependency_dag();
+        let order = dag.topological_order().unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for &v in pg.creation_order() {
+            let node = pg.node(v);
+            if node.wire_index > 0 {
+                // Find the predecessor on the wire.
+                let pred = pg
+                    .creation_order()
+                    .iter()
+                    .copied()
+                    .find(|&u| {
+                        pg.node(u).wire == node.wire && pg.node(u).wire_index + 1 == node.wire_index
+                    })
+                    .unwrap();
+                assert!(pos[&pred] < pos[&v]);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_translate_without_panic() {
+        for b in benchmarks::Benchmark::all() {
+            let c = b.circuit(4, 5);
+            let pg = ProgramGraph::from_circuit(&c);
+            assert!(pg.node_count() > 4);
+            assert_eq!(pg.n_wires(), 4);
+        }
+    }
+}

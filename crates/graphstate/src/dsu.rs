@@ -1,0 +1,156 @@
+//! Disjoint-set (union-find) data structure.
+//!
+//! The online pass performs a large number of connectivity checks while
+//! searching renormalization paths and time-like connections; a union-find
+//! structure with path compression and union by rank keeps those checks
+//! effectively constant time, as prescribed in Section 5 of the paper.
+
+/// Union-find over the elements `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use graphstate::DisjointSet;
+///
+/// let mut dsu = DisjointSet::new(4);
+/// dsu.union(0, 1);
+/// dsu.union(2, 3);
+/// assert!(dsu.same_set(0, 1));
+/// assert!(!dsu.same_set(1, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    n_sets: usize,
+}
+
+impl DisjointSet {
+    /// Creates a structure with `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            n_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` when the structure contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn set_count(&self) -> usize {
+        self.n_sets
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` when the two
+    /// were previously in different sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.n_sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` or `b` is out of range.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        // O(n); only used in tests / statistics, never in the hot path.
+        (0..self.len()).filter(|&i| self.find(i) == root).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut dsu = DisjointSet::new(5);
+        assert_eq!(dsu.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(dsu.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut dsu = DisjointSet::new(6);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2));
+        assert_eq!(dsu.set_count(), 4);
+        assert!(dsu.same_set(0, 2));
+        assert!(!dsu.same_set(0, 3));
+        assert_eq!(dsu.set_size(0), 3);
+    }
+
+    #[test]
+    fn chain_unions_connect_all() {
+        let n = 200;
+        let mut dsu = DisjointSet::new(n);
+        for i in 0..n - 1 {
+            dsu.union(i, i + 1);
+        }
+        assert_eq!(dsu.set_count(), 1);
+        assert!(dsu.same_set(0, n - 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let dsu = DisjointSet::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.set_count(), 0);
+    }
+}

@@ -1,0 +1,594 @@
+//! The [`GraphState`] type: an undirected simple graph with the
+//! stabilizer-formalism rewrite rules used throughout the compiler.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::error::GraphError;
+
+/// Identifier of a vertex (photonic qubit) inside a [`GraphState`].
+pub type VertexId = usize;
+
+/// An undirected simple graph representing a stabilizer graph state.
+///
+/// Every vertex stands for a photonic qubit prepared in `|+>` and every edge
+/// for a CZ entangling operation, so the state is the simultaneous +1
+/// eigenstate of the stabilizers `X_i ⊗ Z_{N(i)}`.
+///
+/// Vertices are identified by dense `usize` ids. Removing a vertex (for
+/// example by measuring it in the `Z` basis) leaves a hole: ids are never
+/// reused, which keeps ids stable across the lifetime of a layer and lets
+/// callers keep external side tables indexed by [`VertexId`].
+///
+/// # Example
+///
+/// ```
+/// use graphstate::GraphState;
+///
+/// let mut g = GraphState::new();
+/// let a = g.add_vertex();
+/// let b = g.add_vertex();
+/// g.add_edge(a, b);
+/// assert_eq!(g.degree(a), Some(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphState {
+    /// `adj[v]` is the neighbor set of vertex `v`. Removed vertices keep an
+    /// empty set and are marked dead in `alive`.
+    adj: Vec<HashSet<VertexId>>,
+    alive: Vec<bool>,
+    n_alive: usize,
+    n_edges: usize,
+}
+
+impl GraphState {
+    /// Creates an empty graph state with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph state with `n` isolated vertices, ids `0..n`.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphState {
+            adj: vec![HashSet::new(); n],
+            alive: vec![true; n],
+            n_alive: n,
+            n_edges: 0,
+        }
+    }
+
+    /// Adds a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adj.push(HashSet::new());
+        self.alive.push(true);
+        self.n_alive += 1;
+        self.adj.len() - 1
+    }
+
+    /// Number of live (not yet removed) vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Total number of vertex ids ever allocated (live or removed). All live
+    /// ids are strictly below this bound.
+    pub fn id_bound(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Returns `true` when vertex `v` exists and has not been removed.
+    pub fn contains(&self, v: VertexId) -> bool {
+        v < self.alive.len() && self.alive[v]
+    }
+
+    /// Iterator over all live vertex ids in increasing order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &a)| if a { Some(v) } else { None })
+    }
+
+    /// Returns the neighbor set of `v`, or `None` if `v` does not exist.
+    pub fn neighbors(&self, v: VertexId) -> Option<&HashSet<VertexId>> {
+        if self.contains(v) {
+            Some(&self.adj[v])
+        } else {
+            None
+        }
+    }
+
+    /// Degree of `v`, or `None` if `v` does not exist.
+    pub fn degree(&self, v: VertexId) -> Option<usize> {
+        self.neighbors(v).map(HashSet::len)
+    }
+
+    /// Returns `true` when the edge `(a, b)` is present.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.contains(a) && self.contains(b) && self.adj[a].contains(&b)
+    }
+
+    /// Adds the edge `(a, b)`. Adding an existing edge is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex does not exist or if `a == b`; use
+    /// [`GraphState::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        self.try_add_edge(a, b).expect("add_edge: invalid endpoints");
+    }
+
+    /// Fallible version of [`GraphState::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] when an endpoint does not exist
+    /// and [`GraphError::SelfLoop`] when `a == b`.
+    pub fn try_add_edge(&mut self, a: VertexId, b: VertexId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.contains(a) {
+            return Err(GraphError::MissingVertex(a));
+        }
+        if !self.contains(b) {
+            return Err(GraphError::MissingVertex(b));
+        }
+        if self.adj[a].insert(b) {
+            self.adj[b].insert(a);
+            self.n_edges += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes the edge `(a, b)` if present; removing an absent edge is a
+    /// no-op.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) {
+        if self.has_edge(a, b) {
+            self.adj[a].remove(&b);
+            self.adj[b].remove(&a);
+            self.n_edges -= 1;
+        }
+    }
+
+    /// Toggles the edge `(a, b)`: adds it when absent, removes it when
+    /// present. This is the primitive used by local complementation and the
+    /// fusion rewrite rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] / [`GraphError::SelfLoop`] on
+    /// invalid endpoints.
+    pub fn toggle_edge(&mut self, a: VertexId, b: VertexId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.contains(a) {
+            return Err(GraphError::MissingVertex(a));
+        }
+        if !self.contains(b) {
+            return Err(GraphError::MissingVertex(b));
+        }
+        if self.adj[a].contains(&b) {
+            self.remove_edge(a, b);
+        } else {
+            self.adj[a].insert(b);
+            self.adj[b].insert(a);
+            self.n_edges += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes vertex `v` along with all incident edges. Removing an already
+    /// removed vertex is a no-op.
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        if !self.contains(v) {
+            return;
+        }
+        let nbrs: Vec<VertexId> = self.adj[v].iter().copied().collect();
+        for u in nbrs {
+            self.adj[u].remove(&v);
+            self.n_edges -= 1;
+        }
+        self.adj[v].clear();
+        self.alive[v] = false;
+        self.n_alive -= 1;
+    }
+
+    /// Applies local complementation `τ_v`: the subgraph induced by the
+    /// neighborhood of `v` is complemented (existing edges between neighbors
+    /// are removed, missing ones are added).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] when `v` does not exist.
+    pub fn local_complement(&mut self, v: VertexId) -> Result<(), GraphError> {
+        if !self.contains(v) {
+            return Err(GraphError::MissingVertex(v));
+        }
+        let nbrs: Vec<VertexId> = self.adj[v].iter().copied().collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                // Both endpoints are alive by construction.
+                self.toggle_edge(nbrs[i], nbrs[j])
+                    .expect("neighbors are alive");
+            }
+        }
+        Ok(())
+    }
+
+    /// Measures qubit `v` in the `Z` basis, i.e. removes the vertex and its
+    /// incident edges. This is how redundant qubits are eliminated when a
+    /// random physical graph state is reshaped to a subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] when `v` does not exist.
+    pub fn measure_z(&mut self, v: VertexId) -> Result<(), GraphError> {
+        if !self.contains(v) {
+            return Err(GraphError::MissingVertex(v));
+        }
+        self.remove_vertex(v);
+        Ok(())
+    }
+
+    /// Measures qubit `v` in the `Y` basis: local complementation at `v`
+    /// followed by removal of `v`. Up to local Cliffords on the neighborhood,
+    /// this realizes the standard graph-state rewrite rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] when `v` does not exist.
+    pub fn measure_y(&mut self, v: VertexId) -> Result<(), GraphError> {
+        self.local_complement(v)?;
+        self.remove_vertex(v);
+        Ok(())
+    }
+
+    /// Measures qubit `v` in the `X` basis using the standard rule
+    /// `τ_b ∘ τ_v ∘ τ_b` with a designated *special neighbor* `b`, followed by
+    /// removal of `v`.
+    ///
+    /// When `v` is isolated the measurement simply removes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] when `v` does not exist, or
+    /// [`GraphError::MissingEdge`] when `special` is given but is not a
+    /// neighbor of `v`.
+    pub fn measure_x(&mut self, v: VertexId, special: Option<VertexId>) -> Result<(), GraphError> {
+        if !self.contains(v) {
+            return Err(GraphError::MissingVertex(v));
+        }
+        let b = match special {
+            Some(b) => {
+                if !self.has_edge(v, b) {
+                    return Err(GraphError::MissingEdge(v, b));
+                }
+                Some(b)
+            }
+            None => self.adj[v].iter().copied().min(),
+        };
+        match b {
+            None => {
+                self.remove_vertex(v);
+            }
+            Some(b) => {
+                self.local_complement(b).expect("b is alive");
+                self.local_complement(v).expect("v is alive");
+                self.remove_vertex(v);
+                self.local_complement(b).expect("b is alive");
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the connected component containing `v` (including `v`), or an
+    /// empty vector when `v` does not exist.
+    pub fn component(&self, v: VertexId) -> Vec<VertexId> {
+        if !self.contains(v) {
+            return Vec::new();
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(v);
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut out: Vec<VertexId> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Returns the vertices of the largest connected component, or an empty
+    /// vector for an empty graph.
+    pub fn largest_component(&self) -> Vec<VertexId> {
+        let mut best: Vec<VertexId> = Vec::new();
+        let mut visited: HashSet<VertexId> = HashSet::new();
+        for v in self.vertices() {
+            if visited.contains(&v) {
+                continue;
+            }
+            let comp = self.component(v);
+            visited.extend(comp.iter().copied());
+            if comp.len() > best.len() {
+                best = comp;
+            }
+        }
+        best
+    }
+
+    /// Breadth-first shortest path from `src` to `dst` restricted to vertices
+    /// for which `allowed` returns `true` (both endpoints must be allowed).
+    /// Returns the vertex sequence including both endpoints, or `None` when
+    /// no such path exists.
+    pub fn shortest_path_filtered<F>(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        allowed: F,
+    ) -> Option<Vec<VertexId>>
+    where
+        F: Fn(VertexId) -> bool,
+    {
+        if !self.contains(src) || !self.contains(dst) || !allowed(src) || !allowed(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: Vec<Option<VertexId>> = vec![None; self.adj.len()];
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = VecDeque::new();
+        seen[src] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if !seen[w] && allowed(w) {
+                    seen[w] = true;
+                    prev[w] = Some(u);
+                    if w == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while let Some(p) = prev[cur] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Breadth-first shortest path between two vertices over the whole graph.
+    pub fn shortest_path(&self, src: VertexId, dst: VertexId) -> Option<Vec<VertexId>> {
+        self.shortest_path_filtered(src, dst, |_| true)
+    }
+
+    /// Returns `true` when `src` and `dst` are in the same connected
+    /// component.
+    pub fn connected(&self, src: VertexId, dst: VertexId) -> bool {
+        if !self.contains(src) || !self.contains(dst) {
+            return false;
+        }
+        if src == dst {
+            return true;
+        }
+        self.component(src).binary_search(&dst).is_ok()
+    }
+
+    /// Collects all edges as `(min, max)` pairs, sorted. Mostly useful in
+    /// tests and for serializing small graphs.
+    pub fn edges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.n_edges);
+        for v in self.vertices() {
+            for &u in &self.adj[v] {
+                if v < u {
+                    out.push((v, u));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> GraphState {
+        let mut g = GraphState::with_vertices(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = GraphState::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        g.remove_edge(0, 1);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        // idempotent removal
+        g.remove_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut g = GraphState::with_vertices(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = GraphState::with_vertices(2);
+        assert_eq!(g.try_add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        assert_eq!(g.toggle_edge(0, 0), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn missing_vertex_rejected() {
+        let mut g = GraphState::with_vertices(2);
+        assert_eq!(g.try_add_edge(0, 5), Err(GraphError::MissingVertex(5)));
+        assert_eq!(g.measure_z(9), Err(GraphError::MissingVertex(9)));
+    }
+
+    #[test]
+    fn remove_vertex_updates_counts() {
+        let mut g = path(4);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        g.remove_vertex(1);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.contains(1));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn local_complement_on_star_builds_clique() {
+        // Star centered at 0 with leaves 1..4.
+        let mut g = GraphState::with_vertices(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        g.local_complement(0).unwrap();
+        // Leaves now form a complete graph K4.
+        for i in 1..5 {
+            for j in (i + 1)..5 {
+                assert!(g.has_edge(i, j), "missing edge ({i},{j})");
+            }
+        }
+        // LC is an involution.
+        g.local_complement(0).unwrap();
+        for i in 1..5 {
+            for j in (i + 1)..5 {
+                assert!(!g.has_edge(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn measure_z_removes_vertex() {
+        let mut g = path(3);
+        g.measure_z(1).unwrap();
+        assert!(!g.contains(1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn measure_y_contracts_wire() {
+        let mut g = path(3);
+        g.measure_y(1).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn measure_x_on_wire_keeps_endpoint_connectivity() {
+        // X measurement on an interior wire qubit keeps the two ends in the
+        // same connected component (it acts like removing the qubit while
+        // splicing the wire, possibly leaving the special neighbor attached).
+        let mut g = path(4);
+        g.measure_x(1, Some(0)).unwrap();
+        assert!(!g.contains(1));
+        assert!(g.connected(0, 3), "wire broken by X measurement");
+    }
+
+    #[test]
+    fn measure_x_isolated_vertex() {
+        let mut g = GraphState::with_vertices(1);
+        g.measure_x(0, None).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn measure_x_invalid_special() {
+        let mut g = path(3);
+        assert_eq!(g.measure_x(0, Some(2)), Err(GraphError::MissingEdge(0, 2)));
+    }
+
+    #[test]
+    fn component_and_largest_component() {
+        let mut g = GraphState::with_vertices(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(4, 5);
+        assert_eq!(g.component(0), vec![0, 1, 2]);
+        assert_eq!(g.component(3), vec![3]);
+        assert_eq!(g.largest_component(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_path_on_grid() {
+        // 3x3 grid, path from corner to corner has 5 vertices.
+        let mut g = GraphState::with_vertices(9);
+        let idx = |r: usize, c: usize| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    g.add_edge(idx(r, c), idx(r, c + 1));
+                }
+                if r + 1 < 3 {
+                    g.add_edge(idx(r, c), idx(r + 1, c));
+                }
+            }
+        }
+        let p = g.shortest_path(idx(0, 0), idx(2, 2)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], idx(0, 0));
+        assert_eq!(*p.last().unwrap(), idx(2, 2));
+        // Filtered search that forbids the center must go around it.
+        let p2 = g
+            .shortest_path_filtered(idx(0, 0), idx(2, 2), |v| v != idx(1, 1))
+            .unwrap();
+        assert_eq!(p2.len(), 5);
+        assert!(!p2.contains(&idx(1, 1)));
+    }
+
+    #[test]
+    fn shortest_path_absent() {
+        let g = GraphState::with_vertices(4);
+        assert!(g.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn edges_listing_sorted() {
+        let mut g = GraphState::with_vertices(3);
+        g.add_edge(2, 0);
+        g.add_edge(1, 2);
+        assert_eq!(g.edges(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn vertices_skips_removed() {
+        let mut g = GraphState::with_vertices(3);
+        g.remove_vertex(1);
+        let vs: Vec<_> = g.vertices().collect();
+        assert_eq!(vs, vec![0, 2]);
+        assert_eq!(g.id_bound(), 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph-state substrate for photonic measurement-based quantum computation.
+//!
+//! This crate provides the low-level machinery that every other layer of the
+//! OnePerc reproduction is built on:
+//!
+//! * [`GraphState`] — an undirected simple graph whose vertices are photonic
+//!   qubits, together with the stabilizer-formalism rewrite rules that matter
+//!   for fusion-based photonic computing: local complementation,
+//!   Pauli measurements (`Z`, `Y`, `X`) and type-II fusions (both successful
+//!   and failed outcomes).
+//! * [`StarState`] — the star-like resource states produced by resource-state
+//!   generators on photonic hardware.
+//! * [`LocalClifford`] / [`MeasBasis`] — the single-qubit byproduct frame and
+//!   the basis-adjustment rules of Theorems 4.1 and 4.2 of the paper, which
+//!   allow local-complementation corrections to be postponed to the end of
+//!   the computation.
+//! * [`DisjointSet`] — the union-find structure used by the online pass for
+//!   cheap connectivity checks during percolation and renormalization.
+//!
+//! # Example
+//!
+//! ```
+//! use graphstate::GraphState;
+//!
+//! // Build a 3-vertex path graph state 0 - 1 - 2 and measure the middle
+//! // qubit in the Y basis: the result is an edge between 0 and 2.
+//! let mut g = GraphState::with_vertices(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.measure_y(1);
+//! assert!(g.has_edge(0, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clifford;
+mod dsu;
+mod error;
+mod fusion;
+mod graph;
+mod star;
+
+pub use clifford::{LocalClifford, MeasBasis, Pauli};
+pub use dsu::DisjointSet;
+pub use error::GraphError;
+pub use fusion::{FusionKind, FusionOutcome};
+pub use graph::{GraphState, VertexId};
+pub use star::StarState;

@@ -1,0 +1,169 @@
+//! Star-like resource states.
+//!
+//! Photonic hardware scales up by periodically generating small, identical
+//! entangled states and merging them with fusions. The states considered in
+//! the paper are *star-like*: one root qubit of degree `n-1` connected to
+//! `n-1` leaf qubits (equivalently, a GHZ state up to local Cliffords).
+
+use crate::graph::{GraphState, VertexId};
+
+/// A star-like resource state embedded in a [`GraphState`].
+///
+/// The struct records which vertex of the host graph is the root and which
+/// are the leaves, so the fusion strategy can distinguish *leaf-leaf* from
+/// *root-leaf* fusions.
+///
+/// # Example
+///
+/// ```
+/// use graphstate::{GraphState, StarState};
+///
+/// let mut g = GraphState::new();
+/// let star = StarState::instantiate(&mut g, 4);
+/// assert_eq!(star.size(), 4);
+/// assert_eq!(g.degree(star.root()), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarState {
+    root: VertexId,
+    leaves: Vec<VertexId>,
+}
+
+impl StarState {
+    /// Allocates a fresh `size`-qubit star (1 root, `size - 1` leaves) inside
+    /// the host graph and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size < 2`: a star needs at least a root and one leaf.
+    pub fn instantiate(host: &mut GraphState, size: usize) -> Self {
+        assert!(size >= 2, "a star resource state needs at least 2 qubits");
+        let root = host.add_vertex();
+        let leaves: Vec<VertexId> = (1..size)
+            .map(|_| {
+                let leaf = host.add_vertex();
+                host.add_edge(root, leaf);
+                leaf
+            })
+            .collect();
+        StarState { root, leaves }
+    }
+
+    /// Creates a handle from pre-existing vertices without touching the host
+    /// graph. Used after rewrites (e.g. local complementation recovery) that
+    /// re-establish a star shape on existing qubits.
+    pub fn from_parts(root: VertexId, leaves: Vec<VertexId>) -> Self {
+        StarState { root, leaves }
+    }
+
+    /// The root (high-degree) qubit.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The leaf qubits in allocation order.
+    pub fn leaves(&self) -> &[VertexId] {
+        &self.leaves
+    }
+
+    /// Total number of qubits (root + leaves).
+    pub fn size(&self) -> usize {
+        1 + self.leaves.len()
+    }
+
+    /// Maximum vertex degree of the star (i.e. the number of leaves). This is
+    /// the quantity compared against the target lattice degree when deciding
+    /// whether resource states have *sufficient degree* (Section 4.1).
+    pub fn max_degree(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` when `v` is one of this star's leaves.
+    pub fn is_leaf(&self, v: VertexId) -> bool {
+        self.leaves.contains(&v)
+    }
+
+    /// Returns `true` when `v` is this star's root.
+    pub fn is_root(&self, v: VertexId) -> bool {
+        self.root == v
+    }
+
+    /// All qubits of the star: the root followed by the leaves.
+    pub fn qubits(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.size());
+        out.push(self.root);
+        out.extend_from_slice(&self.leaves);
+        out
+    }
+
+    /// Checks that the host graph still realizes this star exactly (root
+    /// connected to every leaf, no leaf-leaf edges, correct degrees).
+    pub fn is_intact(&self, host: &GraphState) -> bool {
+        if host.degree(self.root) != Some(self.leaves.len()) {
+            return false;
+        }
+        for &leaf in &self.leaves {
+            if host.degree(leaf) != Some(1) || !host.has_edge(self.root, leaf) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_builds_star_topology() {
+        let mut g = GraphState::new();
+        let star = StarState::instantiate(&mut g, 6);
+        assert_eq!(star.size(), 6);
+        assert_eq!(star.max_degree(), 5);
+        assert!(star.is_intact(&g));
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        for &leaf in star.leaves() {
+            assert!(star.is_leaf(leaf));
+            assert!(!star.is_root(leaf));
+        }
+        assert!(star.is_root(star.root()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn too_small_star_panics() {
+        let mut g = GraphState::new();
+        let _ = StarState::instantiate(&mut g, 1);
+    }
+
+    #[test]
+    fn intactness_detects_damage() {
+        let mut g = GraphState::new();
+        let star = StarState::instantiate(&mut g, 4);
+        assert!(star.is_intact(&g));
+        g.remove_edge(star.root(), star.leaves()[0]);
+        assert!(!star.is_intact(&g));
+    }
+
+    #[test]
+    fn qubits_lists_root_first() {
+        let mut g = GraphState::new();
+        let star = StarState::instantiate(&mut g, 3);
+        let qs = star.qubits();
+        assert_eq!(qs[0], star.root());
+        assert_eq!(qs.len(), 3);
+    }
+
+    #[test]
+    fn local_complement_turns_star_into_clique_and_back() {
+        let mut g = GraphState::new();
+        let star = StarState::instantiate(&mut g, 5);
+        g.local_complement(star.root()).unwrap();
+        // Not a star any more: leaves are pairwise connected.
+        assert!(!star.is_intact(&g));
+        g.local_complement(star.root()).unwrap();
+        assert!(star.is_intact(&g));
+    }
+}

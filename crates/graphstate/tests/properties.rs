@@ -1,0 +1,131 @@
+//! Property-based tests for the graph-state substrate.
+
+use graphstate::{DisjointSet, FusionOutcome, GraphState, LocalClifford, MeasBasis};
+use proptest::prelude::*;
+
+/// Strategy: a random graph on `n` vertices given by an edge-presence bitmap.
+fn random_graph(max_n: usize) -> impl Strategy<Value = GraphState> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let n_pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::ANY, n_pairs).prop_map(move |bits| {
+            let mut g = GraphState::with_vertices(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if bits[k] {
+                        g.add_edge(i, j);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Local complementation is an involution: τ_v ∘ τ_v = id.
+    #[test]
+    fn local_complement_is_involution(mut g in random_graph(12), sel in 0usize..12) {
+        let verts: Vec<_> = g.vertices().collect();
+        let v = verts[sel % verts.len()];
+        let before = g.clone();
+        g.local_complement(v).unwrap();
+        g.local_complement(v).unwrap();
+        prop_assert_eq!(g, before);
+    }
+
+    /// Local complementation never changes the vertex set or the degree of
+    /// the complemented vertex.
+    #[test]
+    fn local_complement_preserves_vertices(mut g in random_graph(12), sel in 0usize..12) {
+        let verts: Vec<_> = g.vertices().collect();
+        let v = verts[sel % verts.len()];
+        let deg_before = g.degree(v).unwrap();
+        let count_before = g.vertex_count();
+        g.local_complement(v).unwrap();
+        prop_assert_eq!(g.degree(v).unwrap(), deg_before);
+        prop_assert_eq!(g.vertex_count(), count_before);
+    }
+
+    /// Any fusion (success or failure) destroys exactly the two photons it
+    /// acts on.
+    #[test]
+    fn fusion_destroys_exactly_two_qubits(
+        mut g in random_graph(12),
+        sa in 0usize..12,
+        sb in 0usize..12,
+        success in proptest::bool::ANY,
+    ) {
+        let verts: Vec<_> = g.vertices().collect();
+        let a = verts[sa % verts.len()];
+        let b = verts[sb % verts.len()];
+        prop_assume!(a != b);
+        let before = g.vertex_count();
+        let outcome = if success { FusionOutcome::Success } else { FusionOutcome::Failure };
+        g.fuse(a, b, outcome).unwrap();
+        prop_assert_eq!(g.vertex_count(), before - 2);
+        prop_assert!(!g.contains(a));
+        prop_assert!(!g.contains(b));
+    }
+
+    /// Z-measurement removes exactly one vertex and all of its incident
+    /// edges.
+    #[test]
+    fn measure_z_removes_one_vertex(mut g in random_graph(12), sel in 0usize..12) {
+        let verts: Vec<_> = g.vertices().collect();
+        let v = verts[sel % verts.len()];
+        let deg = g.degree(v).unwrap();
+        let edges_before = g.edge_count();
+        let count_before = g.vertex_count();
+        g.measure_z(v).unwrap();
+        prop_assert_eq!(g.vertex_count(), count_before - 1);
+        prop_assert_eq!(g.edge_count(), edges_before - deg);
+    }
+
+    /// The union-find structure agrees with BFS-based connectivity on the
+    /// same random graph.
+    #[test]
+    fn dsu_matches_bfs_connectivity(g in random_graph(10), qa in 0usize..10, qb in 0usize..10) {
+        let n = g.id_bound();
+        let mut dsu = DisjointSet::new(n);
+        for (a, b) in g.edges() {
+            dsu.union(a, b);
+        }
+        let verts: Vec<_> = g.vertices().collect();
+        let a = verts[qa % verts.len()];
+        let b = verts[qb % verts.len()];
+        prop_assert_eq!(dsu.same_set(a, b), g.connected(a, b));
+    }
+
+    /// Composing a random word of ±π/2 rotations with its inverse always
+    /// yields the identity, and basis conjugation by the identity is a
+    /// no-op.
+    #[test]
+    fn clifford_word_inverse(word in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 0..8), alpha in 0.0f64..6.28) {
+        let mut u = LocalClifford::identity();
+        for (is_x, positive) in word {
+            let gen = if is_x { LocalClifford::sqrt_x(positive) } else { LocalClifford::sqrt_z(positive) };
+            u = gen.compose(&u);
+        }
+        let round = u.inverse().compose(&u);
+        prop_assert!(round.is_identity());
+        let m = MeasBasis::equatorial(alpha);
+        prop_assert!(m.conjugated_by(&LocalClifford::identity()).approx_eq(&m));
+    }
+
+    /// Conjugating a basis by u and then by u⁻¹ restores the original basis.
+    #[test]
+    fn basis_conjugation_roundtrip(word in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 0..6), alpha in 0.0f64..6.28) {
+        let mut u = LocalClifford::identity();
+        for (is_x, positive) in word {
+            let gen = if is_x { LocalClifford::sqrt_x(positive) } else { LocalClifford::sqrt_z(positive) };
+            u = gen.compose(&u);
+        }
+        let m = MeasBasis::equatorial(alpha);
+        let roundtrip = m.conjugated_by(&u).conjugated_by(&u.inverse());
+        prop_assert!(roundtrip.approx_eq(&m), "got {} expected {}", roundtrip, m);
+    }
+}

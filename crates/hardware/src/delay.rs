@@ -1,0 +1,161 @@
+//! Delay-line storage with photon-lifetime accounting.
+//!
+//! Cross-layer time-like connections temporarily store photonic qubits in
+//! optical-fiber delay lines. Photons survive only a bounded number of RSG
+//! cycles (≈ 5000 in the paper); the online pass must therefore track how
+//! long every stored qubit has been waiting and treat expired qubits as
+//! lost.
+
+use std::collections::HashMap;
+
+/// A delay-line bank storing tagged items with a bounded lifetime measured
+/// in RSG cycles.
+///
+/// The item type is generic so the online pass can store whatever handle it
+/// needs (virtual-node ids, site coordinates, …).
+///
+/// # Example
+///
+/// ```
+/// use oneperc_hardware::DelayLine;
+///
+/// let mut dl: DelayLine<&'static str> = DelayLine::new(3);
+/// dl.store(7, "qubit");
+/// dl.advance_cycle();
+/// assert_eq!(dl.retrieve(7), Some("qubit"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    lifetime: usize,
+    cycle: u64,
+    slots: HashMap<u64, (u64, T)>,
+    expired: u64,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay-line bank in which items survive `lifetime` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lifetime == 0`.
+    pub fn new(lifetime: usize) -> Self {
+        assert!(lifetime > 0, "photon lifetime must be positive");
+        DelayLine {
+            lifetime,
+            cycle: 0,
+            slots: HashMap::new(),
+            expired: 0,
+        }
+    }
+
+    /// The configured lifetime in cycles.
+    pub fn lifetime(&self) -> usize {
+        self.lifetime
+    }
+
+    /// The current cycle counter.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of items currently stored (expired items are purged lazily on
+    /// [`DelayLine::advance_cycle`]).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of items that have been lost to photon decay so far.
+    pub fn expired_count(&self) -> u64 {
+        self.expired
+    }
+
+    /// Stores an item under `key`, replacing (and returning) any previous
+    /// item under the same key.
+    pub fn store(&mut self, key: u64, item: T) -> Option<T> {
+        self.slots.insert(key, (self.cycle, item)).map(|(_, v)| v)
+    }
+
+    /// Removes and returns the item stored under `key`, if it is still
+    /// alive.
+    pub fn retrieve(&mut self, key: u64) -> Option<T> {
+        self.slots.remove(&key).map(|(_, v)| v)
+    }
+
+    /// Returns `true` when `key` currently holds a live item.
+    pub fn contains(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Age (in cycles) of the item under `key`, if present.
+    pub fn age(&self, key: u64) -> Option<u64> {
+        self.slots.get(&key).map(|(born, _)| self.cycle - born)
+    }
+
+    /// Advances the cycle counter by one and purges items that exceeded the
+    /// photon lifetime, returning how many were lost this cycle.
+    pub fn advance_cycle(&mut self) -> usize {
+        self.cycle += 1;
+        let lifetime = self.lifetime as u64;
+        let cycle = self.cycle;
+        let before = self.slots.len();
+        self.slots.retain(|_, (born, _)| cycle - *born <= lifetime);
+        let lost = before - self.slots.len();
+        self.expired += lost as u64;
+        lost
+    }
+
+    /// Advances the cycle counter by `n` cycles.
+    pub fn advance_cycles(&mut self, n: usize) -> usize {
+        (0..n).map(|_| self.advance_cycle()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_retrieve_within_lifetime() {
+        let mut dl = DelayLine::new(5);
+        dl.store(1, "a");
+        dl.store(2, "b");
+        assert_eq!(dl.len(), 2);
+        dl.advance_cycles(3);
+        assert_eq!(dl.retrieve(1), Some("a"));
+        assert!(dl.contains(2));
+        assert_eq!(dl.age(2), Some(3));
+        assert_eq!(dl.expired_count(), 0);
+    }
+
+    #[test]
+    fn items_expire_after_lifetime() {
+        let mut dl = DelayLine::new(2);
+        dl.store(1, 10u32);
+        assert_eq!(dl.advance_cycles(2), 0);
+        // Third cycle exceeds the lifetime.
+        assert_eq!(dl.advance_cycle(), 1);
+        assert!(dl.retrieve(1).is_none());
+        assert_eq!(dl.expired_count(), 1);
+        assert!(dl.is_empty());
+    }
+
+    #[test]
+    fn replacing_resets_nothing_but_returns_old() {
+        let mut dl = DelayLine::new(4);
+        dl.store(1, "old");
+        let prev = dl.store(1, "new");
+        assert_eq!(prev, Some("old"));
+        assert_eq!(dl.retrieve(1), Some("new"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime must be positive")]
+    fn zero_lifetime_panics() {
+        let _: DelayLine<u8> = DelayLine::new(0);
+    }
+}

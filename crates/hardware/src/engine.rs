@@ -1,0 +1,318 @@
+//! The semi-static fusion strategy (Section 4) and the layer generator.
+
+use crate::config::HardwareConfig;
+use crate::layer::PhysicalLayer;
+use crate::sampler::{FusionSampler, FusionStats};
+
+/// A static description of the fusion strategy derived from the hardware
+/// configuration: how many raw RSLs are merged per effective layer, how many
+/// leaves each merged site can spend, and the expected fusion cost per
+/// layer. The strategy is *semi-static*: the pattern is fixed offline, only
+/// collective retries react to heralded failures at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionStrategy {
+    config: HardwareConfig,
+}
+
+impl FusionStrategy {
+    /// Builds the strategy for a hardware configuration.
+    pub fn new(config: HardwareConfig) -> Self {
+        FusionStrategy { config }
+    }
+
+    /// The underlying hardware configuration.
+    pub fn config(&self) -> &HardwareConfig {
+        &self.config
+    }
+
+    /// Raw RSLs merged per effective layer (1 when the resource states have
+    /// sufficient degree).
+    pub fn merging_factor(&self) -> usize {
+        self.config.merging_factor()
+    }
+
+    /// Root-leaf fusions planned per site per layer (merging phase).
+    pub fn root_leaf_fusions_per_site(&self) -> usize {
+        self.merging_factor() - 1
+    }
+
+    /// In-plane leaf-leaf fusions planned per layer (one per lattice bond).
+    pub fn planned_bond_fusions(&self) -> usize {
+        let n = self.config.rsl_size;
+        2 * n * (n - 1)
+    }
+
+    /// A rough expectation of the number of fusions consumed per effective
+    /// layer (merging + bonds + one temporal port per site), ignoring
+    /// retries. Used for capacity planning and sanity checks; the engine
+    /// reports exact counts.
+    pub fn expected_fusions_per_layer(&self) -> usize {
+        let sites = self.config.sites_per_rsl();
+        self.root_leaf_fusions_per_site() * sites + self.planned_bond_fusions() + sites
+    }
+}
+
+/// Generates random physical graph state layers by executing the fusion
+/// strategy against a stochastic fusion sampler.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_hardware::{FusionEngine, HardwareConfig};
+///
+/// let mut engine = FusionEngine::new(HardwareConfig::new(16, 7, 0.75), 1);
+/// let layer = engine.generate_layer();
+/// assert!(layer.bond_count() > 0);
+/// assert_eq!(engine.raw_rsl_consumed(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusionEngine {
+    strategy: FusionStrategy,
+    sampler: FusionSampler,
+    raw_rsl_consumed: u64,
+}
+
+impl FusionEngine {
+    /// Creates an engine for the given configuration and RNG seed.
+    pub fn new(config: HardwareConfig, seed: u64) -> Self {
+        FusionEngine {
+            strategy: FusionStrategy::new(config),
+            sampler: FusionSampler::new(config.effective_fusion_prob(), seed),
+            raw_rsl_consumed: 0,
+        }
+    }
+
+    /// The fusion strategy in use.
+    pub fn strategy(&self) -> &FusionStrategy {
+        &self.strategy
+    }
+
+    /// The hardware configuration in use.
+    pub fn config(&self) -> &HardwareConfig {
+        self.strategy.config()
+    }
+
+    /// Total raw RSLs consumed so far (the paper's `#RSL` metric counts
+    /// these).
+    pub fn raw_rsl_consumed(&self) -> u64 {
+        self.raw_rsl_consumed
+    }
+
+    /// Total fusion-attempt statistics so far (the `#fusion` metric).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.sampler.stats()
+    }
+
+    /// Samples one ad-hoc fusion outside the layer pattern (used by the
+    /// reshaping pass for time-like fusions); the attempt is accounted for
+    /// in [`FusionEngine::fusion_stats`].
+    pub fn sample_fusion(&mut self) -> graphstate::FusionOutcome {
+        self.sampler.sample()
+    }
+
+    /// Executes the fusion strategy for one effective layer and returns the
+    /// resulting random physical graph state in site-lattice form.
+    pub fn generate_layer(&mut self) -> PhysicalLayer {
+        let cfg = *self.config();
+        let n = cfg.rsl_size;
+        let m = cfg.merging_factor();
+        let base_degree = cfg.resource_state_degree();
+        let stats_before = self.sampler.stats();
+
+        let mut layer = PhysicalLayer::blank(n, n);
+        layer.raw_rsl_consumed = m;
+        self.raw_rsl_consumed += m as u64;
+
+        // Phase 1: root-leaf merging to boost site degree (Section 4.1/4.2).
+        // Each failed attempt costs one leaf on the cluster and one degree on
+        // the incoming star (which is recovered into a smaller star by local
+        // complementation, Section 4.2); the retry uses the remaining
+        // degrees (collective feed-forward, Section 4.3).
+        let mut site_leaves: Vec<usize> = Vec::with_capacity(n * n);
+        for _ in 0..(n * n) {
+            let mut cluster = base_degree;
+            for _ in 0..(m - 1) {
+                let mut incoming = base_degree;
+                loop {
+                    if cluster == 0 || incoming == 0 {
+                        break;
+                    }
+                    if self.sampler.sample().is_success() {
+                        cluster = cluster - 1 + incoming;
+                        break;
+                    }
+                    cluster -= 1;
+                    incoming -= 1;
+                }
+            }
+            site_leaves.push(cluster);
+        }
+
+        // Reserve one temporal port (a photon kept for fusing towards a
+        // neighboring layer) before spending leaves on in-plane bonds. Only
+        // the few sites that end up as renormalized nodes actually use their
+        // port, so a single reservation per site suffices — the paper's
+        // strategy likewise keeps the redundant degrees for retries rather
+        // than parking them.
+        let mut inplane_budget: Vec<usize> = Vec::with_capacity(n * n);
+        for (i, &leaves) in site_leaves.iter().enumerate() {
+            let mut remaining = leaves;
+            let forward = remaining >= 1;
+            if forward {
+                remaining -= 1;
+            }
+            let (x, y) = (i % n, i / n);
+            layer.set_temporal_port(x, y, forward);
+            layer.set_site_present(x, y, leaves >= 2);
+            inplane_budget.push(remaining);
+        }
+
+        // Phase 2: in-plane leaf-leaf bonds. Every bond consumes one leaf at
+        // each endpoint; failed bonds are retried when both endpoints still
+        // hold redundant leaves beyond what their remaining planned bonds
+        // need.
+        let idx = |x: usize, y: usize| y * n + x;
+        let remaining_bonds = |x: usize, y: usize| -> usize {
+            // Bonds not yet attempted for this site given the sweep order
+            // (east then north, row-major): east of (x,y), north of (x,y),
+            // and the bonds arriving from west/south are attempted when the
+            // neighbor is visited, so count only the outgoing ones here.
+            let mut c = 0;
+            if x + 1 < n {
+                c += 1;
+            }
+            if y + 1 < n {
+                c += 1;
+            }
+            c
+        };
+        for y in 0..n {
+            for x in 0..n {
+                for east in [true, false] {
+                    let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
+                    if bx >= n || by >= n {
+                        continue;
+                    }
+                    let a = idx(x, y);
+                    let b = idx(bx, by);
+                    if !layer.site_present(x, y) || !layer.site_present(bx, by) {
+                        continue;
+                    }
+                    if inplane_budget[a] == 0 || inplane_budget[b] == 0 {
+                        continue;
+                    }
+                    inplane_budget[a] -= 1;
+                    inplane_budget[b] -= 1;
+                    let mut ok = self.sampler.sample().is_success();
+                    if !ok {
+                        // Collective retry with redundant degrees.
+                        let spare_a = inplane_budget[a] > remaining_bonds(x, y);
+                        let spare_b = inplane_budget[b] > remaining_bonds(bx, by);
+                        if spare_a && spare_b {
+                            inplane_budget[a] -= 1;
+                            inplane_budget[b] -= 1;
+                            ok = self.sampler.sample().is_success();
+                        }
+                    }
+                    if ok {
+                        if east {
+                            layer.set_bond_east(x, y, true);
+                        } else {
+                            layer.set_bond_north(x, y, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats_after = self.sampler.stats();
+        layer.fusions_attempted = stats_after.attempted - stats_before.attempted;
+        layer.fusions_succeeded = stats_after.succeeded - stats_before.succeeded;
+        layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_counts() {
+        let s = FusionStrategy::new(HardwareConfig::new(10, 4, 0.75));
+        assert_eq!(s.merging_factor(), 3);
+        assert_eq!(s.root_leaf_fusions_per_site(), 2);
+        assert_eq!(s.planned_bond_fusions(), 2 * 10 * 9);
+        assert!(s.expected_fusions_per_layer() > s.planned_bond_fusions());
+    }
+
+    #[test]
+    fn deterministic_fusion_yields_full_lattice() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(8, 7, 1.0), 3);
+        let layer = engine.generate_layer();
+        assert_eq!(layer.bond_count(), 2 * 8 * 7);
+        assert_eq!(layer.largest_component_size(), 64);
+        assert_eq!(layer.raw_rsl_consumed, 1);
+    }
+
+    #[test]
+    fn practical_probability_percolates() {
+        // At p = 0.75 (above the square-lattice bond-percolation threshold
+        // of 0.5) the largest connected component spans most of the layer.
+        let mut engine = FusionEngine::new(HardwareConfig::new(40, 7, 0.75), 11);
+        let layer = engine.generate_layer();
+        let giant = layer.largest_component_size();
+        assert!(
+            giant > layer.site_count() / 2,
+            "giant component too small: {giant} of {}",
+            layer.site_count()
+        );
+    }
+
+    #[test]
+    fn low_degree_resource_states_consume_more_raw_rsls() {
+        let mut small = FusionEngine::new(HardwareConfig::new(12, 4, 0.75), 5);
+        let mut big = FusionEngine::new(HardwareConfig::new(12, 7, 0.75), 5);
+        let a = small.generate_layer();
+        let b = big.generate_layer();
+        assert_eq!(a.raw_rsl_consumed, 3);
+        assert_eq!(b.raw_rsl_consumed, 1);
+        assert_eq!(small.raw_rsl_consumed(), 3);
+        assert_eq!(big.raw_rsl_consumed(), 1);
+        // The merged layer also consumes extra fusions for the merging.
+        assert!(a.fusions_attempted > b.fusions_attempted);
+    }
+
+    #[test]
+    fn fusion_accounting_accumulates() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(10, 7, 0.75), 2);
+        let l1 = engine.generate_layer();
+        let l2 = engine.generate_layer();
+        let total = engine.fusion_stats();
+        assert_eq!(total.attempted, l1.fusions_attempted + l2.fusions_attempted);
+        let _ = engine.sample_fusion();
+        assert_eq!(engine.fusion_stats().attempted, total.attempted + 1);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = FusionEngine::new(HardwareConfig::new(14, 4, 0.7), 77);
+        let mut b = FusionEngine::new(HardwareConfig::new(14, 4, 0.7), 77);
+        let la = a.generate_layer();
+        let lb = b.generate_layer();
+        assert_eq!(la.bond_count(), lb.bond_count());
+        assert_eq!(la.fusions_attempted, lb.fusions_attempted);
+    }
+
+    #[test]
+    fn bond_density_tracks_success_probability() {
+        let density = |p: f64| {
+            let mut engine = FusionEngine::new(HardwareConfig::new(30, 7, p), 9);
+            let layer = engine.generate_layer();
+            layer.bond_count() as f64 / (2.0 * 30.0 * 29.0)
+        };
+        let low = density(0.66);
+        let high = density(0.9);
+        assert!(high > low, "bond density should grow with fusion probability");
+        assert!(low > 0.5, "even p=0.66 should exceed the percolation threshold");
+    }
+}

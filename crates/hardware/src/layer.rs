@@ -1,0 +1,319 @@
+//! The site-lattice representation of one random physical graph state layer.
+
+use graphstate::{DisjointSet, GraphState};
+
+/// One (merged) resource-state layer after the fusion strategy has run: a
+/// random subgraph of the `width × height` square lattice.
+///
+/// Every lattice *site* corresponds to one (merged) resource state; an
+/// in-plane *bond* corresponds to a successful leaf-leaf fusion with one of
+/// the four lattice neighbors, and a *temporal port* records whether the
+/// site still has photons available for a time-like fusion with a later
+/// layer.
+///
+/// This is the structure handed to the online reshaping pass; the exact
+/// per-photon graph state it abstracts can be reconstructed for small sizes
+/// with [`crate::exact`].
+#[derive(Debug, Clone)]
+pub struct PhysicalLayer {
+    /// Sites along the x axis.
+    pub width: usize,
+    /// Sites along the y axis.
+    pub height: usize,
+    /// Whether each site holds a usable (merged) resource state.
+    site_present: Vec<bool>,
+    /// Bond between `(x, y)` and `(x + 1, y)`.
+    bond_east: Vec<bool>,
+    /// Bond between `(x, y)` and `(x, y + 1)`.
+    bond_north: Vec<bool>,
+    /// Whether each site retains a photon for a time-like fusion.
+    temporal_port: Vec<bool>,
+    /// Raw RSLs consumed to produce this merged layer.
+    pub raw_rsl_consumed: usize,
+    /// Fusions attempted while producing this layer.
+    pub fusions_attempted: u64,
+    /// Fusions that succeeded while producing this layer.
+    pub fusions_succeeded: u64,
+}
+
+impl PhysicalLayer {
+    /// Creates an empty layer (all sites present, no bonds, all temporal
+    /// ports available) of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn blank(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "layer dimensions must be positive");
+        PhysicalLayer {
+            width,
+            height,
+            site_present: vec![true; width * height],
+            bond_east: vec![false; width * height],
+            bond_north: vec![false; width * height],
+            temporal_port: vec![true; width * height],
+            raw_rsl_consumed: 1,
+            fusions_attempted: 0,
+            fusions_succeeded: 0,
+        }
+    }
+
+    /// A fully connected lattice (every site present, every bond present) —
+    /// what the strategy would produce with a deterministic fusion.
+    pub fn fully_connected(width: usize, height: usize) -> Self {
+        let mut layer = Self::blank(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    layer.set_bond_east(x, y, true);
+                }
+                if y + 1 < height {
+                    layer.set_bond_north(x, y, true);
+                }
+            }
+        }
+        layer
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Number of sites in the layer.
+    pub fn site_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether the site at `(x, y)` holds a usable resource state.
+    pub fn site_present(&self, x: usize, y: usize) -> bool {
+        self.site_present[self.idx(x, y)]
+    }
+
+    /// Marks the presence of the site at `(x, y)`.
+    pub fn set_site_present(&mut self, x: usize, y: usize, present: bool) {
+        let i = self.idx(x, y);
+        self.site_present[i] = present;
+    }
+
+    /// Whether the bond from `(x, y)` to `(x + 1, y)` is present.
+    pub fn bond_east(&self, x: usize, y: usize) -> bool {
+        x + 1 < self.width && self.bond_east[self.idx(x, y)]
+    }
+
+    /// Whether the bond from `(x, y)` to `(x, y + 1)` is present.
+    pub fn bond_north(&self, x: usize, y: usize) -> bool {
+        y + 1 < self.height && self.bond_north[self.idx(x, y)]
+    }
+
+    /// Sets the bond from `(x, y)` to `(x + 1, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x + 1, y)` is outside the lattice.
+    pub fn set_bond_east(&mut self, x: usize, y: usize, present: bool) {
+        assert!(x + 1 < self.width, "east bond leaves the lattice");
+        let i = self.idx(x, y);
+        self.bond_east[i] = present;
+    }
+
+    /// Sets the bond from `(x, y)` to `(x, y + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y + 1)` is outside the lattice.
+    pub fn set_bond_north(&mut self, x: usize, y: usize, present: bool) {
+        assert!(y + 1 < self.height, "north bond leaves the lattice");
+        let i = self.idx(x, y);
+        self.bond_north[i] = present;
+    }
+
+    /// Whether the site at `(x, y)` retains a photon for a time-like fusion.
+    pub fn temporal_port(&self, x: usize, y: usize) -> bool {
+        self.temporal_port[self.idx(x, y)]
+    }
+
+    /// Sets the temporal-port availability of the site at `(x, y)`.
+    pub fn set_temporal_port(&mut self, x: usize, y: usize, available: bool) {
+        let i = self.idx(x, y);
+        self.temporal_port[i] = available;
+    }
+
+    /// Returns `true` when two adjacent sites are connected by a present
+    /// bond (both sites must also be present).
+    pub fn connected_neighbors(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        if !self.site_present(a.0, a.1) || !self.site_present(b.0, b.1) {
+            return false;
+        }
+        let (ax, ay) = a;
+        let (bx, by) = b;
+        if ay == by && bx == ax + 1 {
+            self.bond_east(ax, ay)
+        } else if ay == by && ax == bx + 1 {
+            self.bond_east(bx, by)
+        } else if ax == bx && by == ay + 1 {
+            self.bond_north(ax, ay)
+        } else if ax == bx && ay == by + 1 {
+            self.bond_north(bx, by)
+        } else {
+            false
+        }
+    }
+
+    /// Number of present bonds in the layer.
+    pub fn bond_count(&self) -> usize {
+        let mut count = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bond_east(x, y) {
+                    count += 1;
+                }
+                if self.bond_north(x, y) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Union-find structure over the sites connecting every present bond;
+    /// used by the percolation pass for cheap connectivity checks.
+    pub fn connectivity(&self) -> DisjointSet {
+        let mut dsu = DisjointSet::new(self.site_count());
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if !self.site_present(x, y) {
+                    continue;
+                }
+                if x + 1 < self.width
+                    && self.site_present(x + 1, y)
+                    && self.bond_east(x, y)
+                {
+                    dsu.union(self.idx(x, y), self.idx(x + 1, y));
+                }
+                if y + 1 < self.height
+                    && self.site_present(x, y + 1)
+                    && self.bond_north(x, y)
+                {
+                    dsu.union(self.idx(x, y), self.idx(x, y + 1));
+                }
+            }
+        }
+        dsu
+    }
+
+    /// Size of the largest connected component of present sites (isolated
+    /// present sites count as components of size 1).
+    pub fn largest_component_size(&self) -> usize {
+        let mut dsu = self.connectivity();
+        let mut counts = vec![0usize; self.site_count()];
+        let mut best = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.site_present(x, y) {
+                    let root = dsu.find(self.idx(x, y));
+                    counts[root] += 1;
+                    best = best.max(counts[root]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Converts the site lattice into an explicit [`GraphState`] whose
+    /// vertices are the present sites (vertex id = `y * width + x`) and
+    /// whose edges are the present bonds. Convenient for path finding and
+    /// for tests.
+    pub fn to_graph(&self) -> GraphState {
+        let mut g = GraphState::with_vertices(self.site_count());
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if !self.site_present(x, y) {
+                    g.remove_vertex(self.idx(x, y));
+                }
+            }
+        }
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if !self.site_present(x, y) {
+                    continue;
+                }
+                if x + 1 < self.width && self.site_present(x + 1, y) && self.bond_east(x, y) {
+                    g.add_edge(self.idx(x, y), self.idx(x + 1, y));
+                }
+                if y + 1 < self.height && self.site_present(x, y + 1) && self.bond_north(x, y) {
+                    g.add_edge(self.idx(x, y), self.idx(x, y + 1));
+                }
+            }
+        }
+        g
+    }
+
+    /// Linear index of the site at `(x, y)` (row-major), matching the vertex
+    /// ids of [`PhysicalLayer::to_graph`] and [`PhysicalLayer::connectivity`].
+    pub fn site_index(&self, x: usize, y: usize) -> usize {
+        self.idx(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_layer_has_no_bonds() {
+        let layer = PhysicalLayer::blank(4, 3);
+        assert_eq!(layer.site_count(), 12);
+        assert_eq!(layer.bond_count(), 0);
+        assert!(layer.site_present(2, 1));
+        assert!(layer.temporal_port(0, 0));
+    }
+
+    #[test]
+    fn fully_connected_bond_count() {
+        let layer = PhysicalLayer::fully_connected(4, 4);
+        // 2 * n * (n-1) bonds for an n x n lattice.
+        assert_eq!(layer.bond_count(), 2 * 4 * 3);
+        assert_eq!(layer.largest_component_size(), 16);
+    }
+
+    #[test]
+    fn connected_neighbors_symmetry() {
+        let mut layer = PhysicalLayer::blank(3, 3);
+        layer.set_bond_east(0, 0, true);
+        assert!(layer.connected_neighbors((0, 0), (1, 0)));
+        assert!(layer.connected_neighbors((1, 0), (0, 0)));
+        assert!(!layer.connected_neighbors((0, 0), (0, 1)));
+        layer.set_site_present(1, 0, false);
+        assert!(!layer.connected_neighbors((0, 0), (1, 0)));
+    }
+
+    #[test]
+    fn connectivity_matches_graph() {
+        let mut layer = PhysicalLayer::blank(3, 1);
+        layer.set_bond_east(0, 0, true);
+        let mut dsu = layer.connectivity();
+        assert!(dsu.same_set(layer.site_index(0, 0), layer.site_index(1, 0)));
+        assert!(!dsu.same_set(layer.site_index(0, 0), layer.site_index(2, 0)));
+        let g = layer.to_graph();
+        assert!(g.connected(0, 1));
+        assert!(!g.connected(0, 2));
+    }
+
+    #[test]
+    fn to_graph_skips_missing_sites() {
+        let mut layer = PhysicalLayer::fully_connected(3, 3);
+        layer.set_site_present(1, 1, false);
+        let g = layer.to_graph();
+        assert_eq!(g.vertex_count(), 8);
+        assert!(!g.contains(layer.site_index(1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "east bond leaves the lattice")]
+    fn bond_off_the_edge_panics() {
+        let mut layer = PhysicalLayer::blank(2, 2);
+        layer.set_bond_east(1, 0, true);
+    }
+}

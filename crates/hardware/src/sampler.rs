@@ -1,0 +1,181 @@
+//! Stochastic fusion outcomes with attempt accounting.
+
+use graphstate::FusionOutcome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counters for the `#fusion` metric of the evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Fusions attempted (every attempt consumes two photons).
+    pub attempted: u64,
+    /// Attempts heralded as successful.
+    pub succeeded: u64,
+}
+
+impl FusionStats {
+    /// Attempts heralded as failed.
+    pub fn failed(&self) -> u64 {
+        self.attempted - self.succeeded
+    }
+
+    /// Empirical success rate over the recorded attempts, or `None` when no
+    /// attempt was recorded.
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.attempted == 0 {
+            None
+        } else {
+            Some(self.succeeded as f64 / self.attempted as f64)
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn absorb(&mut self, other: FusionStats) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+    }
+}
+
+/// Seeded source of heralded fusion outcomes.
+///
+/// Every sampled outcome is counted so the experiment harness can report the
+/// exact number of fusions consumed by a compilation, matching the paper's
+/// `#fusion` metric.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_hardware::FusionSampler;
+///
+/// let mut sampler = FusionSampler::new(0.75, 7);
+/// let _ = sampler.sample();
+/// assert_eq!(sampler.stats().attempted, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusionSampler {
+    success_prob: f64,
+    rng: StdRng,
+    stats: FusionStats,
+}
+
+impl FusionSampler {
+    /// Creates a sampler with the given single-attempt success probability
+    /// and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the probability is outside `(0, 1]`.
+    pub fn new(success_prob: f64, seed: u64) -> Self {
+        assert!(
+            success_prob > 0.0 && success_prob <= 1.0,
+            "fusion success probability must be in (0, 1]"
+        );
+        FusionSampler {
+            success_prob,
+            rng: StdRng::seed_from_u64(seed),
+            stats: FusionStats::default(),
+        }
+    }
+
+    /// The configured success probability.
+    pub fn success_prob(&self) -> f64 {
+        self.success_prob
+    }
+
+    /// Samples one heralded fusion outcome.
+    pub fn sample(&mut self) -> FusionOutcome {
+        self.stats.attempted += 1;
+        if self.rng.gen_bool(self.success_prob) {
+            self.stats.succeeded += 1;
+            FusionOutcome::Success
+        } else {
+            FusionOutcome::Failure
+        }
+    }
+
+    /// Samples a fusion that is retried on failure up to `retries` extra
+    /// times (each retry consumes a fresh attempt). Returns the final
+    /// outcome.
+    pub fn sample_with_retries(&mut self, retries: usize) -> FusionOutcome {
+        for _ in 0..=retries {
+            if self.sample().is_success() {
+                return FusionOutcome::Success;
+            }
+        }
+        FusionOutcome::Failure
+    }
+
+    /// Accumulated attempt statistics.
+    pub fn stats(&self) -> FusionStats {
+        self.stats
+    }
+
+    /// Resets the attempt statistics (the RNG stream is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = FusionStats::default();
+    }
+
+    /// Draws a uniform random number in `[0, 1)`; exposed for strategy code
+    /// that needs auxiliary randomness tied to the same stream.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FusionSampler::new(0.5, 99);
+        let mut b = FusionSampler::new(0.5, 99);
+        let seq_a: Vec<_> = (0..32).map(|_| a.sample()).collect();
+        let seq_b: Vec<_> = (0..32).map(|_| b.sample()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn empirical_rate_close_to_configured() {
+        let mut s = FusionSampler::new(0.75, 3);
+        for _ in 0..20_000 {
+            s.sample();
+        }
+        let rate = s.stats().success_rate().unwrap();
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+        assert_eq!(s.stats().attempted, 20_000);
+        assert_eq!(s.stats().failed(), s.stats().attempted - s.stats().succeeded);
+    }
+
+    #[test]
+    fn retries_count_attempts() {
+        let mut s = FusionSampler::new(0.999, 1);
+        let out = s.sample_with_retries(3);
+        assert!(out.is_success());
+        assert_eq!(s.stats().attempted, 1);
+        s.reset_stats();
+        assert_eq!(s.stats().attempted, 0);
+    }
+
+    #[test]
+    fn always_success_at_probability_one() {
+        let mut s = FusionSampler::new(1.0, 5);
+        assert!((0..100).all(|_| s.sample().is_success()));
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let a = FusionStats { attempted: 10, succeeded: 7 };
+        let mut b = FusionStats { attempted: 5, succeeded: 5 };
+        b.absorb(a);
+        assert_eq!(b.attempted, 15);
+        assert_eq!(b.succeeded, 12);
+        assert!(FusionStats::default().success_rate().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_rejected() {
+        let _ = FusionSampler::new(0.0, 1);
+    }
+}

@@ -1,0 +1,605 @@
+//! The FlexLattice intermediate representation (Section 6.2).
+
+use std::collections::{HashMap, HashSet};
+
+use graphstate::MeasBasis;
+
+use crate::error::IrError;
+use crate::virtual_hw::VirtualHardware;
+
+/// What a virtual-hardware node is used for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// The node realizes a program-graph node (identified by its id); the
+    /// physical qubit will be measured in that node's basis.
+    Program(usize),
+    /// The node is a routing ancilla measured in the X or Y basis to act as
+    /// a wire.
+    Ancilla,
+}
+
+impl NodeKind {
+    /// Returns the program-graph node id when this is a program node.
+    pub fn program_node(&self) -> Option<usize> {
+        match self {
+            NodeKind::Program(g) => Some(*g),
+            NodeKind::Ancilla => None,
+        }
+    }
+}
+
+/// One node of a FlexLattice IR layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrNode {
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Optional explicit measurement basis (program nodes default to the
+    /// basis recorded in the program graph; ancillas default to X/Y
+    /// depending on wire parity).
+    pub basis: Option<MeasBasis>,
+    /// Spatial edge to the `(x + 1, y)` neighbor on the same layer.
+    pub east_edge: bool,
+    /// Spatial edge to the `(x, y + 1)` neighbor on the same layer.
+    pub north_edge: bool,
+    /// Temporal edge to a node of an earlier layer, recorded as
+    /// `(layer, coordinate)`. Adjacent-layer edges must share the node's own
+    /// coordinate (they are realized by a direct fusion towards the next
+    /// RSL); cross-layer edges may originate from a different coordinate —
+    /// the stored photons re-enter the lattice wherever
+    /// `retrieve_v_node(v_node, position)` puts them.
+    pub temporal_prev: Option<(usize, (usize, usize))>,
+    /// Whether the node is stored into the virtual memory after its layer is
+    /// consumed (set automatically when a later layer connects to it across
+    /// a gap).
+    pub stored_after: bool,
+}
+
+impl IrNode {
+    fn new(kind: NodeKind) -> Self {
+        IrNode {
+            kind,
+            basis: None,
+            east_edge: false,
+            north_edge: false,
+            temporal_prev: None,
+            stored_after: false,
+        }
+    }
+}
+
+/// A temporal edge listed in reading order (earlier layer first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalEdge {
+    /// Coordinate of the earlier endpoint.
+    pub from_coord: (usize, usize),
+    /// Earlier layer.
+    pub from_layer: usize,
+    /// Coordinate of the later endpoint.
+    pub to_coord: (usize, usize),
+    /// Later layer.
+    pub to_layer: usize,
+}
+
+impl TemporalEdge {
+    /// Returns `true` when the edge skips at least one layer (and therefore
+    /// needs the virtual memory).
+    pub fn is_cross_layer(&self) -> bool {
+        self.to_layer - self.from_layer > 1
+    }
+}
+
+/// Aggregate statistics of an IR program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrStats {
+    /// Number of layers.
+    pub layers: usize,
+    /// Nodes mapped to program-graph nodes.
+    pub program_nodes: usize,
+    /// Ancilla (routing) nodes.
+    pub ancilla_nodes: usize,
+    /// Spatial edges enabled.
+    pub spatial_edges: usize,
+    /// Temporal edges between adjacent layers.
+    pub adjacent_temporal_edges: usize,
+    /// Temporal edges across non-adjacent layers.
+    pub cross_temporal_edges: usize,
+}
+
+/// Per-layer summary consumed by the online pass: which temporal edges end
+/// on this layer and how many store/retrieve operations it performs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IrLayerSummary {
+    /// Temporal edges terminating on this layer as `(coord, gap)` where
+    /// `gap` is the number of layers skipped plus one (1 = adjacent).
+    pub incoming_temporal: Vec<((usize, usize), usize)>,
+    /// Nodes of this layer stored into the virtual memory.
+    pub stores: usize,
+    /// Nodes retrieved from the virtual memory at this layer.
+    pub retrieves: usize,
+    /// Nodes occupied on this layer (program + ancilla).
+    pub occupied: usize,
+}
+
+/// A program expressed on the virtual hardware: a stack of partially filled
+/// lattice layers with individually enabled spatial and temporal edges.
+#[derive(Debug, Clone)]
+pub struct FlexLatticeIr {
+    hardware: VirtualHardware,
+    layers: Vec<HashMap<(usize, usize), IrNode>>,
+    /// Nodes that are already the source of a temporal edge, for O(1)
+    /// fan-out checks while building large programs.
+    temporal_sources: HashSet<(usize, (usize, usize))>,
+}
+
+impl FlexLatticeIr {
+    /// Creates an empty IR program for the given virtual hardware.
+    pub fn new(hardware: VirtualHardware) -> Self {
+        FlexLatticeIr {
+            hardware,
+            layers: Vec::new(),
+            temporal_sources: HashSet::new(),
+        }
+    }
+
+    /// The virtual hardware this program targets.
+    pub fn hardware(&self) -> &VirtualHardware {
+        &self.hardware
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Appends an empty layer and returns its index.
+    pub fn push_layer(&mut self) -> usize {
+        self.layers.push(HashMap::new());
+        self.layers.len() - 1
+    }
+
+    /// The node at `(layer, coord)`, if any.
+    pub fn node(&self, layer: usize, coord: (usize, usize)) -> Option<&IrNode> {
+        self.layers.get(layer).and_then(|l| l.get(&coord))
+    }
+
+    /// Number of occupied coordinates on a layer.
+    pub fn occupancy(&self, layer: usize) -> usize {
+        self.layers.get(layer).map_or(0, HashMap::len)
+    }
+
+    /// Places a node on a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingLayer`], [`IrError::OutOfBounds`] or
+    /// [`IrError::Occupied`] when the position is invalid.
+    pub fn place(
+        &mut self,
+        layer: usize,
+        coord: (usize, usize),
+        kind: NodeKind,
+    ) -> Result<(), IrError> {
+        self.hardware.check_coord(coord)?;
+        let l = self.layers.get_mut(layer).ok_or(IrError::MissingLayer(layer))?;
+        if l.contains_key(&coord) {
+            return Err(IrError::Occupied { layer, coord });
+        }
+        l.insert(coord, IrNode::new(kind));
+        Ok(())
+    }
+
+    /// Sets an explicit measurement basis on a placed node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingNode`] when the position is empty.
+    pub fn set_basis(
+        &mut self,
+        layer: usize,
+        coord: (usize, usize),
+        basis: MeasBasis,
+    ) -> Result<(), IrError> {
+        let node = self
+            .layers
+            .get_mut(layer)
+            .ok_or(IrError::MissingLayer(layer))?
+            .get_mut(&coord)
+            .ok_or(IrError::MissingNode { layer, coord })?;
+        node.basis = Some(basis);
+        Ok(())
+    }
+
+    /// Enables a spatial edge between two adjacent coordinates of the same
+    /// layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::NotAdjacent`] when the coordinates are not lattice
+    /// neighbors, or [`IrError::MissingNode`] when either endpoint is empty.
+    pub fn enable_spatial_edge(
+        &mut self,
+        layer: usize,
+        a: (usize, usize),
+        b: (usize, usize),
+    ) -> Result<(), IrError> {
+        self.hardware.check_coord(a)?;
+        self.hardware.check_coord(b)?;
+        if !self.hardware.adjacent(a, b) {
+            return Err(IrError::NotAdjacent { a, b });
+        }
+        let l = self.layers.get_mut(layer).ok_or(IrError::MissingLayer(layer))?;
+        if !l.contains_key(&a) {
+            return Err(IrError::MissingNode { layer, coord: a });
+        }
+        if !l.contains_key(&b) {
+            return Err(IrError::MissingNode { layer, coord: b });
+        }
+        // Normalize to the west/south endpoint owning the flag.
+        let (owner, east) = if a.0 + 1 == b.0 || b.0 + 1 == a.0 {
+            (if a.0 < b.0 { a } else { b }, true)
+        } else {
+            (if a.1 < b.1 { a } else { b }, false)
+        };
+        let node = l.get_mut(&owner).expect("owner exists");
+        if east {
+            node.east_edge = true;
+        } else {
+            node.north_edge = true;
+        }
+        Ok(())
+    }
+
+    /// Enables a temporal edge between the node at `coord` on `from_layer`
+    /// and the node at the same coordinate on `to_layer` (`from_layer <
+    /// to_layer`). Cross-layer edges automatically mark the earlier node as
+    /// stored into the virtual memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidTemporalOrder`] when the layers are not in
+    /// increasing order, [`IrError::MissingNode`] when either endpoint is
+    /// empty, and [`IrError::TemporalConflict`] when either endpoint already
+    /// has a temporal edge in the corresponding direction.
+    pub fn enable_temporal_edge(
+        &mut self,
+        coord: (usize, usize),
+        from_layer: usize,
+        to_layer: usize,
+    ) -> Result<(), IrError> {
+        self.enable_temporal_edge_relocated(from_layer, coord, to_layer, coord)
+    }
+
+    /// Enables a temporal edge whose earlier endpoint lives at a different
+    /// coordinate than the later one. Only cross-layer edges may relocate:
+    /// the stored photons re-enter the lattice at the later coordinate via
+    /// the `retrieve_v_node` position argument. Adjacent-layer edges must
+    /// keep the same coordinate (they are realized by a direct fusion).
+    ///
+    /// # Errors
+    ///
+    /// As [`FlexLatticeIr::enable_temporal_edge`], plus
+    /// [`IrError::NotAdjacent`] when an adjacent-layer edge tries to change
+    /// coordinates.
+    pub fn enable_temporal_edge_relocated(
+        &mut self,
+        from_layer: usize,
+        from_coord: (usize, usize),
+        to_layer: usize,
+        to_coord: (usize, usize),
+    ) -> Result<(), IrError> {
+        self.hardware.check_coord(from_coord)?;
+        self.hardware.check_coord(to_coord)?;
+        if from_layer >= to_layer {
+            return Err(IrError::InvalidTemporalOrder { from: from_layer, to: to_layer });
+        }
+        if to_layer >= self.layers.len() {
+            return Err(IrError::MissingLayer(to_layer));
+        }
+        if to_layer - from_layer == 1 && from_coord != to_coord {
+            return Err(IrError::NotAdjacent { a: from_coord, b: to_coord });
+        }
+        if self.layers[from_layer].get(&from_coord).is_none() {
+            return Err(IrError::MissingNode { layer: from_layer, coord: from_coord });
+        }
+        if self.layers[to_layer].get(&to_coord).is_none() {
+            return Err(IrError::MissingNode { layer: to_layer, coord: to_coord });
+        }
+        // The earlier node may have at most one edge towards subsequent
+        // layers: it must not already be the source of another temporal
+        // edge.
+        if self.temporal_sources.contains(&(from_layer, from_coord)) {
+            return Err(IrError::TemporalConflict { layer: from_layer, coord: from_coord });
+        }
+        let to_node = self.layers[to_layer].get_mut(&to_coord).expect("checked above");
+        if to_node.temporal_prev.is_some() {
+            return Err(IrError::TemporalConflict { layer: to_layer, coord: to_coord });
+        }
+        to_node.temporal_prev = Some((from_layer, from_coord));
+        self.temporal_sources.insert((from_layer, from_coord));
+        if to_layer - from_layer > 1 {
+            let from_node =
+                self.layers[from_layer].get_mut(&from_coord).expect("checked above");
+            from_node.stored_after = true;
+        }
+        Ok(())
+    }
+
+    /// All temporal edges of the program in `(to_layer, to_coord)` order.
+    pub fn temporal_edges(&self) -> Vec<TemporalEdge> {
+        let mut out = Vec::new();
+        for (to_layer, layer) in self.layers.iter().enumerate() {
+            for (&to_coord, node) in layer {
+                if let Some((from_layer, from_coord)) = node.temporal_prev {
+                    out.push(TemporalEdge { from_coord, from_layer, to_coord, to_layer });
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.to_layer, e.to_coord));
+        out
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> IrStats {
+        let mut stats = IrStats { layers: self.layers.len(), ..IrStats::default() };
+        for layer in &self.layers {
+            for node in layer.values() {
+                match node.kind {
+                    NodeKind::Program(_) => stats.program_nodes += 1,
+                    NodeKind::Ancilla => stats.ancilla_nodes += 1,
+                }
+                if node.east_edge {
+                    stats.spatial_edges += 1;
+                }
+                if node.north_edge {
+                    stats.spatial_edges += 1;
+                }
+            }
+        }
+        for edge in self.temporal_edges() {
+            if edge.is_cross_layer() {
+                stats.cross_temporal_edges += 1;
+            } else {
+                stats.adjacent_temporal_edges += 1;
+            }
+        }
+        stats
+    }
+
+    /// Per-layer summaries in layer order, used to drive the online pass.
+    pub fn layer_summaries(&self) -> Vec<IrLayerSummary> {
+        let mut summaries: Vec<IrLayerSummary> =
+            (0..self.layers.len()).map(|_| IrLayerSummary::default()).collect();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            summaries[idx].occupied = layer.len();
+            for node in layer.values() {
+                if node.stored_after {
+                    summaries[idx].stores += 1;
+                }
+            }
+        }
+        for edge in self.temporal_edges() {
+            let gap = edge.to_layer - edge.from_layer;
+            summaries[edge.to_layer].incoming_temporal.push((edge.to_coord, gap));
+            if edge.is_cross_layer() {
+                // The stored node is retrieved just before the destination
+                // layer.
+                summaries[edge.to_layer].retrieves += 1;
+            }
+        }
+        summaries
+    }
+
+    /// Full structural validation: every edge endpoint exists, spatial edges
+    /// connect neighbors, temporal fan-in/out is at most one per node per
+    /// direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for (idx, layer) in self.layers.iter().enumerate() {
+            for (&(x, y), node) in layer {
+                self.hardware.check_coord((x, y))?;
+                if node.east_edge && !layer.contains_key(&(x + 1, y)) {
+                    return Err(IrError::MissingNode { layer: idx, coord: (x + 1, y) });
+                }
+                if node.north_edge && !layer.contains_key(&(x, y + 1)) {
+                    return Err(IrError::MissingNode { layer: idx, coord: (x, y + 1) });
+                }
+                if let Some((from, from_coord)) = node.temporal_prev {
+                    if from >= idx {
+                        return Err(IrError::InvalidTemporalOrder { from, to: idx });
+                    }
+                    if self.layers[from].get(&from_coord).is_none() {
+                        return Err(IrError::MissingNode { layer: from, coord: from_coord });
+                    }
+                    if idx - from == 1 && from_coord != (x, y) {
+                        return Err(IrError::NotAdjacent { a: from_coord, b: (x, y) });
+                    }
+                }
+            }
+        }
+        // At most one outgoing temporal edge per node.
+        let mut sources: HashMap<(usize, (usize, usize)), usize> = HashMap::new();
+        for edge in self.temporal_edges() {
+            let count = sources.entry((edge.from_layer, edge.from_coord)).or_insert(0);
+            *count += 1;
+            if *count > 1 {
+                return Err(IrError::TemporalConflict {
+                    layer: edge.from_layer,
+                    coord: edge.from_coord,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer_ir() -> FlexLatticeIr {
+        let mut ir = FlexLatticeIr::new(VirtualHardware::new(3, 3));
+        let l0 = ir.push_layer();
+        let l1 = ir.push_layer();
+        ir.place(l0, (0, 0), NodeKind::Program(1)).unwrap();
+        ir.place(l0, (1, 0), NodeKind::Ancilla).unwrap();
+        ir.place(l1, (0, 0), NodeKind::Program(2)).unwrap();
+        ir
+    }
+
+    #[test]
+    fn place_and_query() {
+        let ir = two_layer_ir();
+        assert_eq!(ir.layer_count(), 2);
+        assert_eq!(ir.occupancy(0), 2);
+        assert_eq!(ir.node(0, (0, 0)).unwrap().kind.program_node(), Some(1));
+        assert!(ir.node(0, (2, 2)).is_none());
+    }
+
+    #[test]
+    fn double_placement_rejected() {
+        let mut ir = two_layer_ir();
+        assert_eq!(
+            ir.place(0, (0, 0), NodeKind::Ancilla),
+            Err(IrError::Occupied { layer: 0, coord: (0, 0) })
+        );
+        assert_eq!(
+            ir.place(0, (9, 0), NodeKind::Ancilla),
+            Err(IrError::OutOfBounds { coord: (9, 0), size: (3, 3) })
+        );
+    }
+
+    #[test]
+    fn spatial_edges_require_adjacency_and_nodes() {
+        let mut ir = two_layer_ir();
+        ir.enable_spatial_edge(0, (0, 0), (1, 0)).unwrap();
+        assert!(ir.node(0, (0, 0)).unwrap().east_edge);
+        assert_eq!(
+            ir.enable_spatial_edge(0, (0, 0), (2, 0)),
+            Err(IrError::NotAdjacent { a: (0, 0), b: (2, 0) })
+        );
+        assert_eq!(
+            ir.enable_spatial_edge(0, (0, 0), (0, 1)),
+            Err(IrError::MissingNode { layer: 0, coord: (0, 1) })
+        );
+        assert!(ir.validate().is_ok());
+    }
+
+    #[test]
+    fn temporal_edges_adjacent_and_cross_layer() {
+        let mut ir = two_layer_ir();
+        ir.enable_temporal_edge((0, 0), 0, 1).unwrap();
+        assert_eq!(ir.node(1, (0, 0)).unwrap().temporal_prev, Some((0, (0, 0))));
+        assert!(!ir.node(0, (0, 0)).unwrap().stored_after);
+        // Add a third layer and a cross-layer edge from layer 0.
+        let l2 = ir.push_layer();
+        ir.place(l2, (1, 0), NodeKind::Program(5)).unwrap();
+        ir.enable_temporal_edge((1, 0), 0, 2).unwrap();
+        assert!(ir.node(0, (1, 0)).unwrap().stored_after);
+        let edges = ir.temporal_edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().any(|e| e.is_cross_layer()));
+        assert!(ir.validate().is_ok());
+    }
+
+    #[test]
+    fn temporal_fan_in_and_out_limited_to_one() {
+        let mut ir = FlexLatticeIr::new(VirtualHardware::new(2, 2));
+        for _ in 0..3 {
+            ir.push_layer();
+        }
+        for layer in 0..3 {
+            ir.place(layer, (0, 0), NodeKind::Ancilla).unwrap();
+        }
+        ir.enable_temporal_edge((0, 0), 0, 1).unwrap();
+        // Node at layer 1 already has an incoming edge.
+        assert!(matches!(
+            ir.enable_temporal_edge((0, 0), 0, 1),
+            Err(IrError::TemporalConflict { .. })
+        ));
+        // Node at layer 0 already has an outgoing edge.
+        assert!(matches!(
+            ir.enable_temporal_edge((0, 0), 0, 2),
+            Err(IrError::TemporalConflict { .. })
+        ));
+        // A fresh edge from layer 1 to layer 2 is fine.
+        ir.enable_temporal_edge((0, 0), 1, 2).unwrap();
+        assert!(ir.validate().is_ok());
+    }
+
+    #[test]
+    fn relocated_cross_layer_edge_allowed_but_adjacent_must_stay_put() {
+        let mut ir = FlexLatticeIr::new(VirtualHardware::new(3, 3));
+        for _ in 0..3 {
+            ir.push_layer();
+        }
+        ir.place(0, (0, 0), NodeKind::Program(1)).unwrap();
+        ir.place(1, (2, 2), NodeKind::Program(2)).unwrap();
+        ir.place(2, (2, 2), NodeKind::Program(3)).unwrap();
+        // Adjacent-layer edges cannot change coordinate.
+        assert!(matches!(
+            ir.enable_temporal_edge_relocated(0, (0, 0), 1, (2, 2)),
+            Err(IrError::NotAdjacent { .. })
+        ));
+        // Cross-layer edges can: the photons re-enter through the virtual
+        // memory at the new position.
+        ir.enable_temporal_edge_relocated(0, (0, 0), 2, (2, 2)).unwrap();
+        assert!(ir.node(0, (0, 0)).unwrap().stored_after);
+        assert_eq!(ir.node(2, (2, 2)).unwrap().temporal_prev, Some((0, (0, 0))));
+        assert!(ir.validate().is_ok());
+        let edges = ir.temporal_edges();
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].is_cross_layer());
+        assert_eq!(edges[0].from_coord, (0, 0));
+        assert_eq!(edges[0].to_coord, (2, 2));
+    }
+
+    #[test]
+    fn invalid_temporal_order_rejected() {
+        let mut ir = two_layer_ir();
+        assert!(matches!(
+            ir.enable_temporal_edge((0, 0), 1, 1),
+            Err(IrError::InvalidTemporalOrder { .. })
+        ));
+        assert!(matches!(
+            ir.enable_temporal_edge((0, 0), 0, 7),
+            Err(IrError::MissingLayer(7))
+        ));
+    }
+
+    #[test]
+    fn stats_and_summaries() {
+        let mut ir = two_layer_ir();
+        ir.enable_spatial_edge(0, (0, 0), (1, 0)).unwrap();
+        ir.enable_temporal_edge((0, 0), 0, 1).unwrap();
+        let l2 = ir.push_layer();
+        ir.place(l2, (1, 0), NodeKind::Program(9)).unwrap();
+        ir.enable_temporal_edge((1, 0), 0, 2).unwrap();
+        let stats = ir.stats();
+        assert_eq!(stats.layers, 3);
+        assert_eq!(stats.program_nodes, 3);
+        assert_eq!(stats.ancilla_nodes, 1);
+        assert_eq!(stats.spatial_edges, 1);
+        assert_eq!(stats.adjacent_temporal_edges, 1);
+        assert_eq!(stats.cross_temporal_edges, 1);
+        let summaries = ir.layer_summaries();
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries[0].stores, 1);
+        assert_eq!(summaries[1].incoming_temporal.len(), 1);
+        assert_eq!(summaries[2].retrieves, 1);
+        assert_eq!(summaries[2].incoming_temporal[0].1, 2);
+    }
+
+    #[test]
+    fn set_basis_on_existing_node() {
+        let mut ir = two_layer_ir();
+        ir.set_basis(0, (0, 0), MeasBasis::equatorial(0.3)).unwrap();
+        assert!(ir.node(0, (0, 0)).unwrap().basis.is_some());
+        assert!(matches!(
+            ir.set_basis(0, (2, 2), MeasBasis::z()),
+            Err(IrError::MissingNode { .. })
+        ));
+    }
+}

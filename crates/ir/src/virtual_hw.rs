@@ -1,0 +1,128 @@
+//! The virtual hardware abstraction (Section 6.1).
+
+use crate::error::IrError;
+
+/// The geometry and connection rules of the virtual hardware exposed by the
+/// online pass.
+///
+/// The virtual hardware consists of consecutive 2D lattice layers of a fixed
+/// size with a virtual memory at every 2D coordinate. Nodes at the same
+/// coordinate of different layers can be connected along the third
+/// dimension, including across non-adjacent layers (through the virtual
+/// memory); every connection is individually enable-able, and every node has
+/// at most one connection towards preceding layers and one towards
+/// subsequent layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtualHardware {
+    width: usize,
+    height: usize,
+}
+
+impl VirtualHardware {
+    /// Creates a virtual hardware whose layers are `width × height`
+    /// lattices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "virtual hardware dimensions must be positive");
+        VirtualHardware { width, height }
+    }
+
+    /// Creates a square virtual hardware of the given side.
+    pub fn square(side: usize) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Layer width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Layer height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes per layer.
+    pub fn nodes_per_layer(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Checks that a coordinate lies inside a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::OutOfBounds`] when it does not.
+    pub fn check_coord(&self, coord: (usize, usize)) -> Result<(), IrError> {
+        if coord.0 < self.width && coord.1 < self.height {
+            Ok(())
+        } else {
+            Err(IrError::OutOfBounds { coord, size: (self.width, self.height) })
+        }
+    }
+
+    /// Returns `true` when two coordinates are 4-neighbors on the layer
+    /// lattice.
+    pub fn adjacent(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        let dx = a.0.abs_diff(b.0);
+        let dy = a.1.abs_diff(b.1);
+        dx + dy == 1
+    }
+
+    /// The 4-neighborhood of a coordinate, clipped to the layer.
+    pub fn neighbors(&self, coord: (usize, usize)) -> Vec<(usize, usize)> {
+        let (x, y) = coord;
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push((x - 1, y));
+        }
+        if y > 0 {
+            out.push((x, y - 1));
+        }
+        if x + 1 < self.width {
+            out.push((x + 1, y));
+        }
+        if y + 1 < self.height {
+            out.push((x, y + 1));
+        }
+        out
+    }
+
+    /// Iterator over every coordinate of a layer in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| (x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_helpers() {
+        let hw = VirtualHardware::new(3, 2);
+        assert_eq!(hw.nodes_per_layer(), 6);
+        assert_eq!(hw.coords().count(), 6);
+        assert!(hw.check_coord((2, 1)).is_ok());
+        assert!(matches!(hw.check_coord((3, 0)), Err(IrError::OutOfBounds { .. })));
+        assert!(hw.adjacent((0, 0), (1, 0)));
+        assert!(!hw.adjacent((0, 0), (1, 1)));
+        assert_eq!(hw.neighbors((0, 0)).len(), 2);
+        assert_eq!(hw.neighbors((1, 0)).len(), 3);
+    }
+
+    #[test]
+    fn square_constructor() {
+        let hw = VirtualHardware::square(5);
+        assert_eq!(hw.width(), 5);
+        assert_eq!(hw.height(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = VirtualHardware::new(0, 3);
+    }
+}

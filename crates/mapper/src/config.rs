@@ -1,0 +1,113 @@
+//! Mapper configuration.
+
+use oneperc_ir::VirtualHardware;
+
+/// Knobs of the offline mapping pass.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_ir::VirtualHardware;
+/// use oneperc_mapper::MapperConfig;
+///
+/// let cfg = MapperConfig::new(VirtualHardware::square(4))
+///     .with_occupancy_limit(0.5)
+///     .with_refresh_period(Some(50));
+/// assert_eq!(cfg.max_incomplete_nodes(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperConfig {
+    /// Geometry of the virtual hardware layers.
+    pub hardware: VirtualHardware,
+    /// Maximum fraction of a layer that incomplete nodes may occupy
+    /// (default 0.25, Section 6.2).
+    pub occupancy_limit: f64,
+    /// Refresh period in layers; `None` disables the refresh mechanism.
+    pub refresh_period: Option<usize>,
+    /// Use dynamic DAG-front scheduling (the OnePerc default). Disabling it
+    /// falls back to a static creation-order partition, which is the OneQ
+    /// behaviour and is used by the ablation benches.
+    pub dynamic_scheduling: bool,
+    /// Hard cap on the number of layers the mapper may emit before giving
+    /// up (safety against livelock on undersized hardware).
+    pub max_layers: usize,
+}
+
+impl MapperConfig {
+    /// Creates a configuration with the paper's defaults (25 % occupancy
+    /// limit, no refresh, dynamic scheduling).
+    pub fn new(hardware: VirtualHardware) -> Self {
+        MapperConfig {
+            hardware,
+            occupancy_limit: 0.25,
+            refresh_period: None,
+            dynamic_scheduling: true,
+            max_layers: 100_000,
+        }
+    }
+
+    /// Sets the incomplete-node occupancy limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the limit is outside `(0, 1]`.
+    pub fn with_occupancy_limit(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0 && limit <= 1.0, "occupancy limit must be in (0, 1]");
+        self.occupancy_limit = limit;
+        self
+    }
+
+    /// Enables or disables the refresh mechanism.
+    pub fn with_refresh_period(mut self, period: Option<usize>) -> Self {
+        if let Some(p) = period {
+            assert!(p > 0, "refresh period must be positive");
+        }
+        self.refresh_period = period;
+        self
+    }
+
+    /// Enables or disables dynamic scheduling.
+    pub fn with_dynamic_scheduling(mut self, dynamic: bool) -> Self {
+        self.dynamic_scheduling = dynamic;
+        self
+    }
+
+    /// Maximum number of incomplete nodes allowed to occupy one layer
+    /// (always at least 1 so progress is possible on tiny hardware).
+    pub fn max_incomplete_nodes(&self) -> usize {
+        let cap = (self.occupancy_limit * self.hardware.nodes_per_layer() as f64).floor() as usize;
+        cap.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = MapperConfig::new(VirtualHardware::square(10));
+        assert!((cfg.occupancy_limit - 0.25).abs() < 1e-12);
+        assert_eq!(cfg.refresh_period, None);
+        assert!(cfg.dynamic_scheduling);
+        assert_eq!(cfg.max_incomplete_nodes(), 25);
+    }
+
+    #[test]
+    fn incomplete_cap_never_zero() {
+        let cfg = MapperConfig::new(VirtualHardware::square(2)).with_occupancy_limit(0.1);
+        assert_eq!(cfg.max_incomplete_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy limit")]
+    fn invalid_occupancy_rejected() {
+        let _ = MapperConfig::new(VirtualHardware::square(2)).with_occupancy_limit(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh period")]
+    fn zero_refresh_rejected() {
+        let _ = MapperConfig::new(VirtualHardware::square(2)).with_refresh_period(Some(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline pass of the OnePerc compiler: mapping program graph states onto
+//! the virtual hardware (Section 6.2).
+//!
+//! The mapper consumes a [`oneperc_circuit::ProgramGraph`] and produces a
+//! [`oneperc_ir::FlexLatticeIr`] program (plus its instruction lowering)
+//! that realizes the program graph on the virtual hardware: program nodes
+//! are placed on lattice coordinates, graph edges become spatial ancilla
+//! routes within a layer or temporal edges between layers, and nodes whose
+//! edges are not finished yet persist through the per-coordinate virtual
+//! memory.
+//!
+//! Three optimizations from the paper extend the OneQ mapping strategy:
+//!
+//! 1. **Dynamic scheduling** — the dependency DAG's front layer decides
+//!    which program nodes may be mapped next, instead of a static partition.
+//! 2. **Occupancy limit** — at most a configurable fraction (25 % by
+//!    default) of each layer may be occupied by *incomplete* nodes, keeping
+//!    room for ancilla routing.
+//! 3. **Refresh** — every `refresh_period` layers the nodes parked in the
+//!    virtual memory are retrieved and re-mapped, bounding the classical
+//!    memory needed for graph-information storage at the cost of extra
+//!    layers (Table 3).
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc_circuit::{benchmarks, ProgramGraph};
+//! use oneperc_ir::VirtualHardware;
+//! use oneperc_mapper::{Mapper, MapperConfig};
+//!
+//! let program = ProgramGraph::from_circuit(&benchmarks::qft(3));
+//! let mapper = Mapper::new(MapperConfig::new(VirtualHardware::square(3)));
+//! let result = mapper.map(&program).unwrap();
+//! assert!(result.complete);
+//! assert!(result.ir.layer_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod mapping;
+
+pub use config::MapperConfig;
+pub use mapping::{MapError, Mapper, MapperStats, MappingResult};

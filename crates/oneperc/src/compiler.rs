@@ -1,0 +1,259 @@
+//! The end-to-end OnePerc compiler: offline pass + online execution.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use oneperc_circuit::{Circuit, ProgramGraph};
+use oneperc_mapper::{MapError, Mapper, MapperConfig, MappingResult};
+use oneperc_percolation::{LayerRequirement, ReshapeConfig, ReshapeEngine, TemporalRequirement};
+
+use crate::config::CompilerConfig;
+use crate::memory::MemoryModel;
+use crate::report::ExecutionReport;
+
+/// Errors of the end-to-end compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The offline mapping failed.
+    Mapping(MapError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Mapping(e) => write!(f, "offline mapping failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<MapError> for CompileError {
+    fn from(e: MapError) -> Self {
+        CompileError::Mapping(e)
+    }
+}
+
+/// The output of the offline pass, ready for online execution.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The program graph state of the input circuit.
+    pub program: ProgramGraph,
+    /// The FlexLattice IR, instruction stream and mapping statistics.
+    pub mapping: MappingResult,
+    /// Wall-clock time of the offline pass.
+    pub offline_time: std::time::Duration,
+}
+
+impl CompiledProgram {
+    /// Number of virtual-hardware layers (logical layers the online pass
+    /// must form).
+    pub fn layer_count(&self) -> usize {
+        self.mapping.ir.layer_count()
+    }
+}
+
+/// The OnePerc compiler facade.
+///
+/// [`Compiler::compile`] runs the offline pass; [`Compiler::execute`]
+/// simulates the online pass on the stochastic hardware model and reports
+/// the evaluation metrics.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    config: CompilerConfig,
+    memory_model: MemoryModel,
+}
+
+impl Compiler {
+    /// Creates a compiler.
+    pub fn new(config: CompilerConfig) -> Self {
+        Compiler { config, memory_model: MemoryModel::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Overrides the classical-memory model.
+    pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
+        self.memory_model = model;
+        self
+    }
+
+    /// Offline pass: circuit → program graph state → FlexLattice IR →
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the program cannot be mapped
+    /// onto the configured virtual hardware.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        let start = Instant::now();
+        let program = ProgramGraph::from_circuit(circuit);
+        let mapper_config = MapperConfig::new(self.config.virtual_hardware())
+            .with_occupancy_limit(self.config.occupancy_limit)
+            .with_refresh_period(self.config.refresh_period);
+        let mapping = Mapper::new(mapper_config).map(&program)?;
+        Ok(CompiledProgram { program, mapping, offline_time: start.elapsed() })
+    }
+
+    /// Online pass: simulates the execution of a compiled program on the
+    /// stochastic photonic hardware and reports `#RSL`, `#fusion` and the
+    /// supporting metrics.
+    pub fn execute(&self, compiled: &CompiledProgram) -> ExecutionReport {
+        let start = Instant::now();
+        let reshape_config = ReshapeConfig::new(
+            self.config.hardware,
+            self.config.node_size,
+            self.config.virtual_side,
+            self.config.seed,
+        )
+        .with_temporal_redundancy(self.config.temporal_redundancy);
+        let mut engine = ReshapeEngine::new(reshape_config);
+
+        let mut complete = true;
+        for summary in compiled.mapping.ir.layer_summaries() {
+            let requirement = LayerRequirement {
+                temporal_edges: summary
+                    .incoming_temporal
+                    .iter()
+                    .map(|&(coord, gap)| TemporalRequirement { coord, back_distance: gap })
+                    .collect(),
+                stores: summary.stores,
+                retrieves: summary.retrieves,
+            };
+            let report = engine.advance_logical_layer(&requirement);
+            if !report.formed {
+                complete = false;
+                break;
+            }
+        }
+        let online_time = start.elapsed();
+
+        let stats = *engine.stats();
+        // Memory: without refresh the real-time stage retains graph
+        // information for every merged layer it has consumed; with refresh
+        // only the layers of the current refresh window are retained.
+        let retained_layers = match self.config.refresh_period {
+            Some(period) => {
+                let window = (period as f64 * stats.pl_ratio().max(1.0)).ceil() as u64;
+                window.min(stats.merged_layers.max(1))
+            }
+            None => stats.merged_layers.max(1),
+        };
+        let peak_memory_bytes =
+            self.memory_model.peak_bytes(self.config.hardware.rsl_size, retained_layers);
+
+        ExecutionReport {
+            rsl_consumed: stats.raw_rsl,
+            merged_layers: stats.merged_layers,
+            fusions: stats.fusions_attempted,
+            logical_layers: stats.logical_layers,
+            routing_layers: stats.routing_layers,
+            ir_layers: compiled.layer_count(),
+            program_nodes: compiled.mapping.stats.program_nodes,
+            complete,
+            peak_memory_bytes,
+            offline_time: compiled.offline_time,
+            online_time,
+        }
+    }
+
+    /// Convenience: compile and execute in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn compile_and_execute(&self, circuit: &Circuit) -> Result<ExecutionReport, CompileError> {
+        let compiled = self.compile(circuit)?;
+        Ok(self.execute(&compiled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompilerConfig;
+    use oneperc_circuit::benchmarks;
+
+    fn small_compiler(p: f64, seed: u64) -> Compiler {
+        // A deliberately small machine so tests stay fast: 36x36 RSL,
+        // 3x3 virtual hardware, 7-qubit resource states.
+        Compiler::new(CompilerConfig::for_sensitivity(36, 3, p, seed))
+    }
+
+    #[test]
+    fn compile_produces_ir_layers() {
+        let compiler = small_compiler(0.9, 1);
+        let compiled = compiler.compile(&benchmarks::qaoa(4, 2)).unwrap();
+        assert!(compiled.layer_count() > 0);
+        assert!(compiled.mapping.complete);
+        assert!(compiled.offline_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn execute_reports_consistent_metrics() {
+        let compiler = small_compiler(0.9, 2);
+        let report = compiler.compile_and_execute(&benchmarks::qaoa(4, 2)).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.logical_layers as usize, report.ir_layers);
+        assert_eq!(
+            report.merged_layers,
+            report.logical_layers + report.routing_layers
+        );
+        assert!(report.rsl_consumed >= report.merged_layers);
+        assert!(report.fusions > 0);
+        assert!(report.pl_ratio() >= 1.0);
+        assert!(report.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn lower_fusion_probability_costs_more_rsl() {
+        let circuit = benchmarks::vqe(4, 3);
+        let high = small_compiler(0.9, 3).compile_and_execute(&circuit).unwrap();
+        let low = small_compiler(0.72, 3).compile_and_execute(&circuit).unwrap();
+        assert!(
+            low.rsl_consumed >= high.rsl_consumed,
+            "lower fusion probability should consume at least as many RSLs ({} vs {})",
+            low.rsl_consumed,
+            high.rsl_consumed
+        );
+    }
+
+    #[test]
+    fn four_qubit_resource_states_multiply_raw_rsl() {
+        let circuit = benchmarks::qaoa(4, 5);
+        let seven = small_compiler(0.9, 4).compile_and_execute(&circuit).unwrap();
+        let four = Compiler::new(
+            CompilerConfig::for_sensitivity(36, 3, 0.9, 4).with_resource_state_size(4),
+        )
+        .compile_and_execute(&circuit)
+        .unwrap();
+        assert!(four.rsl_consumed > seven.rsl_consumed);
+        assert_eq!(four.rsl_consumed, 3 * four.merged_layers);
+        assert_eq!(seven.rsl_consumed, seven.merged_layers);
+    }
+
+    #[test]
+    fn refresh_limits_memory_estimate() {
+        let circuit = benchmarks::qft(4);
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.85, 9);
+        let without = Compiler::new(base).compile_and_execute(&circuit).unwrap();
+        let with = Compiler::new(base.with_refresh_period(Some(5)))
+            .compile_and_execute(&circuit)
+            .unwrap();
+        assert!(with.peak_memory_bytes <= without.peak_memory_bytes);
+        assert!(with.ir_layers >= without.ir_layers);
+    }
+
+    #[test]
+    fn reports_are_reproducible_per_seed() {
+        let circuit = benchmarks::rca(4);
+        let a = small_compiler(0.8, 77).compile_and_execute(&circuit).unwrap();
+        let b = small_compiler(0.8, 77).compile_and_execute(&circuit).unwrap();
+        assert_eq!(a.rsl_consumed, b.rsl_consumed);
+        assert_eq!(a.fusions, b.fusions);
+    }
+}

@@ -1,0 +1,183 @@
+//! Compiler configuration and the paper's benchmark presets (Table 1).
+
+use oneperc_hardware::HardwareConfig;
+use oneperc_ir::VirtualHardware;
+
+/// One row of the paper's Table 1: the hardware sizing used for a given
+/// benchmark qubit count and fusion success probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preset {
+    /// Number of circuit qubits of the benchmark.
+    pub qubits: usize,
+    /// Virtual-hardware side (the paper's "Virtual Hardware Size").
+    pub virtual_side: usize,
+    /// RSL side (the paper's "RSL Size").
+    pub rsl_size: usize,
+}
+
+impl Preset {
+    /// The presets of Table 1 for the hyper-advanced fusion success rate
+    /// (p = 0.90).
+    pub const P090: [Preset; 3] = [
+        Preset { qubits: 4, virtual_side: 2, rsl_size: 24 },
+        Preset { qubits: 9, virtual_side: 3, rsl_size: 36 },
+        Preset { qubits: 25, virtual_side: 5, rsl_size: 60 },
+    ];
+
+    /// The presets of Table 1 for the practical fusion success rate
+    /// (p = 0.75).
+    pub const P075: [Preset; 4] = [
+        Preset { qubits: 4, virtual_side: 2, rsl_size: 48 },
+        Preset { qubits: 25, virtual_side: 5, rsl_size: 120 },
+        Preset { qubits: 64, virtual_side: 8, rsl_size: 192 },
+        Preset { qubits: 100, virtual_side: 10, rsl_size: 240 },
+    ];
+
+    /// Looks up (or synthesizes) the preset for a qubit count at a given
+    /// fusion success probability. Qubit counts that do not appear in
+    /// Table 1 get a virtual hardware of side `ceil(sqrt(qubits))` and an
+    /// RSL sized by the same average node size as the table rows (12 sites
+    /// per node at p = 0.90, 24 at p ≤ 0.75).
+    pub fn for_qubits(qubits: usize, fusion_success_prob: f64) -> Preset {
+        let table: &[Preset] = if fusion_success_prob >= 0.85 { &Self::P090 } else { &Self::P075 };
+        if let Some(p) = table.iter().find(|p| p.qubits == qubits) {
+            return *p;
+        }
+        let virtual_side = (qubits as f64).sqrt().ceil() as usize;
+        let node_size = if fusion_success_prob >= 0.85 { 12 } else { 24 };
+        Preset { qubits, virtual_side, rsl_size: virtual_side * node_size }
+    }
+}
+
+/// Full configuration of a OnePerc compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerConfig {
+    /// Photonic hardware model.
+    pub hardware: HardwareConfig,
+    /// Virtual-hardware side used by the offline mapping.
+    pub virtual_side: usize,
+    /// Average node size used by the 2D renormalization
+    /// (`rsl_size / virtual_side` by construction).
+    pub node_size: usize,
+    /// Occupancy limit of incomplete nodes in the offline mapping.
+    pub occupancy_limit: f64,
+    /// Refresh period of the offline mapping, in layers (`None` = off).
+    pub refresh_period: Option<usize>,
+    /// Photons fused in parallel per time-like hop.
+    pub temporal_redundancy: usize,
+    /// RNG seed shared by the stochastic components.
+    pub seed: u64,
+}
+
+impl CompilerConfig {
+    /// Builds a configuration directly from hardware parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the virtual hardware does not fit into the RSL.
+    pub fn new(hardware: HardwareConfig, virtual_side: usize, seed: u64) -> Self {
+        assert!(virtual_side > 0, "virtual hardware side must be positive");
+        assert!(
+            virtual_side <= hardware.rsl_size,
+            "virtual hardware of side {virtual_side} cannot fit in an RSL of side {}",
+            hardware.rsl_size
+        );
+        let node_size = hardware.rsl_size / virtual_side;
+        CompilerConfig {
+            hardware,
+            virtual_side,
+            node_size,
+            occupancy_limit: 0.25,
+            refresh_period: None,
+            temporal_redundancy: 3,
+            seed,
+        }
+    }
+
+    /// Builds the Table 1 configuration for a benchmark qubit count, using
+    /// 4-qubit resource states as in the main experiment.
+    pub fn for_qubits(qubits: usize, fusion_success_prob: f64, seed: u64) -> Self {
+        let preset = Preset::for_qubits(qubits, fusion_success_prob);
+        let hardware = HardwareConfig::new(preset.rsl_size, 4, fusion_success_prob);
+        Self::new(hardware, preset.virtual_side, seed)
+    }
+
+    /// Builds the sensitivity-analysis configuration (7-qubit resource
+    /// states) with an explicit RSL size and virtual side.
+    pub fn for_sensitivity(
+        rsl_size: usize,
+        virtual_side: usize,
+        fusion_success_prob: f64,
+        seed: u64,
+    ) -> Self {
+        let hardware = HardwareConfig::new(rsl_size, 7, fusion_success_prob);
+        Self::new(hardware, virtual_side, seed)
+    }
+
+    /// Overrides the resource-state size.
+    pub fn with_resource_state_size(mut self, size: usize) -> Self {
+        self.hardware.resource_state_size = size;
+        self
+    }
+
+    /// Enables the refresh mechanism with the given period (in layers).
+    pub fn with_refresh_period(mut self, period: Option<usize>) -> Self {
+        self.refresh_period = period;
+        self
+    }
+
+    /// The virtual hardware implied by this configuration.
+    pub fn virtual_hardware(&self) -> VirtualHardware {
+        VirtualHardware::square(self.virtual_side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_resolve() {
+        let p = Preset::for_qubits(25, 0.75);
+        assert_eq!(p.virtual_side, 5);
+        assert_eq!(p.rsl_size, 120);
+        let p = Preset::for_qubits(9, 0.9);
+        assert_eq!(p.virtual_side, 3);
+        assert_eq!(p.rsl_size, 36);
+    }
+
+    #[test]
+    fn synthesized_presets_scale_with_qubits() {
+        let p = Preset::for_qubits(36, 0.75);
+        assert_eq!(p.virtual_side, 6);
+        assert_eq!(p.rsl_size, 6 * 24);
+        let p = Preset::for_qubits(16, 0.9);
+        assert_eq!(p.virtual_side, 4);
+        assert_eq!(p.rsl_size, 48);
+    }
+
+    #[test]
+    fn config_derives_node_size() {
+        let cfg = CompilerConfig::for_qubits(4, 0.75, 1);
+        assert_eq!(cfg.node_size, 24);
+        assert_eq!(cfg.virtual_side, 2);
+        assert_eq!(cfg.hardware.rsl_size, 48);
+        assert_eq!(cfg.virtual_hardware().nodes_per_layer(), 4);
+    }
+
+    #[test]
+    fn sensitivity_config_uses_seven_qubit_states() {
+        let cfg = CompilerConfig::for_sensitivity(84, 7, 0.75, 0);
+        assert_eq!(cfg.hardware.resource_state_size, 7);
+        assert_eq!(cfg.node_size, 12);
+        let resized = cfg.with_resource_state_size(5);
+        assert_eq!(resized.hardware.resource_state_size, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_virtual_hardware_panics() {
+        let hw = HardwareConfig::new(10, 4, 0.75);
+        let _ = CompilerConfig::new(hw, 20, 0);
+    }
+}

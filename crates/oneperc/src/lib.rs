@@ -1,0 +1,40 @@
+//! OnePerc: a randomness-aware compiler for photonic quantum computing.
+//!
+//! This crate is the top of the reproduction stack: it wires the offline
+//! pass (circuit → program graph state → FlexLattice IR → instructions) to
+//! the online pass (stochastic fusions → percolation → renormalization →
+//! time-like connections) and reports the paper's metrics — `#RSL`,
+//! `#fusion`, the PL ratio, and the classical-memory estimate behind the
+//! refresh study.
+//!
+//! The main entry point is [`Compiler`]:
+//!
+//! ```
+//! use oneperc::{Compiler, CompilerConfig};
+//! use oneperc_circuit::benchmarks;
+//!
+//! let config = CompilerConfig::for_qubits(4, 0.9, 1);
+//! let compiler = Compiler::new(config);
+//! let circuit = benchmarks::qaoa(4, 1);
+//! let compiled = compiler.compile(&circuit).unwrap();
+//! let report = compiler.execute(&compiled);
+//! assert!(report.rsl_consumed > 0);
+//! assert!(report.logical_layers > 0);
+//! ```
+//!
+//! The experiment harness in `crates/bench` drives this API to regenerate
+//! every table and figure of the paper's evaluation; the `examples/`
+//! directory shows smaller end-to-end uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiler;
+mod config;
+mod memory;
+mod report;
+
+pub use compiler::{CompileError, CompiledProgram, Compiler};
+pub use config::{CompilerConfig, Preset};
+pub use memory::MemoryModel;
+pub use report::ExecutionReport;

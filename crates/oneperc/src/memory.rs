@@ -1,0 +1,79 @@
+//! Classical-memory model for the refresh study (Table 3).
+//!
+//! The real-time stage must keep classical graph information for every
+//! physical qubit whose fate is not yet decided: the sites of the RSLs that
+//! are still reachable through stored photons and routing layers. The
+//! paper's reference implementation keeps roughly half a kilobyte of Python
+//! object overhead per site, which is what makes the 64-qubit benchmarks
+//! consume ~192 GB without refresh. The refresh mechanism bounds the number
+//! of retained layers to one refresh window.
+
+/// Estimates classical memory consumption of the real-time stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Bytes of graph bookkeeping per physical lattice site.
+    pub bytes_per_site: u64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel { bytes_per_site: Self::DEFAULT_BYTES_PER_SITE }
+    }
+}
+
+impl MemoryModel {
+    /// Default per-site cost, calibrated against the paper's reported RAM
+    /// footprints (≈ 192 GB for the 64-qubit benchmarks without refresh).
+    pub const DEFAULT_BYTES_PER_SITE: u64 = 512;
+
+    /// Creates a model with an explicit per-site cost.
+    pub fn new(bytes_per_site: u64) -> Self {
+        MemoryModel { bytes_per_site }
+    }
+
+    /// Peak memory (bytes) when graph information for `retained_layers`
+    /// merged layers of an `rsl_size × rsl_size` machine must be kept at
+    /// once.
+    pub fn peak_bytes(&self, rsl_size: usize, retained_layers: u64) -> u64 {
+        (rsl_size as u64) * (rsl_size as u64) * retained_layers * self.bytes_per_site
+    }
+
+    /// Peak memory in gibibytes.
+    pub fn peak_gib(&self, rsl_size: usize, retained_layers: u64) -> f64 {
+        self.peak_bytes(rsl_size, retained_layers) as f64 / (1u64 << 30) as f64
+    }
+
+    /// Returns `true` when the estimated peak fits within a RAM budget given
+    /// in gibibytes.
+    pub fn fits(&self, rsl_size: usize, retained_layers: u64, budget_gib: f64) -> bool {
+        self.peak_gib(rsl_size, retained_layers) <= budget_gib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_footprints() {
+        let model = MemoryModel::default();
+        // 64-qubit benchmarks: 192x192 RSL, ~10 000 merged layers without
+        // refresh lands in the hundred-GB range.
+        let no_refresh = model.peak_gib(192, 10_000);
+        assert!(no_refresh > 100.0, "expected >100 GiB, got {no_refresh}");
+        // 25-qubit benchmarks without refresh stay within 32 GB.
+        let small = model.peak_gib(120, 3_000);
+        assert!(small < 32.0, "expected <32 GiB, got {small}");
+        // 100-qubit benchmarks with a 50-layer refresh window fit in 32 GB.
+        let refreshed = model.peak_gib(240, 150);
+        assert!(refreshed < 32.0, "expected <32 GiB, got {refreshed}");
+    }
+
+    #[test]
+    fn fits_matches_threshold() {
+        let model = MemoryModel::new(1024);
+        assert!(model.fits(100, 10, 1.0));
+        assert!(!model.fits(1000, 10_000, 1.0));
+        assert_eq!(model.peak_bytes(10, 2), 100 * 2 * 1024);
+    }
+}

@@ -1,0 +1,107 @@
+//! Execution metrics: the paper's `#RSL` and `#fusion`, plus supporting
+//! statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The metrics of one end-to-end compilation + execution, aligned with the
+/// columns of Table 2 and the series of the analysis figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecutionReport {
+    /// Raw resource-state layers consumed — the paper's `#RSL`.
+    pub rsl_consumed: u64,
+    /// Merged layers consumed (equals `#RSL` divided by the merging factor).
+    pub merged_layers: u64,
+    /// Fusions attempted — the paper's `#fusion`.
+    pub fusions: u64,
+    /// Logical layers formed by the online pass (equals the layers of the IR
+    /// program when execution completes).
+    pub logical_layers: u64,
+    /// Routing layers consumed along the way.
+    pub routing_layers: u64,
+    /// Virtual-hardware layers requested by the offline pass.
+    pub ir_layers: usize,
+    /// Program-graph nodes mapped by the offline pass.
+    pub program_nodes: usize,
+    /// Whether every requested logical layer was formed within the safety
+    /// caps.
+    pub complete: bool,
+    /// Peak classical-memory estimate in bytes for the real-time stage.
+    pub peak_memory_bytes: u64,
+    /// Wall-clock time spent in the offline pass.
+    pub offline_time: Duration,
+    /// Wall-clock time spent simulating the online pass.
+    pub online_time: Duration,
+}
+
+impl ExecutionReport {
+    /// The PL ratio: merged layers consumed per logical layer (Fig. 13(b)).
+    pub fn pl_ratio(&self) -> f64 {
+        if self.logical_layers == 0 {
+            0.0
+        } else {
+            self.merged_layers as f64 / self.logical_layers as f64
+        }
+    }
+
+    /// Peak classical memory in gibibytes.
+    pub fn peak_memory_gib(&self) -> f64 {
+        self.peak_memory_bytes as f64 / (1u64 << 30) as f64
+    }
+
+    /// Average online processing time per merged layer (Fig. 14).
+    pub fn online_seconds_per_layer(&self) -> f64 {
+        if self.merged_layers == 0 {
+            0.0
+        } else {
+            self.online_time.as_secs_f64() / self.merged_layers as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "#RSL            {:>12}", self.rsl_consumed)?;
+        writeln!(f, "#fusion         {:>12}", self.fusions)?;
+        writeln!(f, "logical layers  {:>12}", self.logical_layers)?;
+        writeln!(f, "routing layers  {:>12}", self.routing_layers)?;
+        writeln!(f, "PL ratio        {:>12.2}", self.pl_ratio())?;
+        writeln!(f, "peak memory     {:>9.2} GiB", self.peak_memory_gib())?;
+        writeln!(
+            f,
+            "offline time    {:>9.2} s",
+            self.offline_time.as_secs_f64()
+        )?;
+        write!(f, "online time     {:>9.2} s", self.online_time.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let report = ExecutionReport {
+            rsl_consumed: 90,
+            merged_layers: 30,
+            logical_layers: 10,
+            routing_layers: 20,
+            online_time: Duration::from_secs(3),
+            ..ExecutionReport::default()
+        };
+        assert!((report.pl_ratio() - 3.0).abs() < 1e-12);
+        assert!((report.online_seconds_per_layer() - 0.1).abs() < 1e-12);
+        assert_eq!(ExecutionReport::default().pl_ratio(), 0.0);
+        assert_eq!(ExecutionReport::default().online_seconds_per_layer(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let report = ExecutionReport { rsl_consumed: 42, fusions: 7, ..Default::default() };
+        let text = report.to_string();
+        assert!(text.contains("#RSL"));
+        assert!(text.contains("42"));
+        assert!(text.contains("#fusion"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Online pass of the OnePerc compiler: percolation-based reshaping of
+//! random physical graph states.
+//!
+//! The fusion strategy of the hardware layer produces, for every
+//! resource-state layer (RSL), a *random* subgraph of a square lattice.
+//! Because the fusion success probability exceeds the bond-percolation
+//! threshold of the square lattice (0.5), the random graph contains a
+//! long-range-connected component with high probability. The online pass
+//! turns that raw randomness into the regular, program-agnostic structure
+//! promised to the offline pass by the virtual hardware abstraction:
+//!
+//! * [`renormalize`] / [`Renormalizer`] — 2D renormalization of a single RSL
+//!   into a coarse-grained `k × k` lattice by alternating vertical /
+//!   horizontal path searches (Section 5.1).
+//! * [`ModularRenormalizer`] — the modular variant that splits the RSL into
+//!   independently-processed modules separated by joining intervals,
+//!   trading a small resource overhead for a large reduction in real-time
+//!   latency (Fig. 10, Fig. 13(c), Fig. 14(b)).
+//! * [`ReshapeEngine`] — the (2+1)-D driver that consumes a stream of RSLs,
+//!   classifies them into logical and routing layers, and establishes the
+//!   adjacent-layer and cross-layer time-like connections requested by the
+//!   IR program (Section 5.2).
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc_hardware::{FusionEngine, HardwareConfig};
+//! use oneperc_percolation::renormalize;
+//!
+//! let mut engine = FusionEngine::new(HardwareConfig::new(36, 7, 0.78), 7);
+//! let layer = engine.generate_layer();
+//! let lattice = renormalize(&layer, 12);
+//! assert_eq!(lattice.target_side(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod modular;
+mod renormalize;
+mod timelike;
+
+pub use modular::{ModularConfig, ModularRenormalizer};
+pub use renormalize::{renormalize, RenormalizedLattice, Renormalizer};
+pub use timelike::{
+    LayerRequirement, LogicalLayerReport, ReshapeConfig, ReshapeEngine, ReshapeStats,
+    TemporalRequirement,
+};

@@ -1,0 +1,396 @@
+//! Modular 2D renormalization (Fig. 10 of the paper).
+//!
+//! To keep the real-time latency of the online pass within the photon
+//! lifetime, the RSL is split into `g × g` modules of side `L_module`
+//! separated by joining intervals of width `L_interval` (the *MI ratio* is
+//! `L_module / L_interval`). Modules are renormalized independently — and,
+//! in this implementation, in parallel OS threads — and then joined by
+//! searching connecting paths across the intervals. An entire coarse row or
+//! column of the joined lattice only survives if every inter-module joining
+//! path along it is found, which is the resource overhead studied in
+//! Fig. 13(c).
+
+use graphstate::DisjointSet;
+use oneperc_hardware::PhysicalLayer;
+
+use crate::renormalize::{RenormalizedLattice, Renormalizer};
+
+/// Configuration of the modular renormalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModularConfig {
+    /// Modules per side (`g`); the layer is split into `g²` modules.
+    pub modules_per_side: usize,
+    /// MI ratio `L_module / L_interval`.
+    pub mi_ratio: usize,
+    /// Average coarse node size inside each module.
+    pub node_size: usize,
+    /// Process modules in parallel OS threads.
+    pub parallel: bool,
+}
+
+impl ModularConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is zero.
+    pub fn new(modules_per_side: usize, mi_ratio: usize, node_size: usize) -> Self {
+        assert!(modules_per_side > 0, "need at least one module per side");
+        assert!(mi_ratio > 0, "MI ratio must be positive");
+        assert!(node_size > 0, "node size must be positive");
+        ModularConfig {
+            modules_per_side,
+            mi_ratio,
+            node_size,
+            parallel: true,
+        }
+    }
+
+    /// Disables thread-level parallelism (useful for deterministic timing
+    /// comparisons).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Splits a layer side of `total` sites into the module length and
+    /// interval length implied by this configuration:
+    /// `g·L_module + (g-1)·L_interval ≤ total` with
+    /// `L_module = mi_ratio · L_interval`.
+    pub fn layout(&self, total: usize) -> ModuleLayout {
+        let g = self.modules_per_side;
+        if g == 1 {
+            return ModuleLayout { module_len: total, interval_len: 0 };
+        }
+        // total ≈ g·r·L_i + (g-1)·L_i  =>  L_i = total / (g·r + g - 1)
+        let denom = g * self.mi_ratio + (g - 1);
+        let interval_len = (total / denom).max(1);
+        let module_len = self.mi_ratio * interval_len;
+        ModuleLayout { module_len, interval_len }
+    }
+}
+
+/// Result of [`ModularConfig::layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleLayout {
+    /// Side length of each module in physical sites.
+    pub module_len: usize,
+    /// Width of the joining interval in physical sites.
+    pub interval_len: usize,
+}
+
+/// Per-module renormalization plus inter-module joining.
+#[derive(Debug, Clone)]
+pub struct ModularRenormalizer {
+    config: ModularConfig,
+}
+
+/// Summary of a modular renormalization run.
+#[derive(Debug, Clone)]
+pub struct ModularOutcome {
+    /// The per-module lattices in row-major module order.
+    pub modules: Vec<RenormalizedLattice>,
+    /// Coarse nodes surviving after joining (a module's nodes count only if
+    /// the joining paths of its coarse rows/columns were found).
+    pub joined_nodes: usize,
+    /// Coarse nodes found inside modules before joining.
+    pub module_nodes: usize,
+    /// Number of inter-module joining paths attempted.
+    pub joins_attempted: usize,
+    /// Number of inter-module joining paths found.
+    pub joins_found: usize,
+}
+
+impl ModularOutcome {
+    /// Fraction of module nodes surviving the joining step.
+    pub fn joining_efficiency(&self) -> f64 {
+        if self.module_nodes == 0 {
+            0.0
+        } else {
+            self.joined_nodes as f64 / self.module_nodes as f64
+        }
+    }
+}
+
+impl ModularRenormalizer {
+    /// Creates a modular renormalizer.
+    pub fn new(config: ModularConfig) -> Self {
+        ModularRenormalizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ModularConfig {
+        &self.config
+    }
+
+    /// Runs the modular renormalization on a layer.
+    pub fn run(&self, layer: &PhysicalLayer) -> ModularOutcome {
+        let g = self.config.modules_per_side;
+        let layout = self.config.layout(layer.width.min(layer.height));
+        let stride = layout.module_len + layout.interval_len;
+        let node_size = self.config.node_size.min(layout.module_len.max(1));
+
+        // Module origins.
+        let origins: Vec<(usize, usize)> = (0..g)
+            .flat_map(|gy| (0..g).map(move |gx| (gx * stride, gy * stride)))
+            .collect();
+
+        let renorm = Renormalizer::new();
+        let run_one = |&(ox, oy): &(usize, usize)| -> RenormalizedLattice {
+            let w = layout.module_len.min(layer.width.saturating_sub(ox));
+            let h = layout.module_len.min(layer.height.saturating_sub(oy));
+            renorm.renormalize_region(layer, (ox, oy), w, h, node_size)
+        };
+
+        let modules: Vec<RenormalizedLattice> = if self.config.parallel && g > 1 {
+            std::thread::scope(|scope| {
+                let run_one = &run_one;
+                let handles: Vec<_> = origins
+                    .iter()
+                    .map(|origin| scope.spawn(move || run_one(origin)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("module thread panicked")).collect()
+            })
+        } else {
+            origins.iter().map(run_one).collect()
+        };
+
+        let module_nodes: usize = modules.iter().map(RenormalizedLattice::node_count).sum();
+
+        // Joining: for every pair of horizontally adjacent modules, each
+        // coarse row must be connected across the interval; for vertically
+        // adjacent modules, each coarse column. We check connectivity of the
+        // interval strip between the two facing module edges with a
+        // union-find restricted to the strip (plus one site of each module
+        // edge), which mirrors the paper's connected-path joining.
+        let mut joins_attempted = 0usize;
+        let mut joins_found = 0usize;
+        let mut row_ok = vec![true; g * modules.first().map_or(0, |m| m.target_side())];
+        let mut col_ok = vec![true; g * modules.first().map_or(0, |m| m.target_side())];
+        let k = modules.first().map_or(0, |m| m.target_side());
+
+        if g > 1 && layout.interval_len > 0 && k > 0 {
+            for gy in 0..g {
+                for gx in 0..g {
+                    let m_idx = gy * g + gx;
+                    // Join to the east neighbor.
+                    if gx + 1 < g {
+                        for row in 0..k {
+                            joins_attempted += 1;
+                            let ok = self.join_across(
+                                layer,
+                                &modules[m_idx],
+                                &modules[m_idx + 1],
+                                (gx * stride, gy * stride),
+                                ((gx + 1) * stride, gy * stride),
+                                layout,
+                                row,
+                                true,
+                            );
+                            if ok {
+                                joins_found += 1;
+                            } else {
+                                row_ok[gy * k + row] = false;
+                            }
+                        }
+                    }
+                    // Join to the north neighbor.
+                    if gy + 1 < g {
+                        for col in 0..k {
+                            joins_attempted += 1;
+                            let ok = self.join_across(
+                                layer,
+                                &modules[m_idx],
+                                &modules[m_idx + g],
+                                (gx * stride, gy * stride),
+                                (gx * stride, (gy + 1) * stride),
+                                layout,
+                                col,
+                                false,
+                            );
+                            if ok {
+                                joins_found += 1;
+                            } else {
+                                col_ok[gx * k + col] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // A coarse node survives if its module realized it and both its
+        // global coarse row and column kept all their joining paths.
+        let mut joined_nodes = 0usize;
+        for gy in 0..g {
+            for gx in 0..g {
+                let m = &modules[gy * g + gx];
+                for i in 0..m.target_side() {
+                    for j in 0..m.target_side() {
+                        if m.node_site(i, j).is_none() {
+                            continue;
+                        }
+                        let global_row_ok = g == 1 || row_ok.get(gy * k + j).copied().unwrap_or(true);
+                        let global_col_ok = g == 1 || col_ok.get(gx * k + i).copied().unwrap_or(true);
+                        if global_row_ok && global_col_ok {
+                            joined_nodes += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        ModularOutcome {
+            modules,
+            joined_nodes,
+            module_nodes,
+            joins_attempted,
+            joins_found,
+        }
+    }
+
+    /// Checks whether a connected path exists across the interval between
+    /// two adjacent modules for one coarse row (horizontal join) or column
+    /// (vertical join), linking the corresponding path endpoints.
+    #[allow(clippy::too_many_arguments)]
+    fn join_across(
+        &self,
+        layer: &PhysicalLayer,
+        from: &RenormalizedLattice,
+        to: &RenormalizedLattice,
+        from_origin: (usize, usize),
+        to_origin: (usize, usize),
+        layout: ModuleLayout,
+        lane: usize,
+        horizontal: bool,
+    ) -> bool {
+        // Endpoints: the end of `from`'s lane path facing the interval and
+        // the start of `to`'s lane path on the other side.
+        let from_path = if horizontal { from.h_path(lane) } else { from.v_path(lane) };
+        let to_path = if horizontal { to.h_path(lane) } else { to.v_path(lane) };
+        let (Some(from_path), Some(to_path)) = (from_path, to_path) else {
+            return false;
+        };
+        let Some(&start) = from_path.last() else { return false };
+        let Some(&goal) = to_path.first() else { return false };
+
+        // Strip region covering the interval plus one site on either side.
+        let (sx_lo, sx_hi, sy_lo, sy_hi) = if horizontal {
+            (
+                from_origin.0 + layout.module_len.saturating_sub(1),
+                to_origin.0 + 1,
+                from_origin.1 + lane * from.node_size(),
+                from_origin.1 + (lane + 1) * from.node_size(),
+            )
+        } else {
+            (
+                from_origin.0 + lane * from.node_size(),
+                from_origin.0 + (lane + 1) * from.node_size(),
+                from_origin.1 + layout.module_len.saturating_sub(1),
+                to_origin.1 + 1,
+            )
+        };
+        let allowed = |x: usize, y: usize| -> bool {
+            x < layer.width
+                && y < layer.height
+                && x >= sx_lo
+                && x <= sx_hi.min(layer.width - 1)
+                && y >= sy_lo
+                && y <= sy_hi.min(layer.height - 1)
+                && layer.site_present(x, y)
+        };
+        if !allowed(start.0, start.1) || !allowed(goal.0, goal.1) {
+            return false;
+        }
+
+        // Union-find connectivity over the strip.
+        let w = sx_hi.min(layer.width - 1) - sx_lo + 1;
+        let h = sy_hi.min(layer.height - 1) - sy_lo + 1;
+        let local = |x: usize, y: usize| (y - sy_lo) * w + (x - sx_lo);
+        let mut dsu = DisjointSet::new(w * h);
+        for y in sy_lo..sy_lo + h {
+            for x in sx_lo..sx_lo + w {
+                if !allowed(x, y) {
+                    continue;
+                }
+                if x + 1 < layer.width && allowed(x + 1, y) && layer.bond_east(x, y) {
+                    dsu.union(local(x, y), local(x + 1, y));
+                }
+                if y + 1 < layer.height && allowed(x, y + 1) && layer.bond_north(x, y) {
+                    dsu.union(local(x, y), local(x, y + 1));
+                }
+            }
+        }
+        dsu.same_set(local(start.0, start.1), local(goal.0, goal.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneperc_hardware::{FusionEngine, HardwareConfig};
+
+    #[test]
+    fn layout_respects_mi_ratio() {
+        let cfg = ModularConfig::new(4, 7, 6);
+        let layout = cfg.layout(200);
+        assert_eq!(layout.module_len, 7 * layout.interval_len);
+        assert!(4 * layout.module_len + 3 * layout.interval_len <= 200);
+        let single = ModularConfig::new(1, 7, 6).layout(100);
+        assert_eq!(single.module_len, 100);
+        assert_eq!(single.interval_len, 0);
+    }
+
+    #[test]
+    fn fully_connected_layer_joins_everything() {
+        let layer = PhysicalLayer::fully_connected(60, 60);
+        let cfg = ModularConfig::new(2, 7, 6).sequential();
+        let outcome = ModularRenormalizer::new(cfg).run(&layer);
+        assert_eq!(outcome.module_nodes, outcome.joined_nodes);
+        assert!(outcome.module_nodes > 0);
+        assert_eq!(outcome.joins_attempted, outcome.joins_found);
+        assert!((outcome.joining_efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(60, 7, 0.75), 23);
+        let layer = engine.generate_layer();
+        let cfg_par = ModularConfig::new(2, 7, 6);
+        let cfg_seq = cfg_par.sequential();
+        let a = ModularRenormalizer::new(cfg_par).run(&layer);
+        let b = ModularRenormalizer::new(cfg_seq).run(&layer);
+        assert_eq!(a.module_nodes, b.module_nodes);
+        assert_eq!(a.joined_nodes, b.joined_nodes);
+    }
+
+    #[test]
+    fn modular_overhead_is_bounded() {
+        // Fig. 13(c): the modular approach recovers a large fraction of the
+        // nodes the non-modular approach finds.
+        let mut engine = FusionEngine::new(HardwareConfig::new(72, 7, 0.75), 3);
+        let layer = engine.generate_layer();
+        let non_modular = crate::renormalize(&layer, 6);
+        let modular = ModularRenormalizer::new(ModularConfig::new(3, 7, 6).sequential()).run(&layer);
+        assert!(modular.joined_nodes > 0);
+        // The modular result cannot beat the non-modular total but should
+        // stay within the same order of magnitude.
+        assert!(modular.joined_nodes as f64 >= 0.2 * non_modular.node_count() as f64);
+    }
+
+    #[test]
+    fn blank_layer_yields_nothing() {
+        let layer = PhysicalLayer::blank(40, 40);
+        let outcome =
+            ModularRenormalizer::new(ModularConfig::new(2, 4, 5).sequential()).run(&layer);
+        assert_eq!(outcome.module_nodes, 0);
+        assert_eq!(outcome.joined_nodes, 0);
+        assert_eq!(outcome.joining_efficiency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MI ratio")]
+    fn zero_mi_ratio_panics() {
+        let _ = ModularConfig::new(2, 0, 4);
+    }
+}

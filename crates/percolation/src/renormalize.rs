@@ -1,0 +1,458 @@
+//! 2D renormalization of a single resource-state layer (Section 5.1).
+//!
+//! The largest connected component of the random physical graph state is
+//! reshaped into a coarse-grained `k × k` square lattice by searching `k`
+//! vertical paths (top to bottom) and `k` horizontal paths (left to right).
+//! Every path is confined to its own band of width `node_size`, which keeps
+//! distinct same-orientation paths separated and guarantees (by planarity)
+//! that a vertical and a horizontal path that both exist intersect inside
+//! their common block; the intersection site becomes the renormalized node.
+//! Connectivity is pre-checked with a disjoint-set structure before the BFS
+//! shortest-path search, exactly as prescribed by the paper.
+
+use std::collections::{HashMap, VecDeque};
+
+use graphstate::DisjointSet;
+use oneperc_hardware::PhysicalLayer;
+
+/// The outcome of renormalizing one RSL.
+#[derive(Debug, Clone)]
+pub struct RenormalizedLattice {
+    target_side: usize,
+    node_size: usize,
+    /// Representative physical site of each coarse node, keyed by coarse
+    /// coordinate `(i, j)`.
+    nodes: HashMap<(usize, usize), (usize, usize)>,
+    /// Vertical path (site coordinates) for each coarse column, when found.
+    v_paths: Vec<Option<Vec<(usize, usize)>>>,
+    /// Horizontal path for each coarse row, when found.
+    h_paths: Vec<Option<Vec<(usize, usize)>>>,
+}
+
+impl RenormalizedLattice {
+    /// The requested coarse lattice side `k`.
+    pub fn target_side(&self) -> usize {
+        self.target_side
+    }
+
+    /// The average node size `n` used for the band decomposition.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Returns `true` when every coarse node of the `k × k` target was
+    /// realized.
+    pub fn is_success(&self) -> bool {
+        self.nodes.len() == self.target_side * self.target_side
+    }
+
+    /// Number of coarse nodes realized.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Representative physical site of the coarse node `(i, j)`, if it was
+    /// realized.
+    pub fn node_site(&self, i: usize, j: usize) -> Option<(usize, usize)> {
+        self.nodes.get(&(i, j)).copied()
+    }
+
+    /// The vertical path realizing coarse column `i`, if found.
+    pub fn v_path(&self, i: usize) -> Option<&[(usize, usize)]> {
+        self.v_paths.get(i).and_then(|p| p.as_deref())
+    }
+
+    /// The horizontal path realizing coarse row `j`, if found.
+    pub fn h_path(&self, j: usize) -> Option<&[(usize, usize)]> {
+        self.h_paths.get(j).and_then(|p| p.as_deref())
+    }
+
+    /// Number of vertical paths found.
+    pub fn v_path_count(&self) -> usize {
+        self.v_paths.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Number of horizontal paths found.
+    pub fn h_path_count(&self) -> usize {
+        self.h_paths.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total physical sites consumed by the coarse structure (paths and
+    /// nodes); the remaining qubits would be measured out in the `Z` basis.
+    pub fn consumed_sites(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for p in self.v_paths.iter().chain(self.h_paths.iter()).flatten() {
+            seen.extend(p.iter().copied());
+        }
+        seen.len()
+    }
+}
+
+/// Reusable renormalizer holding scratch buffers; use [`renormalize`] for
+/// one-off calls.
+#[derive(Debug, Clone, Default)]
+pub struct Renormalizer {
+    _private: (),
+}
+
+impl Renormalizer {
+    /// Creates a renormalizer.
+    pub fn new() -> Self {
+        Renormalizer { _private: () }
+    }
+
+    /// Renormalizes a sub-rectangle of the layer (used by the modular
+    /// variant). `origin` is the top-left corner (x, y) of the region and
+    /// `width`/`height` its extent; the coarse lattice targets
+    /// `width / node_size` columns and `height / node_size` rows.
+    pub fn renormalize_region(
+        &self,
+        layer: &PhysicalLayer,
+        origin: (usize, usize),
+        width: usize,
+        height: usize,
+        node_size: usize,
+    ) -> RenormalizedLattice {
+        assert!(node_size > 0, "node size must be positive");
+        let (ox, oy) = origin;
+        assert!(
+            ox + width <= layer.width && oy + height <= layer.height,
+            "region exceeds the layer"
+        );
+        let k_cols = width / node_size;
+        let k_rows = height / node_size;
+        let k = k_cols.min(k_rows);
+
+        let mut v_paths: Vec<Option<Vec<(usize, usize)>>> = Vec::with_capacity(k);
+        let mut h_paths: Vec<Option<Vec<(usize, usize)>>> = Vec::with_capacity(k);
+
+        // Alternating search order (vertical, horizontal, vertical, ...) as
+        // suggested by the paper; with disjoint bands the orders only affect
+        // scratch locality, so we simply interleave.
+        for band in 0..k {
+            v_paths.push(self.search_path(layer, origin, node_size, band, height, true));
+            h_paths.push(self.search_path(layer, origin, node_size, band, width, false));
+        }
+
+        // Intersections become coarse nodes.
+        let mut nodes = HashMap::new();
+        for (i, vp) in v_paths.iter().enumerate() {
+            let Some(vp) = vp else { continue };
+            let v_sites: std::collections::HashSet<(usize, usize)> = vp.iter().copied().collect();
+            for (j, hp) in h_paths.iter().enumerate() {
+                let Some(hp) = hp else { continue };
+                if let Some(&site) = hp.iter().find(|s| v_sites.contains(s)) {
+                    nodes.insert((i, j), site);
+                } else {
+                    // Paths share no site (possible when a band is wider
+                    // than the region actually covered); fall back to the
+                    // closest pair of sites in the common block.
+                    if let Some(site) = closest_block_site(vp, hp, node_size, origin, i, j) {
+                        nodes.insert((i, j), site);
+                    }
+                }
+            }
+        }
+
+        RenormalizedLattice {
+            target_side: k,
+            node_size,
+            nodes,
+            v_paths,
+            h_paths,
+        }
+    }
+
+    /// Searches one band-restricted crossing path. For `vertical == true`
+    /// the path runs from the top row to the bottom row of the region inside
+    /// column band `band`; otherwise from the left column to the right
+    /// column inside row band `band`. Returns the path as site coordinates,
+    /// or `None` when the band does not percolate.
+    fn search_path(
+        &self,
+        layer: &PhysicalLayer,
+        origin: (usize, usize),
+        node_size: usize,
+        band: usize,
+        span: usize,
+        vertical: bool,
+    ) -> Option<Vec<(usize, usize)>> {
+        let (ox, oy) = origin;
+        let band_lo = band * node_size;
+        let band_hi = band_lo + node_size;
+
+        // The set of allowed sites: present sites inside the band.
+        let in_band = |x: usize, y: usize| -> bool {
+            if vertical {
+                x >= ox + band_lo && x < ox + band_hi && y >= oy && y < oy + span
+            } else {
+                y >= oy + band_lo && y < oy + band_hi && x >= ox && x < ox + span
+            }
+        };
+        let allowed = |x: usize, y: usize| -> bool {
+            x < layer.width && y < layer.height && in_band(x, y) && layer.site_present(x, y)
+        };
+
+        // Fast connectivity pre-check with a union-find over the band,
+        // joining all start-edge sites to a virtual source and all end-edge
+        // sites to a virtual sink.
+        let band_w = if vertical { node_size } else { span };
+        let band_h = if vertical { span } else { node_size };
+        let local = |x: usize, y: usize| -> usize {
+            let lx = x - (ox + if vertical { band_lo } else { 0 });
+            let ly = y - (oy + if vertical { 0 } else { band_lo });
+            ly * band_w + lx
+        };
+        let n_local = band_w * band_h;
+        let source = n_local;
+        let sink = n_local + 1;
+        let mut dsu = DisjointSet::new(n_local + 2);
+        let (gx0, gy0) = (
+            ox + if vertical { band_lo } else { 0 },
+            oy + if vertical { 0 } else { band_lo },
+        );
+        for ly in 0..band_h {
+            for lx in 0..band_w {
+                let (x, y) = (gx0 + lx, gy0 + ly);
+                if !allowed(x, y) {
+                    continue;
+                }
+                let here = local(x, y);
+                let at_start = if vertical { y == oy } else { x == ox };
+                let at_end = if vertical { y == oy + span - 1 } else { x == ox + span - 1 };
+                if at_start {
+                    dsu.union(here, source);
+                }
+                if at_end {
+                    dsu.union(here, sink);
+                }
+                if x + 1 < layer.width && allowed(x + 1, y) && layer.bond_east(x, y) {
+                    dsu.union(here, local(x + 1, y));
+                }
+                if y + 1 < layer.height && allowed(x, y + 1) && layer.bond_north(x, y) {
+                    dsu.union(here, local(x, y + 1));
+                }
+            }
+        }
+        if !dsu.same_set(source, sink) {
+            return None;
+        }
+
+        // BFS for the shortest crossing path (self-tangling free by
+        // construction of BFS trees).
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n_local];
+        let mut seen = vec![false; n_local];
+        let mut queue = VecDeque::new();
+        for t in 0..node_size {
+            // Seed the frontier with every allowed start-edge site of the band.
+            let (x, y) = if vertical { (gx0 + t, oy) } else { (ox, gy0 + t) };
+            if allowed(x, y) {
+                seen[local(x, y)] = true;
+                queue.push_back((x, y));
+            }
+        }
+        while let Some((x, y)) = queue.pop_front() {
+            let at_end = if vertical { y == oy + span - 1 } else { x == ox + span - 1 };
+            if at_end {
+                // Reconstruct.
+                let mut path = vec![(x, y)];
+                let mut cur = (x, y);
+                while let Some(p) = prev[local(cur.0, cur.1)] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let neighbors = [
+                (x.wrapping_add(1), y, layer.bond_east(x, y)),
+                (x.wrapping_sub(1), y, x > 0 && layer.bond_east(x.wrapping_sub(1), y)),
+                (x, y.wrapping_add(1), layer.bond_north(x, y)),
+                (x, y.wrapping_sub(1), y > 0 && layer.bond_north(x, y.wrapping_sub(1))),
+            ];
+            for (nx, ny, bonded) in neighbors {
+                if !bonded || !allowed(nx, ny) {
+                    continue;
+                }
+                let li = local(nx, ny);
+                if !seen[li] {
+                    seen[li] = true;
+                    prev[li] = Some((x, y));
+                    queue.push_back((nx, ny));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Fallback coarse-node site when the two paths do not share a site: the
+/// site of the vertical path closest (in Manhattan distance) to any site of
+/// the horizontal path inside block `(i, j)`.
+fn closest_block_site(
+    vp: &[(usize, usize)],
+    hp: &[(usize, usize)],
+    node_size: usize,
+    origin: (usize, usize),
+    i: usize,
+    j: usize,
+) -> Option<(usize, usize)> {
+    let (ox, oy) = origin;
+    let x_lo = ox + i * node_size;
+    let x_hi = x_lo + node_size;
+    let y_lo = oy + j * node_size;
+    let y_hi = y_lo + node_size;
+    let in_block =
+        |&(x, y): &(usize, usize)| x >= x_lo && x < x_hi && y >= y_lo && y < y_hi;
+    let v_block: Vec<(usize, usize)> = vp.iter().copied().filter(|s| in_block(s)).collect();
+    let h_block: Vec<(usize, usize)> = hp.iter().copied().filter(|s| in_block(s)).collect();
+    let mut best: Option<((usize, usize), usize)> = None;
+    for &v in &v_block {
+        for &h in &h_block {
+            let d = v.0.abs_diff(h.0) + v.1.abs_diff(h.1);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((v, d));
+            }
+        }
+    }
+    best.map(|(s, _)| s)
+}
+
+/// Renormalizes an entire layer with the given average node size, targeting
+/// a coarse lattice of side `layer.width / node_size`.
+///
+/// # Panics
+///
+/// Panics when `node_size` is zero or larger than the layer.
+pub fn renormalize(layer: &PhysicalLayer, node_size: usize) -> RenormalizedLattice {
+    assert!(
+        node_size > 0 && node_size <= layer.width && node_size <= layer.height,
+        "node size must be positive and fit in the layer"
+    );
+    Renormalizer::new().renormalize_region(layer, (0, 0), layer.width, layer.height, node_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneperc_hardware::{FusionEngine, HardwareConfig};
+
+    #[test]
+    fn full_lattice_renormalizes_perfectly() {
+        let layer = PhysicalLayer::fully_connected(24, 24);
+        let lattice = renormalize(&layer, 6);
+        assert_eq!(lattice.target_side(), 4);
+        assert!(lattice.is_success());
+        assert_eq!(lattice.node_count(), 16);
+        assert_eq!(lattice.v_path_count(), 4);
+        assert_eq!(lattice.h_path_count(), 4);
+        // The representative of coarse node (i, j) lies inside block (i, j).
+        for i in 0..4 {
+            for j in 0..4 {
+                let (x, y) = lattice.node_site(i, j).unwrap();
+                assert!(x >= i * 6 && x < (i + 1) * 6, "x {x} outside band {i}");
+                assert!(y >= j * 6 && y < (j + 1) * 6, "y {y} outside band {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lattice_fails() {
+        let layer = PhysicalLayer::blank(16, 16); // no bonds at all
+        let lattice = renormalize(&layer, 4);
+        assert!(!lattice.is_success());
+        assert_eq!(lattice.node_count(), 0);
+        assert_eq!(lattice.consumed_sites(), 0);
+    }
+
+    #[test]
+    fn percolating_layer_renormalizes_with_high_probability() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(48, 7, 0.78), 5);
+        let layer = engine.generate_layer();
+        let lattice = renormalize(&layer, 12);
+        assert_eq!(lattice.target_side(), 4);
+        assert!(
+            lattice.node_count() >= 12,
+            "expected most nodes realized, got {}",
+            lattice.node_count()
+        );
+    }
+
+    #[test]
+    fn coarser_nodes_succeed_more_often() {
+        // Fig. 16 behaviour: success probability grows rapidly with the
+        // average node size.
+        let trials = 12;
+        let mut fine = 0;
+        let mut coarse = 0;
+        for seed in 0..trials {
+            let mut engine = FusionEngine::new(HardwareConfig::new(48, 7, 0.68), seed);
+            let layer = engine.generate_layer();
+            if renormalize(&layer, 4).is_success() {
+                fine += 1;
+            }
+            if renormalize(&layer, 16).is_success() {
+                coarse += 1;
+            }
+        }
+        assert!(
+            coarse >= fine,
+            "coarse-grained renormalization should succeed at least as often (coarse {coarse}, fine {fine})"
+        );
+        assert!(coarse >= trials * 2 / 3, "coarse renormalization too weak: {coarse}/{trials}");
+    }
+
+    #[test]
+    fn paths_stay_inside_their_bands() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(36, 7, 0.75), 17);
+        let layer = engine.generate_layer();
+        let lattice = renormalize(&layer, 9);
+        for i in 0..lattice.target_side() {
+            if let Some(path) = lattice.v_path(i) {
+                for &(x, _) in path {
+                    assert!(x >= i * 9 && x < (i + 1) * 9);
+                }
+                // A vertical path touches the first and last row.
+                assert_eq!(path.first().unwrap().1, 0);
+                assert_eq!(path.last().unwrap().1, 35);
+            }
+            if let Some(path) = lattice.h_path(i) {
+                for &(_, y) in path {
+                    assert!(y >= i * 9 && y < (i + 1) * 9);
+                }
+                assert_eq!(path.first().unwrap().0, 0);
+                assert_eq!(path.last().unwrap().0, 35);
+            }
+        }
+    }
+
+    #[test]
+    fn region_renormalization_respects_origin() {
+        let layer = PhysicalLayer::fully_connected(20, 20);
+        let r = Renormalizer::new();
+        let lattice = r.renormalize_region(&layer, (10, 10), 10, 10, 5);
+        assert_eq!(lattice.target_side(), 2);
+        assert!(lattice.is_success());
+        for i in 0..2 {
+            for j in 0..2 {
+                let (x, y) = lattice.node_site(i, j).unwrap();
+                assert!(x >= 10 && y >= 10, "node site ({x},{y}) outside region");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node size")]
+    fn zero_node_size_panics() {
+        let layer = PhysicalLayer::fully_connected(8, 8);
+        let _ = renormalize(&layer, 0);
+    }
+
+    #[test]
+    fn consumed_sites_bounded_by_layer() {
+        let layer = PhysicalLayer::fully_connected(16, 16);
+        let lattice = renormalize(&layer, 4);
+        assert!(lattice.consumed_sites() <= 256);
+        assert!(lattice.consumed_sites() >= 16);
+    }
+}

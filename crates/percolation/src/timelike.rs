@@ -1,0 +1,465 @@
+//! Flexible time-like connections and the (2+1)-D reshaping driver
+//! (Section 5.2).
+//!
+//! The [`ReshapeEngine`] consumes resource-state layers from the hardware
+//! simulator one after another. Each layer is renormalized; layers whose
+//! renormalization reaches the target size *and* that can establish every
+//! time-like connection requested by the IR program become **logical
+//! layers**, all other layers become **routing layers** whose qubits are
+//! simply fused forward to the next RSL. Cross-layer connections park the
+//! photons of the source node in delay lines until the target layer exists.
+
+use graphstate::FusionOutcome;
+use oneperc_hardware::{DelayLine, FusionEngine, HardwareConfig};
+
+use crate::renormalize::{renormalize, RenormalizedLattice};
+
+/// One time-like edge requested by the IR program for the layer currently
+/// being formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalRequirement {
+    /// Coarse coordinate of the node on the layer being formed.
+    pub coord: (usize, usize),
+    /// How many logical layers back the partner node lives (`1` means the
+    /// immediately preceding logical layer, larger values are cross-layer
+    /// connections realized through delay lines).
+    pub back_distance: usize,
+}
+
+/// Everything the online pass must realize for one virtual-hardware layer.
+#[derive(Debug, Clone, Default)]
+pub struct LayerRequirement {
+    /// Time-like edges terminating on this layer.
+    pub temporal_edges: Vec<TemporalRequirement>,
+    /// Number of nodes of this layer that will be stored into the virtual
+    /// memory (delay lines) for later cross-layer edges.
+    pub stores: usize,
+    /// Number of stored nodes retrieved from the virtual memory at this
+    /// layer.
+    pub retrieves: usize,
+}
+
+impl LayerRequirement {
+    /// A layer with no time-like obligations (the first logical layer of a
+    /// program).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Configuration of the reshaping engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ReshapeConfig {
+    /// Hardware model to draw resource-state layers from.
+    pub hardware: HardwareConfig,
+    /// Average node size used by the 2D renormalization.
+    pub node_size: usize,
+    /// Side of the virtual-hardware layer the renormalization must reach.
+    pub target_side: usize,
+    /// Number of photons fused in parallel per time-like hop (the "set of
+    /// physical qubits around the preceding node").
+    pub temporal_redundancy: usize,
+    /// Safety cap on the number of merged layers consumed per logical layer.
+    pub max_layers_per_logical: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReshapeConfig {
+    /// Creates a configuration with the default redundancy (4) and safety
+    /// cap (2048 merged layers per logical layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target lattice does not fit in the RSL
+    /// (`target_side * node_size > rsl_size`).
+    pub fn new(hardware: HardwareConfig, node_size: usize, target_side: usize, seed: u64) -> Self {
+        assert!(
+            target_side * node_size <= hardware.rsl_size,
+            "target {target_side} x node size {node_size} exceeds the RSL size {}",
+            hardware.rsl_size
+        );
+        ReshapeConfig {
+            hardware,
+            node_size,
+            target_side,
+            temporal_redundancy: 4,
+            max_layers_per_logical: 2048,
+            seed,
+        }
+    }
+
+    /// Overrides the per-hop redundancy.
+    pub fn with_temporal_redundancy(mut self, redundancy: usize) -> Self {
+        assert!(redundancy > 0, "redundancy must be positive");
+        self.temporal_redundancy = redundancy;
+        self
+    }
+}
+
+/// Outcome of forming one logical layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogicalLayerReport {
+    /// Whether the logical layer was formed within the safety cap.
+    pub formed: bool,
+    /// Merged layers consumed (logical + routing) for this logical layer.
+    pub merged_layers: usize,
+    /// Raw RSLs consumed for this logical layer.
+    pub raw_rsl: u64,
+    /// Merged layers that failed 2D renormalization.
+    pub renorm_failures: usize,
+    /// Merged layers that renormalized but failed a time-like connection.
+    pub timelike_failures: usize,
+}
+
+/// Cumulative statistics of a reshaping run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReshapeStats {
+    /// Logical layers formed so far.
+    pub logical_layers: u64,
+    /// Routing layers consumed so far.
+    pub routing_layers: u64,
+    /// Merged layers consumed so far (logical + routing).
+    pub merged_layers: u64,
+    /// Raw RSLs consumed so far (the paper's `#RSL`).
+    pub raw_rsl: u64,
+    /// Fusions attempted so far (the paper's `#fusion`), including the bulk
+    /// forward-fusions of routing layers.
+    pub fusions_attempted: u64,
+    /// Fusions that succeeded.
+    pub fusions_succeeded: u64,
+    /// Largest number of node bundles simultaneously parked in delay lines.
+    pub delay_line_peak: usize,
+    /// Node bundles lost to photon decay in the delay lines.
+    pub delay_line_expired: u64,
+}
+
+impl ReshapeStats {
+    /// The PL ratio — merged layers consumed per logical layer (Fig. 13(b)).
+    pub fn pl_ratio(&self) -> f64 {
+        if self.logical_layers == 0 {
+            0.0
+        } else {
+            self.merged_layers as f64 / self.logical_layers as f64
+        }
+    }
+}
+
+/// The (2+1)-D reshaping driver.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_hardware::HardwareConfig;
+/// use oneperc_percolation::{LayerRequirement, ReshapeConfig, ReshapeEngine};
+///
+/// let hw = HardwareConfig::new(36, 7, 0.78);
+/// let mut engine = ReshapeEngine::new(ReshapeConfig::new(hw, 12, 3, 1));
+/// let report = engine.advance_logical_layer(&LayerRequirement::none());
+/// assert!(report.formed);
+/// assert!(engine.stats().logical_layers >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ReshapeEngine {
+    config: ReshapeConfig,
+    fusion_engine: FusionEngine,
+    delay: DelayLine<(usize, usize)>,
+    stats: ReshapeStats,
+    routing_since_logical: usize,
+    next_store_key: u64,
+    stored_keys: Vec<u64>,
+    /// Bulk-accounted forward fusions of routing layers (not drawn through
+    /// the sampler to keep large-RSL runs fast).
+    bulk_attempted: u64,
+    bulk_succeeded: u64,
+    /// Renormalized lattice of the most recent logical layer (if any).
+    last_logical: Option<RenormalizedLattice>,
+}
+
+impl ReshapeEngine {
+    /// Creates an engine.
+    pub fn new(config: ReshapeConfig) -> Self {
+        ReshapeEngine {
+            config,
+            fusion_engine: FusionEngine::new(config.hardware, config.seed),
+            delay: DelayLine::new(config.hardware.photon_lifetime_cycles),
+            stats: ReshapeStats::default(),
+            routing_since_logical: 0,
+            next_store_key: 0,
+            stored_keys: Vec::new(),
+            bulk_attempted: 0,
+            bulk_succeeded: 0,
+            last_logical: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReshapeConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &ReshapeStats {
+        &self.stats
+    }
+
+    /// The renormalized lattice realizing the most recent logical layer.
+    pub fn last_logical_lattice(&self) -> Option<&RenormalizedLattice> {
+        self.last_logical.as_ref()
+    }
+
+    /// Consumes resource-state layers until one of them becomes a logical
+    /// layer satisfying `requirement`, or the safety cap is hit.
+    pub fn advance_logical_layer(&mut self, requirement: &LayerRequirement) -> LogicalLayerReport {
+        let mut report = LogicalLayerReport::default();
+        let merging = self.config.hardware.merging_factor() as u64;
+
+        while report.merged_layers < self.config.max_layers_per_logical {
+            let layer = self.fusion_engine.generate_layer();
+            report.merged_layers += 1;
+            report.raw_rsl += layer.raw_rsl_consumed as u64;
+            self.stats.merged_layers += 1;
+            self.stats.raw_rsl += layer.raw_rsl_consumed as u64;
+            // Every merged layer advances the delay-line clock by the number
+            // of raw RSG cycles it took to produce.
+            for _ in 0..layer.raw_rsl_consumed {
+                self.stats.delay_line_expired += self.delay.advance_cycle() as u64;
+            }
+
+            // Attempt 2D renormalization to the requested target size.
+            let lattice = renormalize(&layer, self.config.node_size);
+            let target_reached = lattice.node_count()
+                >= self.config.target_side * self.config.target_side
+                && (0..self.config.target_side).all(|i| {
+                    (0..self.config.target_side).all(|j| lattice.node_site(i, j).is_some())
+                });
+
+            if !target_reached {
+                report.renorm_failures += 1;
+                self.absorb_routing_layer(&layer);
+                self.update_fusion_totals();
+                continue;
+            }
+
+            // Renormalization succeeded: try to establish every requested
+            // time-like connection through the routing layers in between.
+            let hops = self.routing_since_logical + 1;
+            let mut all_ok = true;
+            for edge in &requirement.temporal_edges {
+                if !self.establish_connection(edge, hops, merging) {
+                    all_ok = false;
+                    break;
+                }
+            }
+
+            if !all_ok {
+                report.timelike_failures += 1;
+                self.absorb_routing_layer(&layer);
+                self.update_fusion_totals();
+                continue;
+            }
+
+            // Logical layer formed. Update delay-line bookkeeping for the
+            // stores/retrieves the IR schedules at this layer.
+            for _ in 0..requirement.retrieves {
+                if let Some(key) = self.stored_keys.pop() {
+                    let _ = self.delay.retrieve(key);
+                }
+            }
+            for _ in 0..requirement.stores {
+                let key = self.next_store_key;
+                self.next_store_key += 1;
+                self.delay.store(key, (0, 0));
+                self.stored_keys.push(key);
+            }
+            self.stats.delay_line_peak = self.stats.delay_line_peak.max(self.delay.len());
+
+            self.stats.logical_layers += 1;
+            self.routing_since_logical = 0;
+            self.last_logical = Some(lattice);
+            self.update_fusion_totals();
+            report.formed = true;
+            return report;
+        }
+
+        self.update_fusion_totals();
+        report
+    }
+
+    /// Establishes one time-like connection: the photons around the source
+    /// node must be fused forward through every intervening layer, each hop
+    /// succeeding when at least one of `temporal_redundancy` parallel
+    /// fusions succeeds.
+    fn establish_connection(
+        &mut self,
+        edge: &TemporalRequirement,
+        hops: usize,
+        merging: u64,
+    ) -> bool {
+        // Cross-layer connections must additionally have survived the delay
+        // lines: the stored photons waited `back_distance`-ish logical
+        // layers, i.e. roughly pl_ratio * merging RSG cycles per layer.
+        if edge.back_distance > 1 {
+            let waited = (edge.back_distance as u64)
+                * merging
+                * self.stats.pl_ratio().max(1.0) as u64;
+            if waited > self.config.hardware.photon_lifetime_cycles as u64 {
+                return false;
+            }
+        }
+        for _ in 0..hops {
+            let mut hop_ok = false;
+            for _ in 0..self.config.temporal_redundancy {
+                if self.fusion_engine.sample_fusion() == FusionOutcome::Success {
+                    hop_ok = true;
+                    break;
+                }
+            }
+            if !hop_ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Accounts for a routing layer: all of its qubits with available
+    /// temporal ports are fused forward to the next RSL (grey fusions of
+    /// Fig. 9(c)). The fusions are accounted in bulk to avoid per-site
+    /// sampling cost on large RSLs.
+    fn absorb_routing_layer(&mut self, layer: &oneperc_hardware::PhysicalLayer) {
+        self.routing_since_logical += 1;
+        self.stats.routing_layers += 1;
+        let forward = layer.site_count() as u64;
+        self.bulk_attempted += forward;
+        self.bulk_succeeded +=
+            (forward as f64 * self.config.hardware.effective_fusion_prob()).round() as u64;
+    }
+
+    /// Recomputes the cumulative fusion totals: everything drawn through the
+    /// hardware sampler (layer patterns and time-like hops) plus the
+    /// bulk-accounted forward fusions of routing layers.
+    fn update_fusion_totals(&mut self) {
+        let engine_total = self.fusion_engine.fusion_stats();
+        self.stats.fusions_attempted = engine_total.attempted + self.bulk_attempted;
+        self.stats.fusions_succeeded = engine_total.succeeded + self.bulk_succeeded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(p: f64, seed: u64) -> ReshapeConfig {
+        ReshapeConfig::new(HardwareConfig::new(36, 7, p), 12, 3, seed)
+    }
+
+    #[test]
+    fn first_logical_layer_forms_quickly_at_high_probability() {
+        let mut engine = ReshapeEngine::new(small_config(0.9, 3));
+        let report = engine.advance_logical_layer(&LayerRequirement::none());
+        assert!(report.formed);
+        assert!(report.merged_layers <= 4, "took {} layers", report.merged_layers);
+        assert_eq!(engine.stats().logical_layers, 1);
+        assert!(engine.last_logical_lattice().is_some());
+    }
+
+    #[test]
+    fn temporal_edges_increase_layer_cost() {
+        let no_edges = {
+            let mut engine = ReshapeEngine::new(small_config(0.72, 5));
+            let mut total = 0;
+            for _ in 0..6 {
+                total += engine.advance_logical_layer(&LayerRequirement::none()).merged_layers;
+            }
+            total
+        };
+        let with_edges = {
+            let mut engine = ReshapeEngine::new(small_config(0.72, 5));
+            let req = LayerRequirement {
+                temporal_edges: (0..3)
+                    .flat_map(|i| {
+                        (0..3).map(move |j| TemporalRequirement { coord: (i, j), back_distance: 1 })
+                    })
+                    .collect(),
+                stores: 0,
+                retrieves: 0,
+            };
+            let mut total = 0;
+            for _ in 0..6 {
+                total += engine.advance_logical_layer(&req).merged_layers;
+            }
+            total
+        };
+        assert!(
+            with_edges >= no_edges,
+            "temporal obligations should not make layers cheaper ({with_edges} vs {no_edges})"
+        );
+    }
+
+    #[test]
+    fn pl_ratio_is_reported() {
+        let mut engine = ReshapeEngine::new(small_config(0.75, 7));
+        for _ in 0..5 {
+            let report = engine.advance_logical_layer(&LayerRequirement::none());
+            assert!(report.formed);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.logical_layers, 5);
+        assert!(stats.pl_ratio() >= 1.0);
+        assert_eq!(stats.merged_layers, stats.logical_layers + stats.routing_layers);
+        assert!(stats.raw_rsl >= stats.merged_layers);
+    }
+
+    #[test]
+    fn raw_rsl_scales_with_merging_factor() {
+        // 4-qubit resource states merge 3 raw RSLs per layer.
+        let hw = HardwareConfig::new(36, 4, 0.9);
+        let mut engine = ReshapeEngine::new(ReshapeConfig::new(hw, 12, 3, 2));
+        let report = engine.advance_logical_layer(&LayerRequirement::none());
+        assert!(report.formed);
+        assert_eq!(report.raw_rsl, 3 * report.merged_layers as u64);
+    }
+
+    #[test]
+    fn stores_and_retrieves_tracked_in_delay_lines() {
+        let mut engine = ReshapeEngine::new(small_config(0.85, 9));
+        let store_req = LayerRequirement { temporal_edges: vec![], stores: 2, retrieves: 0 };
+        let retrieve_req = LayerRequirement { temporal_edges: vec![], stores: 0, retrieves: 2 };
+        engine.advance_logical_layer(&store_req);
+        assert_eq!(engine.stats().delay_line_peak, 2);
+        engine.advance_logical_layer(&retrieve_req);
+        assert_eq!(engine.delay.len(), 0);
+    }
+
+    #[test]
+    fn impossible_target_hits_safety_cap() {
+        // Target size equal to the RSL side with node size 1 cannot be
+        // renormalized from a random layer at p = 0.66.
+        let hw = HardwareConfig::new(12, 7, 0.66);
+        let mut config = ReshapeConfig::new(hw, 1, 12, 4);
+        config.max_layers_per_logical = 10;
+        let mut engine = ReshapeEngine::new(config);
+        let report = engine.advance_logical_layer(&LayerRequirement::none());
+        assert!(!report.formed);
+        assert_eq!(report.merged_layers, 10);
+        assert_eq!(engine.stats().logical_layers, 0);
+    }
+
+    #[test]
+    fn fusion_accounting_grows_with_layers() {
+        let mut engine = ReshapeEngine::new(small_config(0.75, 11));
+        engine.advance_logical_layer(&LayerRequirement::none());
+        let after_one = engine.stats().fusions_attempted;
+        engine.advance_logical_layer(&LayerRequirement::none());
+        let after_two = engine.stats().fusions_attempted;
+        assert!(after_one > 0);
+        assert!(after_two > after_one);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the RSL size")]
+    fn oversized_target_panics() {
+        let hw = HardwareConfig::new(20, 7, 0.75);
+        let _ = ReshapeConfig::new(hw, 12, 3, 0);
+    }
+}

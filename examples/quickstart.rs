@@ -1,0 +1,43 @@
+//! Quickstart: compile and execute a small QAOA program with OnePerc.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use oneperc_suite::circuit::benchmarks;
+use oneperc_suite::compiler::{Compiler, CompilerConfig};
+
+fn main() {
+    // A 4-qubit QAOA max-cut instance on a random graph (the smallest
+    // benchmark of the paper's evaluation).
+    let circuit = benchmarks::qaoa(4, 42);
+    println!("input circuit:\n{circuit}");
+
+    // Table 1 sizing for 4 qubits at the practical fusion success
+    // probability of 0.75: a 2x2 virtual hardware on a 48x48 RSL built from
+    // 4-qubit star resource states.
+    let config = CompilerConfig::for_qubits(4, 0.75, 42);
+    let compiler = Compiler::new(config);
+
+    // Offline pass: program graph state -> FlexLattice IR -> instructions.
+    let compiled = compiler.compile(&circuit).expect("offline mapping succeeds");
+    println!(
+        "offline pass: {} program nodes mapped onto {} virtual-hardware layers, {} instructions",
+        compiled.mapping.stats.program_nodes,
+        compiled.layer_count(),
+        compiled.mapping.instructions.len(),
+    );
+    println!("first instructions of the stream:");
+    for instruction in compiled.mapping.instructions.instructions().iter().take(8) {
+        println!("  {instruction}");
+    }
+
+    // Online pass: stochastic fusions, percolation, renormalization and
+    // time-like connections until every logical layer is formed.
+    let report = compiler.execute(&compiled);
+    println!("\nexecution report:\n{report}");
+    println!(
+        "\nthe program consumed {} resource-state layers ({} fusions) at fusion success probability {}",
+        report.rsl_consumed,
+        report.fusions,
+        config.hardware.fusion_success_prob
+    );
+}

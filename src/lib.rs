@@ -1,0 +1,52 @@
+//! Workspace facade for the OnePerc reproduction.
+//!
+//! This crate re-exports the public APIs of every layer of the stack so
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`graphstate`] — graph-state substrate (local complementation,
+//!   measurements, fusions, union-find).
+//! * [`circuit`] — circuit IR, benchmark generators and the MBQC
+//!   translation to program graph states.
+//! * [`hardware`] — photonic hardware model and the semi-static fusion
+//!   strategy.
+//! * [`percolation`] — the online pass: 2D renormalization, modular
+//!   renormalization and time-like connections.
+//! * [`ir`] — virtual hardware, FlexLattice IR and the instruction set.
+//! * [`mapper`] — the offline mapping pass.
+//! * [`oneq`] — the OneQ baseline with repeat-until-success execution.
+//! * [`compiler`] — the OnePerc compiler facade and its metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc_suite::compiler::{Compiler, CompilerConfig};
+//! use oneperc_suite::circuit::benchmarks;
+//!
+//! let compiler = Compiler::new(CompilerConfig::for_qubits(4, 0.9, 7));
+//! let report = compiler
+//!     .compile_and_execute(&benchmarks::vqe(4, 7))
+//!     .expect("compilation succeeds");
+//! assert!(report.rsl_consumed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use graphstate;
+
+/// Circuit IR, benchmark generators and MBQC translation.
+pub use oneperc_circuit as circuit;
+/// Photonic hardware model and fusion strategy.
+pub use oneperc_hardware as hardware;
+/// FlexLattice IR, virtual hardware and instruction set.
+pub use oneperc_ir as ir;
+/// Offline mapping pass.
+pub use oneperc_mapper as mapper;
+/// OneQ baseline compiler.
+pub use oneperc_oneq as oneq;
+/// Online pass: percolation, renormalization and time-like connections.
+pub use oneperc_percolation as percolation;
+
+/// The OnePerc compiler facade (core crate).
+pub use oneperc as compiler;

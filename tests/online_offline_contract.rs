@@ -1,0 +1,71 @@
+//! Integration tests for the contract between the offline and online
+//! passes: whatever the FlexLattice IR demands, the reshaping engine can
+//! deliver on percolating hardware.
+
+use oneperc_suite::circuit::{benchmarks, ProgramGraph};
+use oneperc_suite::hardware::HardwareConfig;
+use oneperc_suite::ir::VirtualHardware;
+use oneperc_suite::mapper::{Mapper, MapperConfig};
+use oneperc_suite::percolation::{
+    LayerRequirement, ReshapeConfig, ReshapeEngine, TemporalRequirement,
+};
+
+/// Drives the reshaping engine directly from the layer summaries of a real
+/// IR program (the same contract the compiler facade uses) and checks that
+/// every layer is eventually formed.
+#[test]
+fn reshaping_satisfies_every_ir_layer() {
+    let program = ProgramGraph::from_circuit(&benchmarks::qaoa(4, 21));
+    let mapping = Mapper::new(MapperConfig::new(VirtualHardware::square(3)))
+        .map(&program)
+        .expect("mapping succeeds");
+
+    let hardware = HardwareConfig::new(36, 7, 0.8);
+    let mut engine = ReshapeEngine::new(ReshapeConfig::new(hardware, 12, 3, 21));
+    for summary in mapping.ir.layer_summaries() {
+        let requirement = LayerRequirement {
+            temporal_edges: summary
+                .incoming_temporal
+                .iter()
+                .map(|&(coord, gap)| TemporalRequirement { coord, back_distance: gap })
+                .collect(),
+            stores: summary.stores,
+            retrieves: summary.retrieves,
+        };
+        let report = engine.advance_logical_layer(&requirement);
+        assert!(report.formed, "a logical layer could not be formed");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.logical_layers as usize, mapping.ir.layer_count());
+    assert!(stats.pl_ratio() >= 1.0);
+}
+
+/// The renormalized lattice the online pass promises is exactly as large as
+/// the virtual hardware the offline pass assumed.
+#[test]
+fn renormalized_lattice_matches_virtual_hardware_size() {
+    let hardware = HardwareConfig::new(48, 7, 0.85);
+    let mut engine = ReshapeEngine::new(ReshapeConfig::new(hardware, 12, 4, 5));
+    let report = engine.advance_logical_layer(&LayerRequirement::none());
+    assert!(report.formed);
+    let lattice = engine.last_logical_lattice().expect("a logical layer exists");
+    assert!(lattice.node_count() >= 16, "4x4 virtual layer requires 16 coarse nodes");
+    for i in 0..4 {
+        for j in 0..4 {
+            assert!(lattice.node_site(i, j).is_some(), "missing coarse node ({i}, {j})");
+        }
+    }
+}
+
+/// Merging factor propagates end to end: 4-qubit resource states consume
+/// three raw RSLs per merged layer, 7-qubit resource states only one.
+#[test]
+fn raw_rsl_accounting_respects_resource_state_size() {
+    for (size, expected_factor) in [(4usize, 3u64), (7, 1)] {
+        let hardware = HardwareConfig::new(36, size, 0.9);
+        let mut engine = ReshapeEngine::new(ReshapeConfig::new(hardware, 12, 3, 2));
+        let report = engine.advance_logical_layer(&LayerRequirement::none());
+        assert!(report.formed);
+        assert_eq!(report.raw_rsl, expected_factor * report.merged_layers as u64);
+    }
+}
