@@ -1,0 +1,147 @@
+//! Measures the per-RSL online renormalization latency of the flat-grid
+//! engine against the preserved hash-based baseline and writes
+//! `BENCH_PR1.json` (the PR-1 acceptance artifact).
+//!
+//! Methodology: pre-generate a fixed pool of seeded L=40 layers (p = 0.75,
+//! 7-qubit resource states, node size 10 → 4×4 coarse target — the Table 1
+//! shape class), warm both engines, then time `reps` full passes over the
+//! pool per sample and keep the median of `samples` samples. Run with
+//! `--release`; debug timings are meaningless.
+//!
+//! Usage: `bench_pr1 [--out <path>] [--rsl <n>] [--samples <n>]`
+
+use std::time::Instant;
+
+use oneperc_bench::baseline::hash_renormalize;
+use oneperc_hardware::{FusionEngine, HardwareConfig, PhysicalLayer};
+use oneperc_percolation::Renormalizer;
+
+struct Args {
+    out: String,
+    rsl: usize,
+    samples: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_PR1.json".to_string(), rsl: 40, samples: 15 };
+    fn required<T>(value: Option<T>, what: &str) -> T {
+        value.unwrap_or_else(|| {
+            eprintln!("{what}");
+            std::process::exit(2);
+        })
+    }
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => args.out = required(iter.next(), "--out needs a path"),
+            "--rsl" => {
+                args.rsl = required(
+                    iter.next().and_then(|s| s.parse().ok()),
+                    "--rsl needs an integer",
+                )
+            }
+            "--samples" => {
+                args.samples = required(
+                    iter.next().and_then(|s| s.parse().ok()),
+                    "--samples needs an integer",
+                )
+            }
+            "--help" | "-h" => {
+                println!("bench_pr1: flat vs hash per-RSL renormalization A/B; writes BENCH_PR1.json");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Times `reps` passes over the layer pool, returning seconds per RSL.
+fn sample<F: FnMut(&PhysicalLayer)>(layers: &[PhysicalLayer], reps: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        for layer in layers {
+            f(layer);
+        }
+    }
+    start.elapsed().as_secs_f64() / (reps * layers.len()) as f64
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let rsl = args.rsl;
+    let node_size = rsl / 4;
+    let pool = 16u64;
+    let reps = 8;
+
+    let layers: Vec<PhysicalLayer> = (0..pool)
+        .map(|seed| {
+            let mut engine = FusionEngine::new(HardwareConfig::new(rsl, 7, 0.75), seed);
+            engine.generate_layer()
+        })
+        .collect();
+
+    // Correctness gate: the A/B is only meaningful while the two engines
+    // agree on every pooled layer.
+    let mut renormalizer = Renormalizer::new();
+    for (i, layer) in layers.iter().enumerate() {
+        let flat = renormalizer.renormalize(layer, node_size);
+        let hash = hash_renormalize(layer, node_size);
+        assert_eq!(flat.node_count(), hash.node_count(), "layer {i}: node count diverged");
+        assert_eq!(flat.is_success(), hash.is_success(), "layer {i}: success diverged");
+    }
+
+    // Warm-up pass for both engines.
+    for layer in &layers {
+        std::hint::black_box(renormalizer.renormalize(layer, node_size).node_count());
+        std::hint::black_box(hash_renormalize(layer, node_size).node_count());
+    }
+
+    // Interleave samples so frequency scaling hits both engines equally.
+    let mut flat_samples = Vec::with_capacity(args.samples);
+    let mut hash_samples = Vec::with_capacity(args.samples);
+    for _ in 0..args.samples {
+        flat_samples.push(sample(&layers, reps, |layer| {
+            std::hint::black_box(renormalizer.renormalize(layer, node_size).node_count());
+        }));
+        hash_samples.push(sample(&layers, reps, |layer| {
+            std::hint::black_box(hash_renormalize(layer, node_size).node_count());
+        }));
+    }
+
+    let flat_us = median(flat_samples) * 1e6;
+    let hash_us = median(hash_samples) * 1e6;
+    let speedup = hash_us / flat_us;
+
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"online_per_rsl renormalization, flat vs hash\",\n  \
+         \"rsl_size\": {rsl},\n  \
+         \"node_size\": {node_size},\n  \
+         \"fusion_success_prob\": 0.75,\n  \
+         \"resource_state_size\": 7,\n  \
+         \"layer_pool\": {pool},\n  \
+         \"reps_per_sample\": {reps},\n  \
+         \"samples\": {samples},\n  \
+         \"statistic\": \"median\",\n  \
+         \"before_hash_us_per_rsl\": {hash_us:.3},\n  \
+         \"after_flat_us_per_rsl\": {flat_us:.3},\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        samples = args.samples,
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_PR1.json");
+    println!("{json}");
+    println!("wrote {}", args.out);
+    if speedup < 2.0 {
+        eprintln!("WARNING: speedup {speedup:.2}x is below the 2x acceptance bar");
+        std::process::exit(1);
+    }
+}

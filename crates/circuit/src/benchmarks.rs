@@ -140,7 +140,7 @@ pub fn rca(n: usize) -> Circuit {
     let carry_in = 0usize;
     let a = |i: usize| 1 + 2 * i; // operand A bit i
     let b = |i: usize| 2 + 2 * i; // operand B bit i
-    let carry_out = if n % 2 == 0 { Some(n - 1) } else { None };
+    let carry_out = if n.is_multiple_of(2) { Some(n - 1) } else { None };
 
     let mut c = Circuit::new(n);
     let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {

@@ -194,22 +194,23 @@ impl Gate {
             }
             Gate::Toffoli { a, b, target } => {
                 // Standard 6-CNOT, 7-T decomposition.
-                let mut seq: Vec<Gate> = Vec::new();
-                seq.push(Gate::H { qubit: target });
-                seq.push(Gate::Cnot { control: b, target });
-                seq.push(Gate::Tdg { qubit: target });
-                seq.push(Gate::Cnot { control: a, target });
-                seq.push(Gate::T { qubit: target });
-                seq.push(Gate::Cnot { control: b, target });
-                seq.push(Gate::Tdg { qubit: target });
-                seq.push(Gate::Cnot { control: a, target });
-                seq.push(Gate::T { qubit: b });
-                seq.push(Gate::T { qubit: target });
-                seq.push(Gate::H { qubit: target });
-                seq.push(Gate::Cnot { control: a, target: b });
-                seq.push(Gate::T { qubit: a });
-                seq.push(Gate::Tdg { qubit: b });
-                seq.push(Gate::Cnot { control: a, target: b });
+                let seq = [
+                    Gate::H { qubit: target },
+                    Gate::Cnot { control: b, target },
+                    Gate::Tdg { qubit: target },
+                    Gate::Cnot { control: a, target },
+                    Gate::T { qubit: target },
+                    Gate::Cnot { control: b, target },
+                    Gate::Tdg { qubit: target },
+                    Gate::Cnot { control: a, target },
+                    Gate::T { qubit: b },
+                    Gate::T { qubit: target },
+                    Gate::H { qubit: target },
+                    Gate::Cnot { control: a, target: b },
+                    Gate::T { qubit: a },
+                    Gate::Tdg { qubit: b },
+                    Gate::Cnot { control: a, target: b },
+                ];
                 seq.into_iter().flat_map(|g| g.lower()).collect()
             }
         }

@@ -18,7 +18,7 @@
 /// assert!(dsu.same_set(0, 1));
 /// assert!(!dsu.same_set(1, 2));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DisjointSet {
     parent: Vec<usize>,
     rank: Vec<u8>,
@@ -33,6 +33,18 @@ impl DisjointSet {
             rank: vec![0; n],
             n_sets: n,
         }
+    }
+
+    /// Resets the structure to `n` singleton sets, reusing the existing
+    /// allocations. This is the hot-path entry point: the online pass calls
+    /// it once per band/strip instead of constructing a fresh
+    /// [`DisjointSet`] (and paying two allocations) per connectivity check.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.n_sets = n;
     }
 
     /// Number of elements.

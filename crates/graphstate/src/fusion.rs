@@ -173,12 +173,7 @@ impl GraphState {
         if !self.contains(center) {
             return Err(GraphError::MissingVertex(center));
         }
-        let neighbors: Vec<VertexId> = self
-            .neighbors(center)
-            .expect("center exists")
-            .iter()
-            .copied()
-            .collect();
+        let neighbors: Vec<VertexId> = self.neighbors(center).expect("center exists").to_vec();
         self.local_complement(center)?;
         // U_v(G) = exp(-iπ/4 X_v) Π_{u∈N(v)} exp(iπ/4 Z_u)
         let mut corrections = Vec::with_capacity(neighbors.len() + 1);

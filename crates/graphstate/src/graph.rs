@@ -1,7 +1,7 @@
 //! The [`GraphState`] type: an undirected simple graph with the
 //! stabilizer-formalism rewrite rules used throughout the compiler.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::error::GraphError;
 
@@ -19,6 +19,12 @@ pub type VertexId = usize;
 /// reused, which keeps ids stable across the lifetime of a layer and lets
 /// callers keep external side tables indexed by [`VertexId`].
 ///
+/// Adjacency is stored as **sorted neighbor vectors** rather than hash
+/// sets: membership tests are binary searches, iteration is a cache-friendly
+/// linear scan in increasing id order, and no hashing happens anywhere on
+/// the percolation hot path. Read-heavy consumers can additionally take a
+/// compressed-sparse-row [`CsrSnapshot`] via [`GraphState::snapshot_csr`].
+///
 /// # Example
 ///
 /// ```
@@ -32,9 +38,9 @@ pub type VertexId = usize;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphState {
-    /// `adj[v]` is the neighbor set of vertex `v`. Removed vertices keep an
-    /// empty set and are marked dead in `alive`.
-    adj: Vec<HashSet<VertexId>>,
+    /// `adj[v]` is the sorted neighbor list of vertex `v`. Removed vertices
+    /// keep an empty list and are marked dead in `alive`.
+    adj: Vec<Vec<VertexId>>,
     alive: Vec<bool>,
     n_alive: usize,
     n_edges: usize,
@@ -49,7 +55,7 @@ impl GraphState {
     /// Creates a graph state with `n` isolated vertices, ids `0..n`.
     pub fn with_vertices(n: usize) -> Self {
         GraphState {
-            adj: vec![HashSet::new(); n],
+            adj: vec![Vec::new(); n],
             alive: vec![true; n],
             n_alive: n,
             n_edges: 0,
@@ -58,7 +64,7 @@ impl GraphState {
 
     /// Adds a fresh isolated vertex and returns its id.
     pub fn add_vertex(&mut self) -> VertexId {
-        self.adj.push(HashSet::new());
+        self.adj.push(Vec::new());
         self.alive.push(true);
         self.n_alive += 1;
         self.adj.len() - 1
@@ -93,8 +99,9 @@ impl GraphState {
             .filter_map(|(v, &a)| if a { Some(v) } else { None })
     }
 
-    /// Returns the neighbor set of `v`, or `None` if `v` does not exist.
-    pub fn neighbors(&self, v: VertexId) -> Option<&HashSet<VertexId>> {
+    /// Returns the neighbors of `v` as a sorted slice, or `None` if `v` does
+    /// not exist.
+    pub fn neighbors(&self, v: VertexId) -> Option<&[VertexId]> {
         if self.contains(v) {
             Some(&self.adj[v])
         } else {
@@ -104,12 +111,38 @@ impl GraphState {
 
     /// Degree of `v`, or `None` if `v` does not exist.
     pub fn degree(&self, v: VertexId) -> Option<usize> {
-        self.neighbors(v).map(HashSet::len)
+        self.neighbors(v).map(<[VertexId]>::len)
     }
 
     /// Returns `true` when the edge `(a, b)` is present.
     pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
-        self.contains(a) && self.contains(b) && self.adj[a].contains(&b)
+        self.contains(a) && self.contains(b) && self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// Inserts `b` into the sorted neighbor list of `a`; returns `true` when
+    /// it was not already present.
+    #[inline]
+    fn adj_insert(&mut self, a: VertexId, b: VertexId) -> bool {
+        match self.adj[a].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.adj[a].insert(pos, b);
+                true
+            }
+        }
+    }
+
+    /// Removes `b` from the sorted neighbor list of `a`; returns `true` when
+    /// it was present.
+    #[inline]
+    fn adj_remove(&mut self, a: VertexId, b: VertexId) -> bool {
+        match self.adj[a].binary_search(&b) {
+            Ok(pos) => {
+                self.adj[a].remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Adds the edge `(a, b)`. Adding an existing edge is a no-op.
@@ -138,8 +171,8 @@ impl GraphState {
         if !self.contains(b) {
             return Err(GraphError::MissingVertex(b));
         }
-        if self.adj[a].insert(b) {
-            self.adj[b].insert(a);
+        if self.adj_insert(a, b) {
+            self.adj_insert(b, a);
             self.n_edges += 1;
         }
         Ok(())
@@ -148,9 +181,8 @@ impl GraphState {
     /// Removes the edge `(a, b)` if present; removing an absent edge is a
     /// no-op.
     pub fn remove_edge(&mut self, a: VertexId, b: VertexId) {
-        if self.has_edge(a, b) {
-            self.adj[a].remove(&b);
-            self.adj[b].remove(&a);
+        if self.contains(a) && self.contains(b) && self.adj_remove(a, b) {
+            self.adj_remove(b, a);
             self.n_edges -= 1;
         }
     }
@@ -173,12 +205,13 @@ impl GraphState {
         if !self.contains(b) {
             return Err(GraphError::MissingVertex(b));
         }
-        if self.adj[a].contains(&b) {
-            self.remove_edge(a, b);
-        } else {
-            self.adj[a].insert(b);
-            self.adj[b].insert(a);
+        if self.adj_insert(a, b) {
+            self.adj_insert(b, a);
             self.n_edges += 1;
+        } else {
+            self.adj_remove(a, b);
+            self.adj_remove(b, a);
+            self.n_edges -= 1;
         }
         Ok(())
     }
@@ -189,12 +222,11 @@ impl GraphState {
         if !self.contains(v) {
             return;
         }
-        let nbrs: Vec<VertexId> = self.adj[v].iter().copied().collect();
-        for u in nbrs {
-            self.adj[u].remove(&v);
+        let nbrs = std::mem::take(&mut self.adj[v]);
+        for &u in &nbrs {
+            self.adj_remove(u, v);
             self.n_edges -= 1;
         }
-        self.adj[v].clear();
         self.alive[v] = false;
         self.n_alive -= 1;
     }
@@ -210,7 +242,7 @@ impl GraphState {
         if !self.contains(v) {
             return Err(GraphError::MissingVertex(v));
         }
-        let nbrs: Vec<VertexId> = self.adj[v].iter().copied().collect();
+        let nbrs = self.adj[v].clone();
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
                 // Both endpoints are alive by construction.
@@ -271,7 +303,8 @@ impl GraphState {
                 }
                 Some(b)
             }
-            None => self.adj[v].iter().copied().min(),
+            // Neighbor lists are sorted, so the first entry is the minimum.
+            None => self.adj[v].first().copied(),
         };
         match b {
             None => {
@@ -288,23 +321,26 @@ impl GraphState {
     }
 
     /// Returns the connected component containing `v` (including `v`), or an
-    /// empty vector when `v` does not exist.
+    /// empty vector when `v` does not exist. The result is sorted.
     pub fn component(&self, v: VertexId) -> Vec<VertexId> {
         if !self.contains(v) {
             return Vec::new();
         }
-        let mut seen = HashSet::new();
+        let mut seen = vec![false; self.adj.len()];
+        let mut out = Vec::new();
         let mut queue = VecDeque::new();
-        seen.insert(v);
+        seen[v] = true;
+        out.push(v);
         queue.push_back(v);
         while let Some(u) = queue.pop_front() {
             for &w in &self.adj[u] {
-                if seen.insert(w) {
+                if !seen[w] {
+                    seen[w] = true;
+                    out.push(w);
                     queue.push_back(w);
                 }
             }
         }
-        let mut out: Vec<VertexId> = seen.into_iter().collect();
         out.sort_unstable();
         out
     }
@@ -313,13 +349,15 @@ impl GraphState {
     /// vector for an empty graph.
     pub fn largest_component(&self) -> Vec<VertexId> {
         let mut best: Vec<VertexId> = Vec::new();
-        let mut visited: HashSet<VertexId> = HashSet::new();
+        let mut visited = vec![false; self.adj.len()];
         for v in self.vertices() {
-            if visited.contains(&v) {
+            if visited[v] {
                 continue;
             }
             let comp = self.component(v);
-            visited.extend(comp.iter().copied());
+            for &u in &comp {
+                visited[u] = true;
+            }
             if comp.len() > best.len() {
                 best = comp;
             }
@@ -404,6 +442,157 @@ impl GraphState {
         out.sort_unstable();
         out
     }
+
+    /// Takes a compressed-sparse-row snapshot of the current adjacency for
+    /// read-heavy traversals (see [`CsrSnapshot`]).
+    pub fn snapshot_csr(&self) -> CsrSnapshot {
+        let n = self.adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * self.n_edges);
+        offsets.push(0u32);
+        for v in 0..n {
+            if self.alive[v] {
+                targets.extend(self.adj[v].iter().map(|&u| u as u32));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrSnapshot { offsets, targets }
+    }
+}
+
+/// An immutable compressed-sparse-row view of a [`GraphState`].
+///
+/// All neighbor lists live in one contiguous `Vec<u32>` indexed by a
+/// per-vertex offset table, which makes full-graph traversals (BFS floods,
+/// component counting, percolation-style reachability sweeps) sequential
+/// memory scans with no per-vertex allocation. Vertex ids match the graph
+/// the snapshot was taken from; removed vertices have empty neighbor lists.
+///
+/// # Example
+///
+/// ```
+/// use graphstate::GraphState;
+///
+/// let mut g = GraphState::with_vertices(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let csr = g.snapshot_csr();
+/// assert_eq!(csr.neighbors(1), &[0, 2]);
+/// assert_eq!(csr.component_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrSnapshot {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists.
+    targets: Vec<u32>,
+}
+
+impl CsrSnapshot {
+    /// Assembles a snapshot from raw CSR arrays: `offsets[v]..offsets[v+1]`
+    /// must index the sorted neighbor list of `v` inside `targets`, and
+    /// every edge must appear in both directions. Intended for producers
+    /// (like the hardware layer lattice) that can emit CSR form directly
+    /// without routing through a mutable [`GraphState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the offset table is malformed (empty, non-monotonic, or
+    /// not covering `targets`).
+    pub fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offset table needs a leading 0");
+        assert_eq!(offsets[0], 0, "offset table must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offset table must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "offset table must cover the target array"
+        );
+        debug_assert!(
+            (0..offsets.len() - 1).all(|v| {
+                let s = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+                s.windows(2).all(|w| w[0] < w[1])
+            }),
+            "neighbor lists must be sorted and duplicate-free"
+        );
+        CsrSnapshot { offsets, targets }
+    }
+
+    /// Exclusive upper bound on vertex ids.
+    pub fn vertex_bound(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbors of `v` (empty for removed or out-of-range ids).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        if v + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v` in the snapshot.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns `true` when the edge `(a, b)` is present.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Labels every vertex with a component id (isolated and removed
+    /// vertices each form their own singleton) and returns the labels plus
+    /// the component count. Runs one allocation-free BFS flood over the CSR
+    /// arrays.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.vertex_bound();
+        let mut label = vec![u32::MAX; n];
+        let mut queue: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for start in 0..n {
+            if label[start] != u32::MAX {
+                continue;
+            }
+            label[start] = next;
+            queue.push(start as u32);
+            while let Some(u) = queue.pop() {
+                for &w in self.neighbors(u as usize) {
+                    if label[w as usize] == u32::MAX {
+                        label[w as usize] = next;
+                        queue.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (label, next as usize)
+    }
+
+    /// Number of connected components (singletons included).
+    pub fn component_count(&self) -> usize {
+        self.components().1
+    }
+
+    /// Size of the largest connected component.
+    pub fn largest_component_size(&self) -> usize {
+        let (labels, count) = self.components();
+        let mut sizes = vec![0usize; count];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +628,17 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(0, 1);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = GraphState::with_vertices(5);
+        g.add_edge(3, 4);
+        g.add_edge(3, 0);
+        g.add_edge(3, 2);
+        assert_eq!(g.neighbors(3), Some(&[0, 2, 4][..]));
+        g.remove_edge(3, 2);
+        assert_eq!(g.neighbors(3), Some(&[0, 4][..]));
     }
 
     #[test]
@@ -590,5 +790,43 @@ mod tests {
         let vs: Vec<_> = g.vertices().collect();
         assert_eq!(vs, vec![0, 2]);
         assert_eq!(g.id_bound(), 3);
+    }
+
+    #[test]
+    fn csr_snapshot_basics() {
+        let mut g = GraphState::with_vertices(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let csr = g.snapshot_csr();
+        assert_eq!(csr.vertex_bound(), 5);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert!(csr.has_edge(3, 4));
+        assert!(!csr.has_edge(2, 3));
+        assert_eq!(csr.component_count(), 2);
+        assert_eq!(csr.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn csr_snapshot_skips_removed_vertices() {
+        let mut g = path(4);
+        g.remove_vertex(1);
+        let csr = g.snapshot_csr();
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[3]);
+        assert_eq!(csr.edge_count(), 1);
+        // 0 alone, 1 removed-singleton, {2, 3}.
+        assert_eq!(csr.component_count(), 3);
+    }
+
+    #[test]
+    fn csr_snapshot_is_immutable_view() {
+        let mut g = path(3);
+        let csr = g.snapshot_csr();
+        g.remove_vertex(1);
+        // The snapshot still sees the original adjacency.
+        assert_eq!(csr.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(1), None);
     }
 }

@@ -45,5 +45,5 @@ pub use clifford::{LocalClifford, MeasBasis, Pauli};
 pub use dsu::DisjointSet;
 pub use error::GraphError;
 pub use fusion::{FusionKind, FusionOutcome};
-pub use graph::{GraphState, VertexId};
+pub use graph::{CsrSnapshot, GraphState, VertexId};
 pub use star::StarState;

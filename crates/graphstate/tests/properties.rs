@@ -1,131 +1,194 @@
 //! Property-based tests for the graph-state substrate.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties run over a deterministic family of seeded random
+//! inputs: every case derives from an explicit RNG seed, which keeps
+//! failures reproducible (the failing seed is part of the panic message).
 
 use graphstate::{DisjointSet, FusionOutcome, GraphState, LocalClifford, MeasBasis};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random graph on `n` vertices given by an edge-presence bitmap.
-fn random_graph(max_n: usize) -> impl Strategy<Value = GraphState> {
-    (2usize..max_n).prop_flat_map(|n| {
-        let n_pairs = n * (n - 1) / 2;
-        proptest::collection::vec(proptest::bool::ANY, n_pairs).prop_map(move |bits| {
-            let mut g = GraphState::with_vertices(n);
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if bits[k] {
-                        g.add_edge(i, j);
-                    }
-                    k += 1;
-                }
+const CASES: u64 = 64;
+
+/// A random graph on `2..=max_n` vertices from an edge-presence bitmap.
+fn random_graph(rng: &mut StdRng, max_n: usize) -> GraphState {
+    let n = 2 + rng.gen_range(0..max_n - 1);
+    let mut g = GraphState::with_vertices(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.5) {
+                g.add_edge(i, j);
             }
-            g
-        })
-    })
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn pick_vertex(rng: &mut StdRng, g: &GraphState) -> usize {
+    let verts: Vec<_> = g.vertices().collect();
+    verts[rng.gen_range(0..verts.len())]
+}
 
-    /// Local complementation is an involution: τ_v ∘ τ_v = id.
-    #[test]
-    fn local_complement_is_involution(mut g in random_graph(12), sel in 0usize..12) {
-        let verts: Vec<_> = g.vertices().collect();
-        let v = verts[sel % verts.len()];
+/// Local complementation is an involution: τ_v ∘ τ_v = id.
+#[test]
+fn local_complement_is_involution() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(&mut rng, 12);
+        let v = pick_vertex(&mut rng, &g);
         let before = g.clone();
         g.local_complement(v).unwrap();
         g.local_complement(v).unwrap();
-        prop_assert_eq!(g, before);
+        assert_eq!(g, before, "seed {seed}: τ_{v} twice changed the graph");
     }
+}
 
-    /// Local complementation never changes the vertex set or the degree of
-    /// the complemented vertex.
-    #[test]
-    fn local_complement_preserves_vertices(mut g in random_graph(12), sel in 0usize..12) {
-        let verts: Vec<_> = g.vertices().collect();
-        let v = verts[sel % verts.len()];
+/// Local complementation never changes the vertex set or the degree of the
+/// complemented vertex.
+#[test]
+fn local_complement_preserves_vertices() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(&mut rng, 12);
+        let v = pick_vertex(&mut rng, &g);
         let deg_before = g.degree(v).unwrap();
         let count_before = g.vertex_count();
         g.local_complement(v).unwrap();
-        prop_assert_eq!(g.degree(v).unwrap(), deg_before);
-        prop_assert_eq!(g.vertex_count(), count_before);
+        assert_eq!(g.degree(v).unwrap(), deg_before, "seed {seed}");
+        assert_eq!(g.vertex_count(), count_before, "seed {seed}");
     }
+}
 
-    /// Any fusion (success or failure) destroys exactly the two photons it
-    /// acts on.
-    #[test]
-    fn fusion_destroys_exactly_two_qubits(
-        mut g in random_graph(12),
-        sa in 0usize..12,
-        sb in 0usize..12,
-        success in proptest::bool::ANY,
-    ) {
-        let verts: Vec<_> = g.vertices().collect();
-        let a = verts[sa % verts.len()];
-        let b = verts[sb % verts.len()];
-        prop_assume!(a != b);
+/// Any fusion (success or failure) destroys exactly the two photons it acts
+/// on.
+#[test]
+fn fusion_destroys_exactly_two_qubits() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(&mut rng, 12);
+        let a = pick_vertex(&mut rng, &g);
+        let b = pick_vertex(&mut rng, &g);
+        if a == b {
+            continue;
+        }
         let before = g.vertex_count();
-        let outcome = if success { FusionOutcome::Success } else { FusionOutcome::Failure };
+        let outcome = if rng.gen_bool(0.5) {
+            FusionOutcome::Success
+        } else {
+            FusionOutcome::Failure
+        };
         g.fuse(a, b, outcome).unwrap();
-        prop_assert_eq!(g.vertex_count(), before - 2);
-        prop_assert!(!g.contains(a));
-        prop_assert!(!g.contains(b));
+        assert_eq!(g.vertex_count(), before - 2, "seed {seed}");
+        assert!(!g.contains(a), "seed {seed}");
+        assert!(!g.contains(b), "seed {seed}");
     }
+}
 
-    /// Z-measurement removes exactly one vertex and all of its incident
-    /// edges.
-    #[test]
-    fn measure_z_removes_one_vertex(mut g in random_graph(12), sel in 0usize..12) {
-        let verts: Vec<_> = g.vertices().collect();
-        let v = verts[sel % verts.len()];
+/// Z-measurement removes exactly one vertex and all of its incident edges.
+#[test]
+fn measure_z_removes_one_vertex() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(&mut rng, 12);
+        let v = pick_vertex(&mut rng, &g);
         let deg = g.degree(v).unwrap();
         let edges_before = g.edge_count();
         let count_before = g.vertex_count();
         g.measure_z(v).unwrap();
-        prop_assert_eq!(g.vertex_count(), count_before - 1);
-        prop_assert_eq!(g.edge_count(), edges_before - deg);
+        assert_eq!(g.vertex_count(), count_before - 1, "seed {seed}");
+        assert_eq!(g.edge_count(), edges_before - deg, "seed {seed}");
     }
+}
 
-    /// The union-find structure agrees with BFS-based connectivity on the
-    /// same random graph.
-    #[test]
-    fn dsu_matches_bfs_connectivity(g in random_graph(10), qa in 0usize..10, qb in 0usize..10) {
+/// The union-find structure agrees with BFS-based connectivity on the same
+/// random graph.
+#[test]
+fn dsu_matches_bfs_connectivity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 10);
         let n = g.id_bound();
         let mut dsu = DisjointSet::new(n);
         for (a, b) in g.edges() {
             dsu.union(a, b);
         }
-        let verts: Vec<_> = g.vertices().collect();
-        let a = verts[qa % verts.len()];
-        let b = verts[qb % verts.len()];
-        prop_assert_eq!(dsu.same_set(a, b), g.connected(a, b));
+        let a = pick_vertex(&mut rng, &g);
+        let b = pick_vertex(&mut rng, &g);
+        assert_eq!(
+            dsu.same_set(a, b),
+            g.connected(a, b),
+            "seed {seed}: DSU and BFS disagree on ({a}, {b})"
+        );
     }
+}
 
-    /// Composing a random word of ±π/2 rotations with its inverse always
-    /// yields the identity, and basis conjugation by the identity is a
-    /// no-op.
-    #[test]
-    fn clifford_word_inverse(word in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 0..8), alpha in 0.0f64..6.28) {
-        let mut u = LocalClifford::identity();
-        for (is_x, positive) in word {
-            let gen = if is_x { LocalClifford::sqrt_x(positive) } else { LocalClifford::sqrt_z(positive) };
-            u = gen.compose(&u);
+/// The CSR snapshot reports exactly the adjacency of the live graph.
+#[test]
+fn csr_snapshot_matches_adjacency() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(&mut rng, 12);
+        // Remove a couple of vertices so the snapshot must skip holes.
+        for _ in 0..2 {
+            if g.vertex_count() > 2 {
+                let v = pick_vertex(&mut rng, &g);
+                g.remove_vertex(v);
+            }
         }
+        let csr = g.snapshot_csr();
+        assert_eq!(csr.vertex_bound(), g.id_bound(), "seed {seed}");
+        assert_eq!(csr.edge_count(), g.edge_count(), "seed {seed}");
+        for v in 0..g.id_bound() {
+            let expected: Vec<u32> = g
+                .neighbors(v)
+                .map(|s| s.iter().map(|&u| u as u32).collect())
+                .unwrap_or_default();
+            assert_eq!(csr.neighbors(v), expected.as_slice(), "seed {seed}, vertex {v}");
+        }
+    }
+}
+
+fn random_clifford_word(rng: &mut StdRng, max_len: usize) -> LocalClifford {
+    let len = rng.gen_range(0..max_len + 1);
+    let mut u = LocalClifford::identity();
+    for _ in 0..len {
+        let is_x = rng.gen_bool(0.5);
+        let positive = rng.gen_bool(0.5);
+        let gen = if is_x {
+            LocalClifford::sqrt_x(positive)
+        } else {
+            LocalClifford::sqrt_z(positive)
+        };
+        u = gen.compose(&u);
+    }
+    u
+}
+
+/// Composing a random word of ±π/2 rotations with its inverse always yields
+/// the identity, and basis conjugation by the identity is a no-op.
+#[test]
+fn clifford_word_inverse() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_clifford_word(&mut rng, 8);
         let round = u.inverse().compose(&u);
-        prop_assert!(round.is_identity());
+        assert!(round.is_identity(), "seed {seed}");
+        let alpha: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let m = MeasBasis::equatorial(alpha);
-        prop_assert!(m.conjugated_by(&LocalClifford::identity()).approx_eq(&m));
+        assert!(m.conjugated_by(&LocalClifford::identity()).approx_eq(&m), "seed {seed}");
     }
+}
 
-    /// Conjugating a basis by u and then by u⁻¹ restores the original basis.
-    #[test]
-    fn basis_conjugation_roundtrip(word in proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 0..6), alpha in 0.0f64..6.28) {
-        let mut u = LocalClifford::identity();
-        for (is_x, positive) in word {
-            let gen = if is_x { LocalClifford::sqrt_x(positive) } else { LocalClifford::sqrt_z(positive) };
-            u = gen.compose(&u);
-        }
+/// Conjugating a basis by u and then by u⁻¹ restores the original basis.
+#[test]
+fn basis_conjugation_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_clifford_word(&mut rng, 6);
+        let alpha: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let m = MeasBasis::equatorial(alpha);
         let roundtrip = m.conjugated_by(&u).conjugated_by(&u.inverse());
-        prop_assert!(roundtrip.approx_eq(&m), "got {} expected {}", roundtrip, m);
+        assert!(roundtrip.approx_eq(&m), "seed {seed}: got {roundtrip} expected {m}");
     }
 }

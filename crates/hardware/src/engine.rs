@@ -70,6 +70,11 @@ pub struct FusionEngine {
     strategy: FusionStrategy,
     sampler: FusionSampler,
     raw_rsl_consumed: u64,
+    /// Per-site scratch reused across layers: remaining leaves after the
+    /// merging phase, then the in-plane bond budget. Kept on the engine so
+    /// the steady-state per-RSL loop allocates nothing.
+    site_leaves: Vec<usize>,
+    inplane_budget: Vec<usize>,
 }
 
 impl FusionEngine {
@@ -79,6 +84,8 @@ impl FusionEngine {
             strategy: FusionStrategy::new(config),
             sampler: FusionSampler::new(config.effective_fusion_prob(), seed),
             raw_rsl_consumed: 0,
+            site_leaves: Vec::new(),
+            inplane_budget: Vec::new(),
         }
     }
 
@@ -113,13 +120,25 @@ impl FusionEngine {
     /// Executes the fusion strategy for one effective layer and returns the
     /// resulting random physical graph state in site-lattice form.
     pub fn generate_layer(&mut self) -> PhysicalLayer {
+        let n = self.config().rsl_size;
+        let mut layer = PhysicalLayer::blank(n, n);
+        self.generate_layer_into(&mut layer);
+        layer
+    }
+
+    /// Executes the fusion strategy for one effective layer, writing the
+    /// result into `layer` (resized and reset as needed). Combined with the
+    /// engine-held per-site scratch this makes steady-state layer generation
+    /// allocation-free, which is what the online per-RSL loop of the
+    /// reshaping pass uses.
+    pub fn generate_layer_into(&mut self, layer: &mut PhysicalLayer) {
         let cfg = *self.config();
         let n = cfg.rsl_size;
         let m = cfg.merging_factor();
         let base_degree = cfg.resource_state_degree();
         let stats_before = self.sampler.stats();
 
-        let mut layer = PhysicalLayer::blank(n, n);
+        layer.reset_blank(n, n);
         layer.raw_rsl_consumed = m;
         self.raw_rsl_consumed += m as u64;
 
@@ -128,7 +147,7 @@ impl FusionEngine {
         // the incoming star (which is recovered into a smaller star by local
         // complementation, Section 4.2); the retry uses the remaining
         // degrees (collective feed-forward, Section 4.3).
-        let mut site_leaves: Vec<usize> = Vec::with_capacity(n * n);
+        self.site_leaves.clear();
         for _ in 0..(n * n) {
             let mut cluster = base_degree;
             for _ in 0..(m - 1) {
@@ -145,7 +164,7 @@ impl FusionEngine {
                     incoming -= 1;
                 }
             }
-            site_leaves.push(cluster);
+            self.site_leaves.push(cluster);
         }
 
         // Reserve one temporal port (a photon kept for fusing towards a
@@ -154,8 +173,8 @@ impl FusionEngine {
         // port, so a single reservation per site suffices — the paper's
         // strategy likewise keeps the redundant degrees for retries rather
         // than parking them.
-        let mut inplane_budget: Vec<usize> = Vec::with_capacity(n * n);
-        for (i, &leaves) in site_leaves.iter().enumerate() {
+        self.inplane_budget.clear();
+        for (i, &leaves) in self.site_leaves.iter().enumerate() {
             let mut remaining = leaves;
             let forward = remaining >= 1;
             if forward {
@@ -164,8 +183,11 @@ impl FusionEngine {
             let (x, y) = (i % n, i / n);
             layer.set_temporal_port(x, y, forward);
             layer.set_site_present(x, y, leaves >= 2);
-            inplane_budget.push(remaining);
+            self.inplane_budget.push(remaining);
         }
+        // Split borrows: the bond loop below mutates the budget while
+        // drawing from the sampler.
+        let FusionEngine { sampler, inplane_budget, .. } = self;
 
         // Phase 2: in-plane leaf-leaf bonds. Every bond consumes one leaf at
         // each endpoint; failed bonds are retried when both endpoints still
@@ -203,7 +225,7 @@ impl FusionEngine {
                     }
                     inplane_budget[a] -= 1;
                     inplane_budget[b] -= 1;
-                    let mut ok = self.sampler.sample().is_success();
+                    let mut ok = sampler.sample().is_success();
                     if !ok {
                         // Collective retry with redundant degrees.
                         let spare_a = inplane_budget[a] > remaining_bonds(x, y);
@@ -211,7 +233,7 @@ impl FusionEngine {
                         if spare_a && spare_b {
                             inplane_budget[a] -= 1;
                             inplane_budget[b] -= 1;
-                            ok = self.sampler.sample().is_success();
+                            ok = sampler.sample().is_success();
                         }
                     }
                     if ok {
@@ -225,10 +247,9 @@ impl FusionEngine {
             }
         }
 
-        let stats_after = self.sampler.stats();
+        let stats_after = sampler.stats();
         layer.fusions_attempted = stats_after.attempted - stats_before.attempted;
         layer.fusions_succeeded = stats_after.succeeded - stats_before.succeeded;
-        layer
     }
 }
 

@@ -1,6 +1,6 @@
 //! The site-lattice representation of one random physical graph state layer.
 
-use graphstate::{DisjointSet, GraphState};
+use graphstate::{CsrSnapshot, DisjointSet, GraphState};
 
 /// One (merged) resource-state layer after the fusion strategy has run: a
 /// random subgraph of the `width × height` square lattice.
@@ -75,10 +75,61 @@ impl PhysicalLayer {
         layer
     }
 
+    /// Resets this layer to the blank state (all sites present, no bonds,
+    /// all temporal ports available) of the given dimensions, reusing the
+    /// existing allocations. The per-RSL online loop calls this instead of
+    /// [`PhysicalLayer::blank`] so steady-state layer generation performs no
+    /// heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn reset_blank(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "layer dimensions must be positive");
+        let n = width * height;
+        self.width = width;
+        self.height = height;
+        self.site_present.clear();
+        self.site_present.resize(n, true);
+        self.bond_east.clear();
+        self.bond_east.resize(n, false);
+        self.bond_north.clear();
+        self.bond_north.resize(n, false);
+        self.temporal_port.clear();
+        self.temporal_port.resize(n, true);
+        self.raw_rsl_consumed = 1;
+        self.fusions_attempted = 0;
+        self.fusions_succeeded = 0;
+    }
+
     #[inline]
     fn idx(&self, x: usize, y: usize) -> usize {
         debug_assert!(x < self.width && y < self.height);
         y * self.width + x
+    }
+
+    /// Whether the site at flat index `i` (row-major `y * width + x`) holds
+    /// a usable resource state. Flat-index twin of
+    /// [`PhysicalLayer::site_present`] for the percolation hot path.
+    #[inline]
+    pub fn site_present_at(&self, i: usize) -> bool {
+        self.site_present[i]
+    }
+
+    /// Whether the bond from flat site `i` to its east neighbor `i + 1` is
+    /// present. Sites in the last column never store an east bond (the
+    /// setter rejects them), so the raw read needs no column check.
+    #[inline]
+    pub fn bond_east_at(&self, i: usize) -> bool {
+        self.bond_east[i]
+    }
+
+    /// Whether the bond from flat site `i` to its north neighbor
+    /// `i + width` is present. Sites in the last row never store a north
+    /// bond, so the raw read needs no row check.
+    #[inline]
+    pub fn bond_north_at(&self, i: usize) -> bool {
+        self.bond_north[i]
     }
 
     /// Number of sites in the layer.
@@ -250,6 +301,42 @@ impl PhysicalLayer {
         g
     }
 
+    /// Builds a compressed-sparse-row snapshot of the bond graph directly
+    /// from the site lattice (vertex id = `y * width + x`, the flat site
+    /// index). Equivalent to `self.to_graph().snapshot_csr()` but skips the
+    /// intermediate mutable graph, which matters when percolation analyses
+    /// take one read-only snapshot per RSL.
+    pub fn to_csr(&self) -> CsrSnapshot {
+        let n = self.site_count();
+        let w = self.width;
+        // A bond (i, j) with i < j contributes j to row i and i to row j.
+        // The four neighbor directions of a site are visited in increasing
+        // flat-index order (i - w, i - 1, i + 1, i + w), so each row of the
+        // CSR comes out sorted without a sort pass.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * self.bond_count());
+        offsets.push(0u32);
+        for i in 0..n {
+            if self.site_present[i] {
+                let (x, y) = (i % w, i / w);
+                if y > 0 && self.site_present[i - w] && self.bond_north[i - w] {
+                    targets.push((i - w) as u32);
+                }
+                if x > 0 && self.site_present[i - 1] && self.bond_east[i - 1] {
+                    targets.push((i - 1) as u32);
+                }
+                if x + 1 < w && self.site_present[i + 1] && self.bond_east[i] {
+                    targets.push((i + 1) as u32);
+                }
+                if y + 1 < self.height && self.site_present[i + w] && self.bond_north[i] {
+                    targets.push((i + w) as u32);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrSnapshot::from_parts(offsets, targets)
+    }
+
     /// Linear index of the site at `(x, y)` (row-major), matching the vertex
     /// ids of [`PhysicalLayer::to_graph`] and [`PhysicalLayer::connectivity`].
     pub fn site_index(&self, x: usize, y: usize) -> usize {
@@ -315,5 +402,74 @@ mod tests {
     fn bond_off_the_edge_panics() {
         let mut layer = PhysicalLayer::blank(2, 2);
         layer.set_bond_east(1, 0, true);
+    }
+
+    #[test]
+    fn flat_index_accessors_match_coordinates() {
+        let mut layer = PhysicalLayer::blank(4, 3);
+        layer.set_bond_east(1, 2, true);
+        layer.set_bond_north(3, 1, true);
+        layer.set_site_present(2, 0, false);
+        for y in 0..3 {
+            for x in 0..4 {
+                let i = layer.site_index(x, y);
+                assert_eq!(layer.site_present_at(i), layer.site_present(x, y));
+                assert_eq!(layer.bond_east_at(i), layer.bond_east(x, y));
+                assert_eq!(layer.bond_north_at(i), layer.bond_north(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_blank_reuses_and_resizes() {
+        let mut layer = PhysicalLayer::fully_connected(6, 6);
+        layer.raw_rsl_consumed = 9;
+        layer.fusions_attempted = 5;
+        layer.reset_blank(6, 6);
+        assert_eq!(layer.bond_count(), 0);
+        assert_eq!(layer.raw_rsl_consumed, 1);
+        assert_eq!(layer.fusions_attempted, 0);
+        assert!(layer.site_present(5, 5));
+        // Resizing to a different geometry also works.
+        layer.reset_blank(3, 8);
+        assert_eq!(layer.width, 3);
+        assert_eq!(layer.height, 8);
+        assert_eq!(layer.site_count(), 24);
+        assert_eq!(layer.bond_count(), 0);
+    }
+
+    #[test]
+    fn csr_matches_graph_snapshot() {
+        let mut layer = PhysicalLayer::fully_connected(5, 4);
+        layer.set_site_present(2, 1, false);
+        layer.set_bond_east(0, 0, false);
+        let direct = layer.to_csr();
+        let via_graph = layer.to_graph().snapshot_csr();
+        assert_eq!(direct, via_graph);
+        assert_eq!(direct.largest_component_size(), layer.largest_component_size());
+    }
+
+    #[test]
+    fn generate_layer_into_matches_generate_layer() {
+        use crate::config::HardwareConfig;
+        use crate::engine::FusionEngine;
+        let cfg = HardwareConfig::new(12, 4, 0.75);
+        let mut a = FusionEngine::new(cfg, 31);
+        let mut b = FusionEngine::new(cfg, 31);
+        let mut reused = PhysicalLayer::blank(1, 1);
+        for _ in 0..3 {
+            let fresh = a.generate_layer();
+            b.generate_layer_into(&mut reused);
+            assert_eq!(fresh.bond_count(), reused.bond_count());
+            assert_eq!(fresh.fusions_attempted, reused.fusions_attempted);
+            for y in 0..12 {
+                for x in 0..12 {
+                    assert_eq!(fresh.site_present(x, y), reused.site_present(x, y));
+                    assert_eq!(fresh.bond_east(x, y), reused.bond_east(x, y));
+                    assert_eq!(fresh.bond_north(x, y), reused.bond_north(x, y));
+                    assert_eq!(fresh.temporal_port(x, y), reused.temporal_port(x, y));
+                }
+            }
+        }
     }
 }

@@ -298,10 +298,10 @@ impl FlexLatticeIr {
         if to_layer - from_layer == 1 && from_coord != to_coord {
             return Err(IrError::NotAdjacent { a: from_coord, b: to_coord });
         }
-        if self.layers[from_layer].get(&from_coord).is_none() {
+        if !self.layers[from_layer].contains_key(&from_coord) {
             return Err(IrError::MissingNode { layer: from_layer, coord: from_coord });
         }
-        if self.layers[to_layer].get(&to_coord).is_none() {
+        if !self.layers[to_layer].contains_key(&to_coord) {
             return Err(IrError::MissingNode { layer: to_layer, coord: to_coord });
         }
         // The earlier node may have at most one edge towards subsequent
@@ -410,7 +410,7 @@ impl FlexLatticeIr {
                     if from >= idx {
                         return Err(IrError::InvalidTemporalOrder { from, to: idx });
                     }
-                    if self.layers[from].get(&from_coord).is_none() {
+                    if !self.layers[from].contains_key(&from_coord) {
                         return Err(IrError::MissingNode { layer: from, coord: from_coord });
                     }
                     if idx - from == 1 && from_coord != (x, y) {

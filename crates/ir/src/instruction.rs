@@ -146,7 +146,7 @@ impl InstructionProgram {
         for edge in ir.temporal_edges() {
             edges_by_layer[edge.to_layer].push(edge);
         }
-        for layer in 0..ir.layer_count() {
+        for (layer, layer_edges) in edges_by_layer.iter().enumerate() {
             // Deterministic order: row-major over the layer.
             let mut coords: Vec<(usize, usize)> = ir
                 .hardware()
@@ -186,7 +186,7 @@ impl InstructionProgram {
                 }
             }
             // Temporal edges terminating on this layer.
-            for edge in edges_by_layer[layer].iter().copied() {
+            for edge in layer_edges.iter().copied() {
                 let (tx, ty) = edge.to_coord;
                 if edge.is_cross_layer() {
                     // Retrieve the stored node just below the destination

@@ -418,15 +418,8 @@ fn pending_pairs(live: &HashMap<usize, Live>) -> Vec<(usize, usize)> {
 }
 
 fn neighbor_ids(program: &ProgramGraph, g: usize) -> Vec<usize> {
-    program
-        .graph()
-        .neighbors(g)
-        .map(|s| {
-            let mut v: Vec<usize> = s.iter().copied().collect();
-            v.sort_unstable();
-            v
-        })
-        .unwrap_or_default()
+    // GraphState neighbor slices are already sorted by id.
+    program.graph().neighbors(g).map(<[usize]>::to_vec).unwrap_or_default()
 }
 
 /// Places a fresh program node and registers it as live.
@@ -517,7 +510,7 @@ fn choose_coord(
                 .map(|&(x, y)| x.abs_diff(coord.0) + y.abs_diff(coord.1))
                 .sum()
         };
-        if best.map_or(true, |(_, s)| score < s) {
+        if best.is_none_or(|(_, s)| score < s) {
             best = Some((coord, score));
         }
     }

@@ -21,6 +21,25 @@
 //!   adjacent-layer and cross-layer time-like connections requested by the
 //!   IR program (Section 5.2).
 //!
+//! # Flat-index site convention
+//!
+//! This crate addresses physical sites by **dense flat index**: the site at
+//! column `x`, row `y` of a `W × H` layer is the `u32` value `y * W + x`,
+//! matching [`oneperc_hardware::PhysicalLayer::site_index`] and the vertex
+//! ids of [`oneperc_hardware::PhysicalLayer::to_graph`]. Consequences:
+//!
+//! * Neighbor arithmetic is `±1` (east/west) and `±W` (north/south); no
+//!   coordinate pairs are hashed anywhere on the online hot path.
+//! * [`RenormalizedLattice`] stores coarse-node representatives and paths
+//!   as flat indices. [`RenormalizedLattice::site_coords`] and
+//!   [`RenormalizedLattice::path_coords`] decode them back to `(x, y)` for
+//!   presentation-layer consumers.
+//! * All per-search working memory (BFS predecessor/visited arrays, the
+//!   queue, path-membership stamps, the joining union-find) lives in a
+//!   [`ScratchPool`] that is epoch-stamped and reused across bands,
+//!   modules and RSLs, so the steady-state per-RSL loop allocates only its
+//!   outputs.
+//!
 //! # Example
 //!
 //! ```
@@ -38,10 +57,12 @@
 
 mod modular;
 mod renormalize;
+mod scratch;
 mod timelike;
 
-pub use modular::{ModularConfig, ModularRenormalizer};
+pub use modular::{ModularConfig, ModularOutcome, ModularRenormalizer, ModuleLayout};
 pub use renormalize::{renormalize, RenormalizedLattice, Renormalizer};
+pub use scratch::ScratchPool;
 pub use timelike::{
     LayerRequirement, LogicalLayerReport, ReshapeConfig, ReshapeEngine, ReshapeStats,
     TemporalRequirement,

@@ -4,11 +4,11 @@
 //! lifetime, the RSL is split into `g × g` modules of side `L_module`
 //! separated by joining intervals of width `L_interval` (the *MI ratio* is
 //! `L_module / L_interval`). Modules are renormalized independently — and,
-//! in this implementation, in parallel OS threads — and then joined by
-//! searching connecting paths across the intervals. An entire coarse row or
-//! column of the joined lattice only survives if every inter-module joining
-//! path along it is found, which is the resource overhead studied in
-//! Fig. 13(c).
+//! in this implementation, in parallel OS threads, each with its own
+//! flat-grid scratch — and then joined by searching connecting paths across
+//! the intervals. An entire coarse row or column of the joined lattice only
+//! survives if every inter-module joining path along it is found, which is
+//! the resource overhead studied in Fig. 13(c).
 
 use graphstate::DisjointSet;
 use oneperc_hardware::PhysicalLayer;
@@ -135,24 +135,32 @@ impl ModularRenormalizer {
             .flat_map(|gy| (0..g).map(move |gx| (gx * stride, gy * stride)))
             .collect();
 
-        let renorm = Renormalizer::new();
-        let run_one = |&(ox, oy): &(usize, usize)| -> RenormalizedLattice {
+        let run_one = |r: &mut Renormalizer, &(ox, oy): &(usize, usize)| -> RenormalizedLattice {
             let w = layout.module_len.min(layer.width.saturating_sub(ox));
             let h = layout.module_len.min(layer.height.saturating_sub(oy));
-            renorm.renormalize_region(layer, (ox, oy), w, h, node_size)
+            r.renormalize_region(layer, (ox, oy), w, h, node_size)
         };
 
+        // One renormalizer (and thus one scratch pool) per worker; the
+        // sequential worker is kept afterwards so the joining step reuses
+        // its union-find.
+        let mut renorm = Renormalizer::new();
         let modules: Vec<RenormalizedLattice> = if self.config.parallel && g > 1 {
             std::thread::scope(|scope| {
                 let run_one = &run_one;
                 let handles: Vec<_> = origins
                     .iter()
-                    .map(|origin| scope.spawn(move || run_one(origin)))
+                    .map(|origin| {
+                        scope.spawn(move || {
+                            let mut r = Renormalizer::new();
+                            run_one(&mut r, origin)
+                        })
+                    })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("module thread panicked")).collect()
             })
         } else {
-            origins.iter().map(run_one).collect()
+            origins.iter().map(|o| run_one(&mut renorm, o)).collect()
         };
 
         let module_nodes: usize = modules.iter().map(RenormalizedLattice::node_count).sum();
@@ -162,12 +170,15 @@ impl ModularRenormalizer {
         // adjacent modules, each coarse column. We check connectivity of the
         // interval strip between the two facing module edges with a
         // union-find restricted to the strip (plus one site of each module
-        // edge), which mirrors the paper's connected-path joining.
+        // edge), which mirrors the paper's connected-path joining. The
+        // union-find comes from the worker's scratch pool and is reset —
+        // not reallocated — per join.
         let mut joins_attempted = 0usize;
         let mut joins_found = 0usize;
-        let mut row_ok = vec![true; g * modules.first().map_or(0, |m| m.target_side())];
-        let mut col_ok = vec![true; g * modules.first().map_or(0, |m| m.target_side())];
         let k = modules.first().map_or(0, |m| m.target_side());
+        let mut row_ok = vec![true; g * k];
+        let mut col_ok = vec![true; g * k];
+        let dsu = &mut renorm.scratch_mut().dsu;
 
         if g > 1 && layout.interval_len > 0 && k > 0 {
             for gy in 0..g {
@@ -186,6 +197,7 @@ impl ModularRenormalizer {
                                 layout,
                                 row,
                                 true,
+                                dsu,
                             );
                             if ok {
                                 joins_found += 1;
@@ -207,6 +219,7 @@ impl ModularRenormalizer {
                                 layout,
                                 col,
                                 false,
+                                dsu,
                             );
                             if ok {
                                 joins_found += 1;
@@ -227,7 +240,7 @@ impl ModularRenormalizer {
                 let m = &modules[gy * g + gx];
                 for i in 0..m.target_side() {
                     for j in 0..m.target_side() {
-                        if m.node_site(i, j).is_none() {
+                        if m.node_flat(i, j).is_none() {
                             continue;
                         }
                         let global_row_ok = g == 1 || row_ok.get(gy * k + j).copied().unwrap_or(true);
@@ -263,6 +276,7 @@ impl ModularRenormalizer {
         layout: ModuleLayout,
         lane: usize,
         horizontal: bool,
+        dsu: &mut DisjointSet,
     ) -> bool {
         // Endpoints: the end of `from`'s lane path facing the interval and
         // the start of `to`'s lane path on the other side.
@@ -273,6 +287,8 @@ impl ModularRenormalizer {
         };
         let Some(&start) = from_path.last() else { return false };
         let Some(&goal) = to_path.first() else { return false };
+        let start = from.site_coords(start);
+        let goal = to.site_coords(goal);
 
         // Strip region covering the interval plus one site on either side.
         let (sx_lo, sx_hi, sy_lo, sy_hi) = if horizontal {
@@ -307,7 +323,7 @@ impl ModularRenormalizer {
         let w = sx_hi.min(layer.width - 1) - sx_lo + 1;
         let h = sy_hi.min(layer.height - 1) - sy_lo + 1;
         let local = |x: usize, y: usize| (y - sy_lo) * w + (x - sx_lo);
-        let mut dsu = DisjointSet::new(w * h);
+        dsu.reset(w * h);
         for y in sy_lo..sy_lo + h {
             for x in sx_lo..sx_lo + w {
                 if !allowed(x, y) {

@@ -1,4 +1,5 @@
-//! 2D renormalization of a single resource-state layer (Section 5.1).
+//! 2D renormalization of a single resource-state layer (Section 5.1),
+//! implemented on the flat site grid.
 //!
 //! The largest connected component of the random physical graph state is
 //! reshaped into a coarse-grained `k × k` square lattice by searching `k`
@@ -7,26 +8,38 @@
 //! distinct same-orientation paths separated and guarantees (by planarity)
 //! that a vertical and a horizontal path that both exist intersect inside
 //! their common block; the intersection site becomes the renormalized node.
-//! Connectivity is pre-checked with a disjoint-set structure before the BFS
-//! shortest-path search, exactly as prescribed by the paper.
+//!
+//! All state is dense: sites are flat `u32` indices (`y * width + x`), the
+//! band-restricted BFS runs over epoch-stamped scratch arrays from a
+//! [`ScratchPool`](crate::ScratchPool), and path-intersection tests are
+//! stamp lookups instead of hash-set probes. The BFS itself doubles as the
+//! connectivity check (an exhausted frontier *is* the proof that the band
+//! does not percolate), so no per-band union-find is built.
 
-use std::collections::{HashMap, VecDeque};
-
-use graphstate::DisjointSet;
 use oneperc_hardware::PhysicalLayer;
 
+use crate::scratch::{ScratchPool, NO_SITE};
+
 /// The outcome of renormalizing one RSL.
+///
+/// Sites are stored as flat `u32` indices into the layer
+/// (`y * layer_width + x`); [`RenormalizedLattice::site_coords`] decodes
+/// them back to coordinates.
 #[derive(Debug, Clone)]
 pub struct RenormalizedLattice {
     target_side: usize,
     node_size: usize,
-    /// Representative physical site of each coarse node, keyed by coarse
-    /// coordinate `(i, j)`.
-    nodes: HashMap<(usize, usize), (usize, usize)>,
-    /// Vertical path (site coordinates) for each coarse column, when found.
-    v_paths: Vec<Option<Vec<(usize, usize)>>>,
+    /// Width of the layer the lattice was extracted from (for decoding flat
+    /// site indices).
+    layer_width: usize,
+    /// Representative physical site of coarse node `(i, j)` at slot
+    /// `i * target_side + j`, or [`u32::MAX`] when the node was not
+    /// realized.
+    nodes: Vec<u32>,
+    /// Vertical path (flat site indices) for each coarse column, when found.
+    v_paths: Vec<Option<Vec<u32>>>,
     /// Horizontal path for each coarse row, when found.
-    h_paths: Vec<Option<Vec<(usize, usize)>>>,
+    h_paths: Vec<Option<Vec<u32>>>,
 }
 
 impl RenormalizedLattice {
@@ -40,31 +53,65 @@ impl RenormalizedLattice {
         self.node_size
     }
 
+    /// Width of the layer this lattice was extracted from; flat site
+    /// indices decode as `(idx % width, idx / width)`.
+    pub fn layer_width(&self) -> usize {
+        self.layer_width
+    }
+
+    /// Decodes a flat site index into `(x, y)` coordinates.
+    #[inline]
+    pub fn site_coords(&self, flat: u32) -> (usize, usize) {
+        let w = self.layer_width;
+        (flat as usize % w, flat as usize / w)
+    }
+
     /// Returns `true` when every coarse node of the `k × k` target was
     /// realized.
     pub fn is_success(&self) -> bool {
-        self.nodes.len() == self.target_side * self.target_side
+        self.nodes.iter().all(|&s| s != NO_SITE)
     }
 
     /// Number of coarse nodes realized.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.iter().filter(|&&s| s != NO_SITE).count()
     }
 
-    /// Representative physical site of the coarse node `(i, j)`, if it was
-    /// realized.
+    /// Flat physical site of the coarse node `(i, j)`, if it was realized.
+    pub fn node_flat(&self, i: usize, j: usize) -> Option<u32> {
+        let s = *self.nodes.get(i * self.target_side + j)?;
+        if s == NO_SITE {
+            None
+        } else {
+            Some(s)
+        }
+    }
+
+    /// Representative physical site of the coarse node `(i, j)` in
+    /// coordinates, if it was realized.
     pub fn node_site(&self, i: usize, j: usize) -> Option<(usize, usize)> {
-        self.nodes.get(&(i, j)).copied()
+        self.node_flat(i, j).map(|s| self.site_coords(s))
     }
 
-    /// The vertical path realizing coarse column `i`, if found.
-    pub fn v_path(&self, i: usize) -> Option<&[(usize, usize)]> {
+    /// The vertical path realizing coarse column `i` as flat site indices,
+    /// if found.
+    pub fn v_path(&self, i: usize) -> Option<&[u32]> {
         self.v_paths.get(i).and_then(|p| p.as_deref())
     }
 
-    /// The horizontal path realizing coarse row `j`, if found.
-    pub fn h_path(&self, j: usize) -> Option<&[(usize, usize)]> {
+    /// The horizontal path realizing coarse row `j` as flat site indices,
+    /// if found.
+    pub fn h_path(&self, j: usize) -> Option<&[u32]> {
         self.h_paths.get(j).and_then(|p| p.as_deref())
+    }
+
+    /// Iterator decoding a path returned by [`RenormalizedLattice::v_path`]
+    /// or [`RenormalizedLattice::h_path`] into `(x, y)` coordinates.
+    pub fn path_coords<'a>(
+        &'a self,
+        path: &'a [u32],
+    ) -> impl Iterator<Item = (usize, usize)> + 'a {
+        path.iter().map(move |&s| self.site_coords(s))
     }
 
     /// Number of vertical paths found.
@@ -80,25 +127,61 @@ impl RenormalizedLattice {
     /// Total physical sites consumed by the coarse structure (paths and
     /// nodes); the remaining qubits would be measured out in the `Z` basis.
     pub fn consumed_sites(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        for p in self.v_paths.iter().chain(self.h_paths.iter()).flatten() {
-            seen.extend(p.iter().copied());
-        }
-        seen.len()
+        let mut sites: Vec<u32> = self
+            .v_paths
+            .iter()
+            .chain(self.h_paths.iter())
+            .flatten()
+            .flat_map(|p| p.iter().copied())
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
     }
 }
 
-/// Reusable renormalizer holding scratch buffers; use [`renormalize`] for
-/// one-off calls.
+/// Reusable renormalizer holding the scratch memory of the flat-grid
+/// engine; use [`renormalize`] for one-off calls and keep one
+/// `Renormalizer` alive when processing a stream of RSLs (as
+/// [`crate::ReshapeEngine`] does) so the per-layer steady state allocates
+/// only the output paths.
 #[derive(Debug, Clone, Default)]
 pub struct Renormalizer {
-    _private: (),
+    scratch: ScratchPool,
+}
+
+/// Geometry of one band-restricted search, in flat-grid terms.
+struct Band {
+    /// Inclusive lower x bound.
+    x_lo: usize,
+    /// Exclusive upper x bound.
+    x_hi: usize,
+    /// Inclusive lower y bound.
+    y_lo: usize,
+    /// Exclusive upper y bound.
+    y_hi: usize,
+    /// `true` for a vertical (top-to-bottom) crossing.
+    vertical: bool,
 }
 
 impl Renormalizer {
-    /// Creates a renormalizer.
+    /// Creates a renormalizer with an empty scratch pool.
     pub fn new() -> Self {
-        Renormalizer { _private: () }
+        Renormalizer::default()
+    }
+
+    /// Renormalizes an entire layer with the given average node size; see
+    /// [`renormalize`] for the one-off convenience wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node_size` is zero or larger than the layer.
+    pub fn renormalize(&mut self, layer: &PhysicalLayer, node_size: usize) -> RenormalizedLattice {
+        assert!(
+            node_size > 0 && node_size <= layer.width && node_size <= layer.height,
+            "node size must be positive and fit in the layer"
+        );
+        self.renormalize_region(layer, (0, 0), layer.width, layer.height, node_size)
     }
 
     /// Renormalizes a sub-rectangle of the layer (used by the modular
@@ -106,7 +189,7 @@ impl Renormalizer {
     /// `width`/`height` its extent; the coarse lattice targets
     /// `width / node_size` columns and `height / node_size` rows.
     pub fn renormalize_region(
-        &self,
+        &mut self,
         layer: &PhysicalLayer,
         origin: (usize, usize),
         width: usize,
@@ -123,33 +206,61 @@ impl Renormalizer {
         let k_rows = height / node_size;
         let k = k_cols.min(k_rows);
 
-        let mut v_paths: Vec<Option<Vec<(usize, usize)>>> = Vec::with_capacity(k);
-        let mut h_paths: Vec<Option<Vec<(usize, usize)>>> = Vec::with_capacity(k);
+        self.scratch.ensure(layer.width * layer.height);
+
+        let mut v_paths: Vec<Option<Vec<u32>>> = Vec::with_capacity(k);
+        let mut h_paths: Vec<Option<Vec<u32>>> = Vec::with_capacity(k);
 
         // Alternating search order (vertical, horizontal, vertical, ...) as
         // suggested by the paper; with disjoint bands the orders only affect
         // scratch locality, so we simply interleave.
         for band in 0..k {
-            v_paths.push(self.search_path(layer, origin, node_size, band, height, true));
-            h_paths.push(self.search_path(layer, origin, node_size, band, width, false));
+            let band_lo = band * node_size;
+            let band_hi = band_lo + node_size;
+            v_paths.push(self.search_path(
+                layer,
+                Band {
+                    x_lo: ox + band_lo,
+                    x_hi: ox + band_hi,
+                    y_lo: oy,
+                    y_hi: oy + height,
+                    vertical: true,
+                },
+            ));
+            h_paths.push(self.search_path(
+                layer,
+                Band {
+                    x_lo: ox,
+                    x_hi: ox + width,
+                    y_lo: oy + band_lo,
+                    y_hi: oy + band_hi,
+                    vertical: false,
+                },
+            ));
         }
 
-        // Intersections become coarse nodes.
-        let mut nodes = HashMap::new();
+        // Intersections become coarse nodes: stamp the sites of each
+        // vertical path, then take the first stamped site along each
+        // horizontal path.
+        let w = layer.width;
+        let mut nodes = vec![NO_SITE; k * k];
         for (i, vp) in v_paths.iter().enumerate() {
             let Some(vp) = vp else { continue };
-            let v_sites: std::collections::HashSet<(usize, usize)> = vp.iter().copied().collect();
+            let mark = self.scratch.begin_mark();
+            for &s in vp {
+                self.scratch.set_mark(s, mark);
+            }
             for (j, hp) in h_paths.iter().enumerate() {
                 let Some(hp) = hp else { continue };
-                if let Some(&site) = hp.iter().find(|s| v_sites.contains(s)) {
-                    nodes.insert((i, j), site);
-                } else {
+                if let Some(&site) = hp.iter().find(|&&s| self.scratch.is_marked(s, mark)) {
+                    nodes[i * k + j] = site;
+                } else if let Some(site) =
+                    closest_block_site(vp, hp, w, node_size, origin, i, j)
+                {
                     // Paths share no site (possible when a band is wider
                     // than the region actually covered); fall back to the
                     // closest pair of sites in the common block.
-                    if let Some(site) = closest_block_site(vp, hp, node_size, origin, i, j) {
-                        nodes.insert((i, j), site);
-                    }
+                    nodes[i * k + j] = site;
                 }
             }
         }
@@ -157,132 +268,103 @@ impl Renormalizer {
         RenormalizedLattice {
             target_side: k,
             node_size,
+            layer_width: w,
             nodes,
             v_paths,
             h_paths,
         }
     }
 
-    /// Searches one band-restricted crossing path. For `vertical == true`
-    /// the path runs from the top row to the bottom row of the region inside
-    /// column band `band`; otherwise from the left column to the right
-    /// column inside row band `band`. Returns the path as site coordinates,
-    /// or `None` when the band does not percolate.
-    fn search_path(
-        &self,
-        layer: &PhysicalLayer,
-        origin: (usize, usize),
-        node_size: usize,
-        band: usize,
-        span: usize,
-        vertical: bool,
-    ) -> Option<Vec<(usize, usize)>> {
-        let (ox, oy) = origin;
-        let band_lo = band * node_size;
-        let band_hi = band_lo + node_size;
+    /// Searches one band-restricted crossing path with a flat-grid BFS. For
+    /// a vertical band the path runs from the top row to the bottom row of
+    /// the region; for a horizontal band from the left column to the right
+    /// column. Returns the path as flat site indices, or `None` when the
+    /// band does not percolate (detected by frontier exhaustion — BFS is
+    /// its own connectivity check).
+    fn search_path(&mut self, layer: &PhysicalLayer, band: Band) -> Option<Vec<u32>> {
+        let w = layer.width;
+        let Band { x_lo, x_hi, y_lo, y_hi, vertical } = band;
+        debug_assert!(x_hi <= layer.width && y_hi <= layer.height);
 
-        // The set of allowed sites: present sites inside the band.
-        let in_band = |x: usize, y: usize| -> bool {
-            if vertical {
-                x >= ox + band_lo && x < ox + band_hi && y >= oy && y < oy + span
-            } else {
-                y >= oy + band_lo && y < oy + band_hi && x >= ox && x < ox + span
+        let epoch = self.scratch.begin_search();
+
+        // Seed the frontier with every present start-edge site of the band.
+        if vertical {
+            let row = y_lo * w;
+            for x in x_lo..x_hi {
+                let i = (row + x) as u32;
+                if layer.site_present_at(i as usize) {
+                    self.scratch.visit(i, NO_SITE, epoch);
+                }
             }
-        };
-        let allowed = |x: usize, y: usize| -> bool {
-            x < layer.width && y < layer.height && in_band(x, y) && layer.site_present(x, y)
-        };
-
-        // Fast connectivity pre-check with a union-find over the band,
-        // joining all start-edge sites to a virtual source and all end-edge
-        // sites to a virtual sink.
-        let band_w = if vertical { node_size } else { span };
-        let band_h = if vertical { span } else { node_size };
-        let local = |x: usize, y: usize| -> usize {
-            let lx = x - (ox + if vertical { band_lo } else { 0 });
-            let ly = y - (oy + if vertical { 0 } else { band_lo });
-            ly * band_w + lx
-        };
-        let n_local = band_w * band_h;
-        let source = n_local;
-        let sink = n_local + 1;
-        let mut dsu = DisjointSet::new(n_local + 2);
-        let (gx0, gy0) = (
-            ox + if vertical { band_lo } else { 0 },
-            oy + if vertical { 0 } else { band_lo },
-        );
-        for ly in 0..band_h {
-            for lx in 0..band_w {
-                let (x, y) = (gx0 + lx, gy0 + ly);
-                if !allowed(x, y) {
-                    continue;
-                }
-                let here = local(x, y);
-                let at_start = if vertical { y == oy } else { x == ox };
-                let at_end = if vertical { y == oy + span - 1 } else { x == ox + span - 1 };
-                if at_start {
-                    dsu.union(here, source);
-                }
-                if at_end {
-                    dsu.union(here, sink);
-                }
-                if x + 1 < layer.width && allowed(x + 1, y) && layer.bond_east(x, y) {
-                    dsu.union(here, local(x + 1, y));
-                }
-                if y + 1 < layer.height && allowed(x, y + 1) && layer.bond_north(x, y) {
-                    dsu.union(here, local(x, y + 1));
+        } else {
+            for y in y_lo..y_hi {
+                let i = (y * w + x_lo) as u32;
+                if layer.site_present_at(i as usize) {
+                    self.scratch.visit(i, NO_SITE, epoch);
                 }
             }
         }
-        if !dsu.same_set(source, sink) {
-            return None;
-        }
 
-        // BFS for the shortest crossing path (self-tangling free by
-        // construction of BFS trees).
-        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n_local];
-        let mut seen = vec![false; n_local];
-        let mut queue = VecDeque::new();
-        for t in 0..node_size {
-            // Seed the frontier with every allowed start-edge site of the band.
-            let (x, y) = if vertical { (gx0 + t, oy) } else { (ox, gy0 + t) };
-            if allowed(x, y) {
-                seen[local(x, y)] = true;
-                queue.push_back((x, y));
-            }
-        }
-        while let Some((x, y)) = queue.pop_front() {
-            let at_end = if vertical { y == oy + span - 1 } else { x == ox + span - 1 };
+        let mut head = 0usize;
+        while let Some(idx) = self.scratch.queue_get(head) {
+            head += 1;
+            let iu = idx as usize;
+            let y = iu / w;
+            let x = iu - y * w;
+
+            let at_end = if vertical { y == y_hi - 1 } else { x == x_hi - 1 };
             if at_end {
-                // Reconstruct.
-                let mut path = vec![(x, y)];
-                let mut cur = (x, y);
-                while let Some(p) = prev[local(cur.0, cur.1)] {
+                // Reconstruct from the predecessor chain.
+                let mut path = vec![idx];
+                let mut cur = idx;
+                loop {
+                    let p = self.scratch.predecessor(cur);
+                    if p == NO_SITE {
+                        break;
+                    }
                     path.push(p);
                     cur = p;
                 }
                 path.reverse();
                 return Some(path);
             }
-            let neighbors = [
-                (x.wrapping_add(1), y, layer.bond_east(x, y)),
-                (x.wrapping_sub(1), y, x > 0 && layer.bond_east(x.wrapping_sub(1), y)),
-                (x, y.wrapping_add(1), layer.bond_north(x, y)),
-                (x, y.wrapping_sub(1), y > 0 && layer.bond_north(x, y.wrapping_sub(1))),
-            ];
-            for (nx, ny, bonded) in neighbors {
-                if !bonded || !allowed(nx, ny) {
-                    continue;
+
+            // Neighbor order (east, west, north, south) matches the
+            // original hash-based implementation so BFS tie-breaking — and
+            // therefore every extracted path — is bit-identical.
+            if x + 1 < x_hi && layer.bond_east_at(iu) {
+                let n = idx + 1;
+                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
+                    self.scratch.visit(n, idx, epoch);
                 }
-                let li = local(nx, ny);
-                if !seen[li] {
-                    seen[li] = true;
-                    prev[li] = Some((x, y));
-                    queue.push_back((nx, ny));
+            }
+            if x > x_lo && layer.bond_east_at(iu - 1) {
+                let n = idx - 1;
+                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
+                    self.scratch.visit(n, idx, epoch);
+                }
+            }
+            if y + 1 < y_hi && layer.bond_north_at(iu) {
+                let n = idx + w as u32;
+                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
+                    self.scratch.visit(n, idx, epoch);
+                }
+            }
+            if y > y_lo && layer.bond_north_at(iu - w) {
+                let n = idx - w as u32;
+                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
+                    self.scratch.visit(n, idx, epoch);
                 }
             }
         }
         None
+    }
+
+    /// Hands out the scratch pool (for sibling passes such as the modular
+    /// joiner that want to share the union-find).
+    pub(crate) fn scratch_mut(&mut self) -> &mut ScratchPool {
+        &mut self.scratch
     }
 }
 
@@ -290,27 +372,34 @@ impl Renormalizer {
 /// site of the vertical path closest (in Manhattan distance) to any site of
 /// the horizontal path inside block `(i, j)`.
 fn closest_block_site(
-    vp: &[(usize, usize)],
-    hp: &[(usize, usize)],
+    vp: &[u32],
+    hp: &[u32],
+    layer_width: usize,
     node_size: usize,
     origin: (usize, usize),
     i: usize,
     j: usize,
-) -> Option<(usize, usize)> {
+) -> Option<u32> {
     let (ox, oy) = origin;
     let x_lo = ox + i * node_size;
     let x_hi = x_lo + node_size;
     let y_lo = oy + j * node_size;
     let y_hi = y_lo + node_size;
-    let in_block =
-        |&(x, y): &(usize, usize)| x >= x_lo && x < x_hi && y >= y_lo && y < y_hi;
-    let v_block: Vec<(usize, usize)> = vp.iter().copied().filter(|s| in_block(s)).collect();
-    let h_block: Vec<(usize, usize)> = hp.iter().copied().filter(|s| in_block(s)).collect();
-    let mut best: Option<((usize, usize), usize)> = None;
-    for &v in &v_block {
-        for &h in &h_block {
-            let d = v.0.abs_diff(h.0) + v.1.abs_diff(h.1);
-            if best.map_or(true, |(_, bd)| d < bd) {
+    let decode = |s: u32| (s as usize % layer_width, s as usize / layer_width);
+    let in_block = |(x, y): (usize, usize)| x >= x_lo && x < x_hi && y >= y_lo && y < y_hi;
+    let mut best: Option<(u32, usize)> = None;
+    for &v in vp {
+        let vc = decode(v);
+        if !in_block(vc) {
+            continue;
+        }
+        for &h in hp {
+            let hc = decode(h);
+            if !in_block(hc) {
+                continue;
+            }
+            let d = vc.0.abs_diff(hc.0) + vc.1.abs_diff(hc.1);
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((v, d));
             }
         }
@@ -321,15 +410,15 @@ fn closest_block_site(
 /// Renormalizes an entire layer with the given average node size, targeting
 /// a coarse lattice of side `layer.width / node_size`.
 ///
+/// This is the one-off convenience wrapper; it builds (and drops) a fresh
+/// [`Renormalizer`] per call. Streaming callers should hold a
+/// `Renormalizer` so the scratch memory is reused across RSLs.
+///
 /// # Panics
 ///
 /// Panics when `node_size` is zero or larger than the layer.
 pub fn renormalize(layer: &PhysicalLayer, node_size: usize) -> RenormalizedLattice {
-    assert!(
-        node_size > 0 && node_size <= layer.width && node_size <= layer.height,
-        "node size must be positive and fit in the layer"
-    );
-    Renormalizer::new().renormalize_region(layer, (0, 0), layer.width, layer.height, node_size)
+    Renormalizer::new().renormalize(layer, node_size)
 }
 
 #[cfg(test)]
@@ -409,19 +498,38 @@ mod tests {
         let lattice = renormalize(&layer, 9);
         for i in 0..lattice.target_side() {
             if let Some(path) = lattice.v_path(i) {
-                for &(x, _) in path {
+                let coords: Vec<_> = lattice.path_coords(path).collect();
+                for &(x, _) in &coords {
                     assert!(x >= i * 9 && x < (i + 1) * 9);
                 }
                 // A vertical path touches the first and last row.
-                assert_eq!(path.first().unwrap().1, 0);
-                assert_eq!(path.last().unwrap().1, 35);
+                assert_eq!(coords.first().unwrap().1, 0);
+                assert_eq!(coords.last().unwrap().1, 35);
             }
             if let Some(path) = lattice.h_path(i) {
-                for &(_, y) in path {
+                let coords: Vec<_> = lattice.path_coords(path).collect();
+                for &(_, y) in &coords {
                     assert!(y >= i * 9 && y < (i + 1) * 9);
                 }
-                assert_eq!(path.first().unwrap().0, 0);
-                assert_eq!(path.last().unwrap().0, 35);
+                assert_eq!(coords.first().unwrap().0, 0);
+                assert_eq!(coords.last().unwrap().0, 35);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_connected_walks() {
+        let mut engine = FusionEngine::new(HardwareConfig::new(36, 7, 0.8), 29);
+        let layer = engine.generate_layer();
+        let lattice = renormalize(&layer, 12);
+        for i in 0..lattice.target_side() {
+            for path in [lattice.v_path(i), lattice.h_path(i)].into_iter().flatten() {
+                let coords: Vec<_> = lattice.path_coords(path).collect();
+                for pair in coords.windows(2) {
+                    let d = pair[0].0.abs_diff(pair[1].0) + pair[0].1.abs_diff(pair[1].1);
+                    assert_eq!(d, 1, "non-adjacent consecutive path sites {pair:?}");
+                    assert!(layer.connected_neighbors(pair[0], pair[1]));
+                }
             }
         }
     }
@@ -429,7 +537,7 @@ mod tests {
     #[test]
     fn region_renormalization_respects_origin() {
         let layer = PhysicalLayer::fully_connected(20, 20);
-        let r = Renormalizer::new();
+        let mut r = Renormalizer::new();
         let lattice = r.renormalize_region(&layer, (10, 10), 10, 10, 5);
         assert_eq!(lattice.target_side(), 2);
         assert!(lattice.is_success());
@@ -437,6 +545,27 @@ mod tests {
             for j in 0..2 {
                 let (x, y) = lattice.node_site(i, j).unwrap();
                 assert!(x >= 10 && y >= 10, "node site ({x},{y}) outside region");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_calls() {
+        // The same Renormalizer must give identical results to a fresh one
+        // on every call, whatever it processed before.
+        let mut shared = Renormalizer::new();
+        for seed in [3u64, 11, 3, 27, 11] {
+            let mut engine = FusionEngine::new(HardwareConfig::new(32, 7, 0.74), seed);
+            let layer = engine.generate_layer();
+            let a = shared.renormalize(&layer, 8);
+            let b = Renormalizer::new().renormalize(&layer, 8);
+            assert_eq!(a.node_count(), b.node_count(), "seed {seed}");
+            for i in 0..a.target_side() {
+                assert_eq!(a.v_path(i), b.v_path(i), "seed {seed} v{i}");
+                assert_eq!(a.h_path(i), b.h_path(i), "seed {seed} h{i}");
+                for j in 0..a.target_side() {
+                    assert_eq!(a.node_site(i, j), b.node_site(i, j), "seed {seed} ({i},{j})");
+                }
             }
         }
     }

@@ -1,0 +1,157 @@
+//! Reusable scratch memory for the flat-grid percolation engine.
+//!
+//! The online pass runs once per resource-state layer inside the photon
+//! lifetime, so its steady state must not allocate. All working memory of
+//! the renormalizer — BFS predecessor/visited arrays, the BFS queue, the
+//! path-membership stamps used for intersection tests and a resettable
+//! union-find — lives in a [`ScratchPool`] sized once per layer geometry
+//! and reused for every subsequent band, module and RSL.
+//!
+//! Visited/membership arrays are *epoch-stamped*: instead of clearing
+//! `width × height` entries per band search, the pool bumps a generation
+//! counter and treats any stale stamp as "unvisited". A full clear only
+//! happens on the (practically unreachable) epoch wrap.
+
+use graphstate::DisjointSet;
+
+/// Sentinel flat index meaning "no site" / "no predecessor".
+pub(crate) const NO_SITE: u32 = u32::MAX;
+
+/// Reusable working memory shared by all flat-grid searches.
+///
+/// The pool is intentionally cheap to construct empty; it grows to the
+/// largest layer it has seen and stays there.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchPool {
+    /// Epoch stamp per flat site: `visited[i] == epoch` means visited in
+    /// the current search.
+    visited: Vec<u32>,
+    /// BFS predecessor per flat site (valid only where `visited` is
+    /// current).
+    prev: Vec<u32>,
+    /// BFS queue (head index instead of pop-front so the buffer is reused).
+    queue: Vec<u32>,
+    /// Epoch stamp per flat site marking membership of the current vertical
+    /// path during intersection tests.
+    mark: Vec<u32>,
+    epoch: u32,
+    mark_epoch: u32,
+    /// Resettable union-find for joining-interval connectivity checks.
+    pub(crate) dsu: DisjointSet,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures capacity for `n` flat sites.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+            self.prev.resize(n, NO_SITE);
+            self.mark.resize(n, 0);
+        }
+    }
+
+    /// Starts a new BFS generation and returns its epoch stamp.
+    pub(crate) fn begin_search(&mut self) -> u32 {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.visited.fill(0);
+                1
+            }
+        };
+        self.queue.clear();
+        self.epoch
+    }
+
+    /// Starts a new membership generation (path intersection tests) and
+    /// returns its epoch stamp.
+    pub(crate) fn begin_mark(&mut self) -> u32 {
+        self.mark_epoch = match self.mark_epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.fill(0);
+                1
+            }
+        };
+        self.mark_epoch
+    }
+
+    #[inline]
+    pub(crate) fn is_visited(&self, i: u32, epoch: u32) -> bool {
+        self.visited[i as usize] == epoch
+    }
+
+    /// Marks `i` visited with predecessor `from` and enqueues it.
+    #[inline]
+    pub(crate) fn visit(&mut self, i: u32, from: u32, epoch: u32) {
+        self.visited[i as usize] = epoch;
+        self.prev[i as usize] = from;
+        self.queue.push(i);
+    }
+
+    #[inline]
+    pub(crate) fn queue_get(&self, head: usize) -> Option<u32> {
+        self.queue.get(head).copied()
+    }
+
+    #[inline]
+    pub(crate) fn predecessor(&self, i: u32) -> u32 {
+        self.prev[i as usize]
+    }
+
+    #[inline]
+    pub(crate) fn set_mark(&mut self, i: u32, epoch: u32) {
+        self.mark[i as usize] = epoch;
+    }
+
+    #[inline]
+    pub(crate) fn is_marked(&self, i: u32, epoch: u32) -> bool {
+        self.mark[i as usize] == epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_invalidate_without_clearing() {
+        let mut pool = ScratchPool::new();
+        pool.ensure(16);
+        let e1 = pool.begin_search();
+        pool.visit(3, NO_SITE, e1);
+        assert!(pool.is_visited(3, e1));
+        let e2 = pool.begin_search();
+        assert!(!pool.is_visited(3, e2), "stale stamp must read unvisited");
+        assert_eq!(pool.queue_get(0), None, "queue resets per search");
+    }
+
+    #[test]
+    fn marks_are_independent_of_visits() {
+        let mut pool = ScratchPool::new();
+        pool.ensure(8);
+        let m1 = pool.begin_mark();
+        pool.set_mark(5, m1);
+        let e = pool.begin_search();
+        assert!(pool.is_marked(5, m1));
+        assert!(!pool.is_visited(5, e));
+        let m2 = pool.begin_mark();
+        assert!(!pool.is_marked(5, m2));
+    }
+
+    #[test]
+    fn growing_preserves_current_epoch_semantics() {
+        let mut pool = ScratchPool::new();
+        pool.ensure(4);
+        let e = pool.begin_search();
+        pool.visit(1, NO_SITE, e);
+        pool.ensure(64);
+        assert!(pool.is_visited(1, e));
+        assert!(!pool.is_visited(60, e), "new entries start unvisited");
+    }
+}

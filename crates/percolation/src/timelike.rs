@@ -10,9 +10,9 @@
 //! photons of the source node in delay lines until the target layer exists.
 
 use graphstate::FusionOutcome;
-use oneperc_hardware::{DelayLine, FusionEngine, HardwareConfig};
+use oneperc_hardware::{DelayLine, FusionEngine, HardwareConfig, PhysicalLayer};
 
-use crate::renormalize::{renormalize, RenormalizedLattice};
+use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
 /// One time-like edge requested by the IR program for the layer currently
 /// being formed.
@@ -174,6 +174,12 @@ pub struct ReshapeEngine {
     bulk_succeeded: u64,
     /// Renormalized lattice of the most recent logical layer (if any).
     last_logical: Option<RenormalizedLattice>,
+    /// Flat-grid renormalizer whose scratch memory is reused across every
+    /// RSL this engine consumes.
+    renormalizer: Renormalizer,
+    /// Reusable layer buffer: each merged layer is generated in place, so
+    /// the steady-state per-RSL loop performs no layer allocation.
+    layer_buf: Option<PhysicalLayer>,
 }
 
 impl ReshapeEngine {
@@ -190,6 +196,8 @@ impl ReshapeEngine {
             bulk_attempted: 0,
             bulk_succeeded: 0,
             last_logical: None,
+            renormalizer: Renormalizer::new(),
+            layer_buf: None,
         }
     }
 
@@ -215,7 +223,12 @@ impl ReshapeEngine {
         let merging = self.config.hardware.merging_factor() as u64;
 
         while report.merged_layers < self.config.max_layers_per_logical {
-            let layer = self.fusion_engine.generate_layer();
+            let n = self.config.hardware.rsl_size;
+            let mut layer = self
+                .layer_buf
+                .take()
+                .unwrap_or_else(|| PhysicalLayer::blank(n, n));
+            self.fusion_engine.generate_layer_into(&mut layer);
             report.merged_layers += 1;
             report.raw_rsl += layer.raw_rsl_consumed as u64;
             self.stats.merged_layers += 1;
@@ -226,17 +239,19 @@ impl ReshapeEngine {
                 self.stats.delay_line_expired += self.delay.advance_cycle() as u64;
             }
 
-            // Attempt 2D renormalization to the requested target size.
-            let lattice = renormalize(&layer, self.config.node_size);
+            // Attempt 2D renormalization to the requested target size; the
+            // renormalizer's flat-grid scratch is reused across layers.
+            let lattice = self.renormalizer.renormalize(&layer, self.config.node_size);
             let target_reached = lattice.node_count()
                 >= self.config.target_side * self.config.target_side
                 && (0..self.config.target_side).all(|i| {
-                    (0..self.config.target_side).all(|j| lattice.node_site(i, j).is_some())
+                    (0..self.config.target_side).all(|j| lattice.node_flat(i, j).is_some())
                 });
 
             if !target_reached {
                 report.renorm_failures += 1;
                 self.absorb_routing_layer(&layer);
+                self.layer_buf = Some(layer);
                 self.update_fusion_totals();
                 continue;
             }
@@ -255,6 +270,7 @@ impl ReshapeEngine {
             if !all_ok {
                 report.timelike_failures += 1;
                 self.absorb_routing_layer(&layer);
+                self.layer_buf = Some(layer);
                 self.update_fusion_totals();
                 continue;
             }
@@ -277,6 +293,7 @@ impl ReshapeEngine {
             self.stats.logical_layers += 1;
             self.routing_since_logical = 0;
             self.last_logical = Some(lattice);
+            self.layer_buf = Some(layer);
             self.update_fusion_totals();
             report.formed = true;
             return report;

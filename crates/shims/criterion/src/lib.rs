@@ -1,0 +1,259 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace (see `crates/shims/README.md`).
+//!
+//! Each benchmark auto-calibrates the number of iterations per sample to a
+//! target wall-clock budget, collects `sample_size` samples and reports the
+//! median, minimum and maximum time per iteration on stdout. When the
+//! binary is run with `--test` (what `cargo test` does for bench targets),
+//! every benchmark body executes exactly once as a smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark inside a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { name: function_name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Creates an id with no parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => format!("{group}/{p}"),
+            Some(p) => format!("{group}/{}/{p}", self.name),
+            None => format!("{group}/{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations and records the
+    /// total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.render(&self.name);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure that takes only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(&self.name);
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        if self.criterion.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{label}: test passed");
+            return;
+        }
+
+        // Calibration: grow the iteration count until one sample costs at
+        // least the per-sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= self.criterion.sample_budget || iters >= (1 << 30) {
+                break;
+            }
+            let per_iter = (b.elapsed.as_nanos() as u64 / iters).max(1);
+            let wanted = self.criterion.sample_budget.as_nanos() as u64 / per_iter + 1;
+            iters = wanted.clamp(iters * 2, iters * 16);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        println!(
+            "{label}\n    time: [{} {} {}]  ({} samples x {} iters)",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max),
+            self.sample_size,
+            iters
+        );
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_budget: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; `cargo bench`
+        // passes `--bench`. Only the former switches to smoke-check mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let sample_budget = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(20));
+        Criterion { sample_budget, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        };
+        let mut f = f;
+        group.run(name, |b| f(b));
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 40).render("g"), "g/f/40");
+        assert_eq!(BenchmarkId::from("plain").render("g"), "g/plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

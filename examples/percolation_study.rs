@@ -38,6 +38,15 @@ fn main() {
     let mut engine = FusionEngine::new(HardwareConfig::new(rsl, 7, 0.75), 99);
     let layer = engine.generate_layer();
 
+    // Read-only percolation statistics through the CSR snapshot.
+    let csr = layer.to_csr();
+    println!(
+        "  layer graph: {} bonds, {} components, giant component covers {:.0}% of sites",
+        csr.edge_count(),
+        csr.component_count(),
+        100.0 * csr.largest_component_size() as f64 / layer.site_count() as f64
+    );
+
     let start = Instant::now();
     let non_modular = renormalize(&layer, 6).node_count();
     let t_non_modular = start.elapsed();
