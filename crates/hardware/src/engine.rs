@@ -325,6 +325,29 @@ mod tests {
     }
 
     #[test]
+    fn generation_stream_is_identical_across_threads() {
+        // The pipelined reshaping engine moves the FusionEngine onto a
+        // dedicated generator thread; the layer stream must not depend on
+        // which thread drives the engine.
+        let cfg = HardwareConfig::new(16, 7, 0.75);
+        let mut local = FusionEngine::new(cfg, 55);
+        let on_main: Vec<PhysicalLayer> = (0..5).map(|_| local.generate_layer()).collect();
+        let on_worker = std::thread::spawn(move || {
+            let mut engine = FusionEngine::new(cfg, 55);
+            let mut buf = PhysicalLayer::blank(16, 16);
+            (0..5)
+                .map(|_| {
+                    engine.generate_layer_into(&mut buf);
+                    buf.clone()
+                })
+                .collect::<Vec<_>>()
+        })
+        .join()
+        .expect("generator thread");
+        assert_eq!(on_main, on_worker);
+    }
+
+    #[test]
     fn bond_density_tracks_success_probability() {
         let density = |p: f64| {
             let mut engine = FusionEngine::new(HardwareConfig::new(30, 7, p), 9);

@@ -14,7 +14,12 @@ use graphstate::{CsrSnapshot, DisjointSet, GraphState};
 /// This is the structure handed to the online reshaping pass; the exact
 /// per-photon graph state it abstracts can be reconstructed for small sizes
 /// with [`crate::exact`].
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full site/bond/port state plus the accounting
+/// fields — the byte-identity check used by the pipelined-stream
+/// determinism suite to prove that layers generated on a dedicated
+/// pipeline thread match in-thread generation exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalLayer {
     /// Sites along the x axis.
     pub width: usize,

@@ -110,7 +110,8 @@ impl Compiler {
             self.config.virtual_side,
             self.config.seed,
         )
-        .with_temporal_redundancy(self.config.temporal_redundancy);
+        .with_temporal_redundancy(self.config.temporal_redundancy)
+        .with_pipelining(self.config.pipelined);
         let mut engine = ReshapeEngine::new(reshape_config);
 
         let mut complete = true;
@@ -155,6 +156,7 @@ impl Compiler {
             ir_layers: compiled.layer_count(),
             program_nodes: compiled.mapping.stats.program_nodes,
             complete,
+            pipelined: self.config.pipelined,
             peak_memory_bytes,
             offline_time: compiled.offline_time,
             online_time,
@@ -255,5 +257,25 @@ mod tests {
         let b = small_compiler(0.8, 77).compile_and_execute(&circuit).unwrap();
         assert_eq!(a.rsl_consumed, b.rsl_consumed);
         assert_eq!(a.fusions, b.fusions);
+    }
+
+    #[test]
+    fn pipelined_execution_matches_serial_metrics() {
+        let circuit = benchmarks::qaoa(4, 8);
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.78, 41);
+        let serial = Compiler::new(base).compile_and_execute(&circuit).unwrap();
+        let piped = Compiler::new(base.with_pipelining(true))
+            .compile_and_execute(&circuit)
+            .unwrap();
+        assert!(serial.complete && piped.complete);
+        assert!(!serial.pipelined);
+        assert!(piped.pipelined);
+        // Every metric except the mode flag and wall-clock is identical.
+        assert_eq!(serial.rsl_consumed, piped.rsl_consumed);
+        assert_eq!(serial.merged_layers, piped.merged_layers);
+        assert_eq!(serial.fusions, piped.fusions);
+        assert_eq!(serial.logical_layers, piped.logical_layers);
+        assert_eq!(serial.routing_layers, piped.routing_layers);
+        assert_eq!(serial.peak_memory_bytes, piped.peak_memory_bytes);
     }
 }

@@ -2,6 +2,7 @@
 
 use oneperc_hardware::HardwareConfig;
 use oneperc_ir::VirtualHardware;
+use oneperc_percolation::ModularConfig;
 
 /// One row of the paper's Table 1: the hardware sizing used for a given
 /// benchmark qubit count and fusion success probability.
@@ -67,6 +68,19 @@ pub struct CompilerConfig {
     pub temporal_redundancy: usize,
     /// RNG seed shared by the stochastic components.
     pub seed: u64,
+    /// Run the online pass on the double-buffered RSL pipeline: layer
+    /// generation overlaps renormalization on a dedicated thread. The
+    /// execution report is byte-identical to the serial path per seed.
+    pub pipelined: bool,
+    /// Worker threads for modular-renormalization pools derived from this
+    /// configuration via [`CompilerConfig::modular`] (`0` = one per
+    /// available core, capped at one per module). Note that
+    /// [`Compiler::execute`](crate::Compiler::execute) itself renormalizes
+    /// non-modularly and does not consult this knob; it configures the
+    /// modular tooling (experiment binaries, latency studies) built from
+    /// the same compiler sizing. Wiring the modular pool into the reshaping
+    /// stage is a tracked ROADMAP follow-on.
+    pub renorm_workers: usize,
 }
 
 impl CompilerConfig {
@@ -91,6 +105,8 @@ impl CompilerConfig {
             refresh_period: None,
             temporal_redundancy: 3,
             seed,
+            pipelined: false,
+            renorm_workers: 0,
         }
     }
 
@@ -126,9 +142,32 @@ impl CompilerConfig {
         self
     }
 
+    /// Enables or disables the double-buffered RSL pipeline for the online
+    /// pass.
+    pub fn with_pipelining(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
+    }
+
+    /// Sets the worker-pool size used by modular renormalizers derived
+    /// from this configuration (`0` = auto).
+    pub fn with_renorm_workers(mut self, workers: usize) -> Self {
+        self.renorm_workers = workers;
+        self
+    }
+
     /// The virtual hardware implied by this configuration.
     pub fn virtual_hardware(&self) -> VirtualHardware {
         VirtualHardware::square(self.virtual_side)
+    }
+
+    /// The modular-renormalization configuration implied by this compiler
+    /// configuration for `modules_per_side` modules at the given MI ratio:
+    /// the node size comes from the RSL/virtual-hardware sizing and the
+    /// worker pool from [`CompilerConfig::renorm_workers`].
+    pub fn modular(&self, modules_per_side: usize, mi_ratio: usize) -> ModularConfig {
+        ModularConfig::new(modules_per_side, mi_ratio, self.node_size)
+            .with_workers(self.renorm_workers)
     }
 }
 
@@ -172,6 +211,27 @@ mod tests {
         assert_eq!(cfg.node_size, 12);
         let resized = cfg.with_resource_state_size(5);
         assert_eq!(resized.hardware.resource_state_size, 5);
+    }
+
+    #[test]
+    fn pipeline_knobs_thread_through_builders() {
+        let cfg = CompilerConfig::for_qubits(4, 0.75, 1);
+        assert!(!cfg.pipelined, "serial by default");
+        assert_eq!(cfg.renorm_workers, 0, "auto-sized pool by default");
+        let cfg = cfg.with_pipelining(true).with_renorm_workers(3);
+        assert!(cfg.pipelined);
+        assert_eq!(cfg.renorm_workers, 3);
+    }
+
+    #[test]
+    fn modular_config_inherits_sizing_and_workers() {
+        let cfg = CompilerConfig::for_sensitivity(84, 7, 0.75, 0).with_renorm_workers(2);
+        let modular = cfg.modular(3, 7);
+        assert_eq!(modular.modules_per_side, 3);
+        assert_eq!(modular.mi_ratio, 7);
+        assert_eq!(modular.node_size, cfg.node_size);
+        assert_eq!(modular.workers, 2);
+        assert!(modular.parallel);
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct ExecutionReport {
     /// Whether every requested logical layer was formed within the safety
     /// caps.
     pub complete: bool,
+    /// Whether the online pass ran on the double-buffered RSL pipeline
+    /// (the metrics are byte-identical either way for a fixed seed; only
+    /// the wall-clock differs).
+    pub pipelined: bool,
     /// Peak classical-memory estimate in bytes for the real-time stage.
     pub peak_memory_bytes: u64,
     /// Wall-clock time spent in the offline pass.
@@ -67,6 +71,11 @@ impl fmt::Display for ExecutionReport {
         writeln!(f, "routing layers  {:>12}", self.routing_layers)?;
         writeln!(f, "PL ratio        {:>12.2}", self.pl_ratio())?;
         writeln!(f, "peak memory     {:>9.2} GiB", self.peak_memory_gib())?;
+        writeln!(
+            f,
+            "online pipeline {:>12}",
+            if self.pipelined { "2-stage" } else { "serial" }
+        )?;
         writeln!(
             f,
             "offline time    {:>9.2} s",

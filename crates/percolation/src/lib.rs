@@ -16,10 +16,40 @@
 //!   independently-processed modules separated by joining intervals,
 //!   trading a small resource overhead for a large reduction in real-time
 //!   latency (Fig. 10, Fig. 13(c), Fig. 14(b)).
+//! * [`WorkerPool`] — the persistent, channel-fed module workers behind the
+//!   modular variant, amortizing thread startup across the RSL stream.
 //! * [`ReshapeEngine`] — the (2+1)-D driver that consumes a stream of RSLs,
 //!   classifies them into logical and routing layers, and establishes the
 //!   adjacent-layer and cross-layer time-like connections requested by the
-//!   IR program (Section 5.2).
+//!   IR program (Section 5.2). With [`ReshapeConfig::with_pipelining`] the
+//!   driver becomes a two-stage pipeline: layer generation runs on a
+//!   dedicated thread, double-buffered one layer ahead of renormalization.
+//!
+//! # Pipeline architecture and ownership rules
+//!
+//! The online pass is organized as a stream of resource-state layers
+//! flowing generate → renormalize → connect. Two independent levers spread
+//! that stream across cores, and both are determinism-preserving — with a
+//! fixed seed they produce byte-identical [`RenormalizedLattice`]s and
+//! reports to the fully serial path, for any worker count:
+//!
+//! * **Stage overlap** (`ReshapeEngine`, pipelined mode): a generator
+//!   thread owns the `FusionEngine` and runs exactly one layer ahead
+//!   through a bounded depth-1 channel; spent [`PhysicalLayer`] buffers
+//!   cycle back over a recycle channel, so the steady state circulates a
+//!   fixed set of allocations. Time-like fusion outcomes draw from their
+//!   own seeded sampler in both modes, which is what keeps the
+//!   layer-pattern RNG stream independent of prefetch timing.
+//! * **Module fan-out** (`ModularRenormalizer` on a [`WorkerPool`]):
+//!   modules of one layer are renormalized by persistent workers fed over
+//!   a channel. Each worker permanently owns one `Renormalizer` (and thus
+//!   one [`ScratchPool`]); layers are shared with workers as
+//!   `Arc<PhysicalLayer>` for the duration of a batch only, and results
+//!   are written back by module slot so worker scheduling cannot reorder
+//!   them. Scratch pools never migrate between workers mid-search; their
+//!   epoch stamps make cross-layer reuse reset-free.
+//!
+//! [`PhysicalLayer`]: oneperc_hardware::PhysicalLayer
 //!
 //! # Flat-index site convention
 //!
@@ -56,11 +86,13 @@
 #![warn(missing_docs)]
 
 mod modular;
+mod pool;
 mod renormalize;
 mod scratch;
 mod timelike;
 
 pub use modular::{ModularConfig, ModularOutcome, ModularRenormalizer, ModuleLayout};
+pub use pool::{ModuleRegion, WorkerPool};
 pub use renormalize::{renormalize, RenormalizedLattice, Renormalizer};
 pub use scratch::ScratchPool;
 pub use timelike::{

@@ -3,16 +3,20 @@
 //! To keep the real-time latency of the online pass within the photon
 //! lifetime, the RSL is split into `g × g` modules of side `L_module`
 //! separated by joining intervals of width `L_interval` (the *MI ratio* is
-//! `L_module / L_interval`). Modules are renormalized independently — and,
-//! in this implementation, in parallel OS threads, each with its own
-//! flat-grid scratch — and then joined by searching connecting paths across
-//! the intervals. An entire coarse row or column of the joined lattice only
+//! `L_module / L_interval`). Modules are renormalized independently — in
+//! this implementation on a persistent [`WorkerPool`] whose workers each
+//! own their flat-grid scratch, amortizing thread startup across the whole
+//! RSL stream — and then joined by searching connecting paths across the
+//! intervals. An entire coarse row or column of the joined lattice only
 //! survives if every inter-module joining path along it is found, which is
 //! the resource overhead studied in Fig. 13(c).
+
+use std::sync::Arc;
 
 use graphstate::DisjointSet;
 use oneperc_hardware::PhysicalLayer;
 
+use crate::pool::{ModuleRegion, WorkerPool};
 use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
 /// Configuration of the modular renormalization.
@@ -24,8 +28,11 @@ pub struct ModularConfig {
     pub mi_ratio: usize,
     /// Average coarse node size inside each module.
     pub node_size: usize,
-    /// Process modules in parallel OS threads.
+    /// Process modules on the persistent worker pool.
     pub parallel: bool,
+    /// Worker threads of the pool (`0` = one per available core, capped at
+    /// one per module). Ignored when `parallel` is off.
+    pub workers: usize,
 }
 
 impl ModularConfig {
@@ -43,6 +50,7 @@ impl ModularConfig {
             mi_ratio,
             node_size,
             parallel: true,
+            workers: 0,
         }
     }
 
@@ -53,10 +61,37 @@ impl ModularConfig {
         self
     }
 
+    /// Sets an explicit worker-pool size (`0` = auto). Any count is valid —
+    /// results are independent of the worker count, including a single
+    /// worker and pools oversubscribed beyond the module count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The pool size this configuration resolves to for `g²` modules.
+    fn resolved_workers(&self) -> usize {
+        let modules = self.modules_per_side * self.modules_per_side;
+        if self.workers > 0 {
+            self.workers
+        } else {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            cores.min(modules).max(1)
+        }
+    }
+
     /// Splits a layer side of `total` sites into the module length and
     /// interval length implied by this configuration:
     /// `g·L_module + (g-1)·L_interval ≤ total` with
     /// `L_module = mi_ratio · L_interval`.
+    ///
+    /// When the side is too small to afford even a one-site joining
+    /// interval at the requested MI ratio (`total < g·mi_ratio + g − 1`),
+    /// the layout degrades to `g` equal modules with no interval — modules
+    /// touch and the joining step has nothing to check. Only a side smaller
+    /// than `g` itself can still overflow (`module_len` is clamped to 1);
+    /// consumers clamp such regions to the layer, leaving trailing modules
+    /// empty.
     pub fn layout(&self, total: usize) -> ModuleLayout {
         let g = self.modules_per_side;
         if g == 1 {
@@ -64,9 +99,12 @@ impl ModularConfig {
         }
         // total ≈ g·r·L_i + (g-1)·L_i  =>  L_i = total / (g·r + g - 1)
         let denom = g * self.mi_ratio + (g - 1);
-        let interval_len = (total / denom).max(1);
-        let module_len = self.mi_ratio * interval_len;
-        ModuleLayout { module_len, interval_len }
+        if total >= denom {
+            let interval_len = total / denom;
+            let module_len = self.mi_ratio * interval_len;
+            return ModuleLayout { module_len, interval_len };
+        }
+        ModuleLayout { module_len: (total / g).max(1), interval_len: 0 }
     }
 }
 
@@ -80,13 +118,32 @@ pub struct ModuleLayout {
 }
 
 /// Per-module renormalization plus inter-module joining.
-#[derive(Debug, Clone)]
+///
+/// The renormalizer owns its working state: a host-side [`Renormalizer`]
+/// for sequential module runs and the joining union-find, plus a lazily
+/// created persistent [`WorkerPool`] for the parallel path. Keep one
+/// `ModularRenormalizer` alive across an RSL stream — the pool threads and
+/// every worker's scratch memory are reused for all subsequent layers.
+#[derive(Debug)]
 pub struct ModularRenormalizer {
     config: ModularConfig,
+    /// Host-side renormalizer: sequential module runs and the joining
+    /// union-find.
+    host: Renormalizer,
+    /// Persistent module workers, created on the first parallel run.
+    pool: Option<WorkerPool>,
+}
+
+impl Clone for ModularRenormalizer {
+    /// Clones the configuration; the clone lazily builds its own worker
+    /// pool and scratch memory (working state is never shared).
+    fn clone(&self) -> Self {
+        ModularRenormalizer::new(self.config)
+    }
 }
 
 /// Summary of a modular renormalization run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModularOutcome {
     /// The per-module lattices in row-major module order.
     pub modules: Vec<RenormalizedLattice>,
@@ -115,7 +172,7 @@ impl ModularOutcome {
 impl ModularRenormalizer {
     /// Creates a modular renormalizer.
     pub fn new(config: ModularConfig) -> Self {
-        ModularRenormalizer { config }
+        ModularRenormalizer { config, host: Renormalizer::new(), pool: None }
     }
 
     /// The configuration in use.
@@ -124,61 +181,88 @@ impl ModularRenormalizer {
     }
 
     /// Runs the modular renormalization on a layer.
-    pub fn run(&self, layer: &PhysicalLayer) -> ModularOutcome {
-        let g = self.config.modules_per_side;
-        let layout = self.config.layout(layer.width.min(layer.height));
-        let stride = layout.module_len + layout.interval_len;
-        let node_size = self.config.node_size.min(layout.module_len.max(1));
-
-        // Module origins.
-        let origins: Vec<(usize, usize)> = (0..g)
-            .flat_map(|gy| (0..g).map(move |gx| (gx * stride, gy * stride)))
-            .collect();
-
-        let run_one = |r: &mut Renormalizer, &(ox, oy): &(usize, usize)| -> RenormalizedLattice {
-            let w = layout.module_len.min(layer.width.saturating_sub(ox));
-            let h = layout.module_len.min(layer.height.saturating_sub(oy));
-            r.renormalize_region(layer, (ox, oy), w, h, node_size)
-        };
-
-        // One renormalizer (and thus one scratch pool) per worker; the
-        // sequential worker is kept afterwards so the joining step reuses
-        // its union-find.
-        let mut renorm = Renormalizer::new();
-        let modules: Vec<RenormalizedLattice> = if self.config.parallel && g > 1 {
-            std::thread::scope(|scope| {
-                let run_one = &run_one;
-                let handles: Vec<_> = origins
-                    .iter()
-                    .map(|origin| {
-                        scope.spawn(move || {
-                            let mut r = Renormalizer::new();
-                            run_one(&mut r, origin)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("module thread panicked")).collect()
-            })
+    ///
+    /// On the parallel path the layer must be shared with the pool workers,
+    /// so this convenience wrapper clones it into an [`Arc`] first; callers
+    /// streaming layers should hold them in `Arc`s and call
+    /// [`ModularRenormalizer::run_shared`] to skip the copy.
+    pub fn run(&mut self, layer: &PhysicalLayer) -> ModularOutcome {
+        if self.use_pool() {
+            self.run_shared(&Arc::new(layer.clone()))
         } else {
-            origins.iter().map(|o| run_one(&mut renorm, o)).collect()
-        };
+            self.run_local(layer)
+        }
+    }
 
+    /// Runs the modular renormalization on a shared layer without copying
+    /// it. This is the streaming entry point: the pool holds its `Arc`
+    /// clones only for the duration of the batch, so the caller regains
+    /// sole ownership of the allocation when the call returns.
+    pub fn run_shared(&mut self, layer: &Arc<PhysicalLayer>) -> ModularOutcome {
+        if !self.use_pool() {
+            return self.run_local(layer);
+        }
+        let geometry = Geometry::of(&self.config, layer);
+        // The worker count is resolved once, when the pool is first built:
+        // the configuration cannot change under a live renormalizer, and
+        // re-querying core availability per layer would put a syscall on
+        // the latency-critical stream.
+        let pool = match &mut self.pool {
+            Some(pool) => pool,
+            slot => slot.insert(WorkerPool::new(self.config.resolved_workers())),
+        };
+        let modules = pool.renormalize_modules(layer, &geometry.regions, geometry.node_size);
+        self.join(layer, modules, &geometry)
+    }
+
+    /// Whether the next run goes through the worker pool.
+    fn use_pool(&self) -> bool {
+        self.config.parallel && self.config.modules_per_side > 1
+    }
+
+    /// Sequential path: every module is renormalized on the host scratch.
+    fn run_local(&mut self, layer: &PhysicalLayer) -> ModularOutcome {
+        let geometry = Geometry::of(&self.config, layer);
+        let modules: Vec<RenormalizedLattice> = geometry
+            .regions
+            .iter()
+            .map(|r| {
+                self.host.renormalize_region(
+                    layer,
+                    r.origin,
+                    r.width,
+                    r.height,
+                    geometry.node_size,
+                )
+            })
+            .collect();
+        self.join(layer, modules, &geometry)
+    }
+
+    /// Joining step shared by the sequential and pooled paths: for every
+    /// pair of horizontally adjacent modules, each coarse row must be
+    /// connected across the interval; for vertically adjacent modules, each
+    /// coarse column. We check connectivity of the interval strip between
+    /// the two facing module edges with a union-find restricted to the
+    /// strip (plus one site of each module edge), which mirrors the paper's
+    /// connected-path joining. The union-find comes from the host scratch
+    /// pool and is reset — not reallocated — per join.
+    fn join(
+        &mut self,
+        layer: &PhysicalLayer,
+        modules: Vec<RenormalizedLattice>,
+        geometry: &Geometry,
+    ) -> ModularOutcome {
+        let g = self.config.modules_per_side;
+        let Geometry { layout, stride, .. } = *geometry;
         let module_nodes: usize = modules.iter().map(RenormalizedLattice::node_count).sum();
 
-        // Joining: for every pair of horizontally adjacent modules, each
-        // coarse row must be connected across the interval; for vertically
-        // adjacent modules, each coarse column. We check connectivity of the
-        // interval strip between the two facing module edges with a
-        // union-find restricted to the strip (plus one site of each module
-        // edge), which mirrors the paper's connected-path joining. The
-        // union-find comes from the worker's scratch pool and is reset —
-        // not reallocated — per join.
         let mut joins_attempted = 0usize;
         let mut joins_found = 0usize;
         let k = modules.first().map_or(0, |m| m.target_side());
         let mut row_ok = vec![true; g * k];
         let mut col_ok = vec![true; g * k];
-        let dsu = &mut renorm.scratch_mut().dsu;
+        let dsu = &mut self.host.scratch_mut().dsu;
 
         if g > 1 && layout.interval_len > 0 && k > 0 {
             for gy in 0..g {
@@ -188,7 +272,7 @@ impl ModularRenormalizer {
                     if gx + 1 < g {
                         for row in 0..k {
                             joins_attempted += 1;
-                            let ok = self.join_across(
+                            let ok = Self::join_across(
                                 layer,
                                 &modules[m_idx],
                                 &modules[m_idx + 1],
@@ -210,7 +294,7 @@ impl ModularRenormalizer {
                     if gy + 1 < g {
                         for col in 0..k {
                             joins_attempted += 1;
-                            let ok = self.join_across(
+                            let ok = Self::join_across(
                                 layer,
                                 &modules[m_idx],
                                 &modules[m_idx + g],
@@ -267,7 +351,6 @@ impl ModularRenormalizer {
     /// (vertical join), linking the corresponding path endpoints.
     #[allow(clippy::too_many_arguments)]
     fn join_across(
-        &self,
         layer: &PhysicalLayer,
         from: &RenormalizedLattice,
         to: &RenormalizedLattice,
@@ -341,6 +424,33 @@ impl ModularRenormalizer {
     }
 }
 
+/// The per-layer module geometry shared by both execution paths.
+struct Geometry {
+    layout: ModuleLayout,
+    stride: usize,
+    node_size: usize,
+    /// Module regions in row-major module order, clamped to the layer.
+    regions: Vec<ModuleRegion>,
+}
+
+impl Geometry {
+    fn of(config: &ModularConfig, layer: &PhysicalLayer) -> Self {
+        let g = config.modules_per_side;
+        let layout = config.layout(layer.width.min(layer.height));
+        let stride = layout.module_len + layout.interval_len;
+        let node_size = config.node_size.min(layout.module_len.max(1));
+        let regions = (0..g)
+            .flat_map(|gy| (0..g).map(move |gx| (gx * stride, gy * stride)))
+            .map(|(ox, oy)| ModuleRegion {
+                origin: (ox, oy),
+                width: layout.module_len.min(layer.width.saturating_sub(ox)),
+                height: layout.module_len.min(layer.height.saturating_sub(oy)),
+            })
+            .collect();
+        Geometry { layout, stride, node_size, regions }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +468,71 @@ mod tests {
     }
 
     #[test]
+    fn layout_single_module_keeps_whole_side() {
+        // g = 1 never carves an interval, whatever the MI ratio.
+        for total in [1usize, 5, 17, 240] {
+            let layout = ModularConfig::new(1, 1, 3).layout(total);
+            assert_eq!(layout, ModuleLayout { module_len: total, interval_len: 0 });
+        }
+    }
+
+    #[test]
+    fn layout_mi_ratio_one_fits() {
+        // r = 1: modules and intervals are the same width.
+        let cfg = ModularConfig::new(2, 1, 2);
+        let layout = cfg.layout(20);
+        assert_eq!(layout.module_len, layout.interval_len);
+        assert!(2 * layout.module_len + layout.interval_len <= 20);
+        assert!(layout.interval_len >= 1);
+    }
+
+    #[test]
+    fn layout_degrades_gracefully_below_denominator() {
+        // total < g·r + g − 1: no room for a joining interval; the layout
+        // must still fit g modules in the side instead of overflowing it.
+        let cfg = ModularConfig::new(3, 7, 4); // denom = 23
+        for total in 3..23usize {
+            let layout = cfg.layout(total);
+            assert_eq!(layout.interval_len, 0, "total {total}");
+            assert!(
+                3 * layout.module_len <= total,
+                "total {total}: 3 × {} overflows",
+                layout.module_len
+            );
+            assert!(layout.module_len >= 1);
+        }
+    }
+
+    #[test]
+    fn layout_never_overflows_when_side_fits_modules() {
+        // Sweep: whenever the side has at least one site per module, the
+        // laid-out grid fits inside it.
+        for g in 1..=5usize {
+            for r in 1..=8usize {
+                for total in g..=64usize {
+                    let layout = ModularConfig::new(g, r, 2).layout(total);
+                    let used = g * layout.module_len + (g - 1) * layout.interval_len;
+                    assert!(
+                        used <= total,
+                        "g {g} r {r} total {total}: grid uses {used}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_layer_runs_without_panicking() {
+        // A layer far below the layout denominator still renormalizes; the
+        // degenerate layout just yields adjacent modules.
+        let layer = PhysicalLayer::fully_connected(7, 7);
+        let mut renorm = ModularRenormalizer::new(ModularConfig::new(3, 7, 2).sequential());
+        let outcome = renorm.run(&layer);
+        assert_eq!(outcome.joins_attempted, 0, "no interval, nothing to join");
+        assert_eq!(outcome.joined_nodes, outcome.module_nodes);
+    }
+
+    #[test]
     fn fully_connected_layer_joins_everything() {
         let layer = PhysicalLayer::fully_connected(60, 60);
         let cfg = ModularConfig::new(2, 7, 6).sequential();
@@ -369,15 +544,33 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
+    fn pooled_and_sequential_agree() {
         let mut engine = FusionEngine::new(HardwareConfig::new(60, 7, 0.75), 23);
         let layer = engine.generate_layer();
-        let cfg_par = ModularConfig::new(2, 7, 6);
-        let cfg_seq = cfg_par.sequential();
-        let a = ModularRenormalizer::new(cfg_par).run(&layer);
+        let cfg_seq = ModularConfig::new(2, 7, 6).sequential();
         let b = ModularRenormalizer::new(cfg_seq).run(&layer);
-        assert_eq!(a.module_nodes, b.module_nodes);
-        assert_eq!(a.joined_nodes, b.joined_nodes);
+        // Pool sizes from a single worker to oversubscribed (workers >
+        // modules) all match the sequential outcome exactly.
+        for workers in [1usize, 2, 4, 9] {
+            let cfg_par = ModularConfig::new(2, 7, 6).with_workers(workers);
+            let a = ModularRenormalizer::new(cfg_par).run(&layer);
+            assert_eq!(a, b, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pooled_renormalizer_streams_many_layers() {
+        // One renormalizer (and its pool) across a stream of layers gives
+        // the same answers as a fresh sequential renormalizer per layer.
+        let cfg = ModularConfig::new(2, 7, 6).with_workers(2);
+        let mut streaming = ModularRenormalizer::new(cfg);
+        let mut engine = FusionEngine::new(HardwareConfig::new(48, 7, 0.75), 40);
+        for _ in 0..8 {
+            let layer = std::sync::Arc::new(engine.generate_layer());
+            let pooled = streaming.run_shared(&layer);
+            let serial = ModularRenormalizer::new(cfg.sequential()).run(&layer);
+            assert_eq!(pooled, serial);
+        }
     }
 
     #[test]
@@ -387,7 +580,8 @@ mod tests {
         let mut engine = FusionEngine::new(HardwareConfig::new(72, 7, 0.75), 3);
         let layer = engine.generate_layer();
         let non_modular = crate::renormalize(&layer, 6);
-        let modular = ModularRenormalizer::new(ModularConfig::new(3, 7, 6).sequential()).run(&layer);
+        let modular =
+            ModularRenormalizer::new(ModularConfig::new(3, 7, 6).sequential()).run(&layer);
         assert!(modular.joined_nodes > 0);
         // The modular result cannot beat the non-modular total but should
         // stay within the same order of magnitude.
@@ -402,6 +596,17 @@ mod tests {
         assert_eq!(outcome.module_nodes, 0);
         assert_eq!(outcome.joined_nodes, 0);
         assert_eq!(outcome.joining_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn clone_starts_with_fresh_working_state() {
+        let mut original = ModularRenormalizer::new(ModularConfig::new(2, 7, 6).with_workers(2));
+        let layer = PhysicalLayer::fully_connected(30, 30);
+        let a = original.run(&layer);
+        let mut cloned = original.clone();
+        assert_eq!(cloned.config(), original.config());
+        let b = cloned.run(&layer);
+        assert_eq!(a, b);
     }
 
     #[test]

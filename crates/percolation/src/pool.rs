@@ -1,0 +1,345 @@
+//! Persistent worker pool for module renormalization.
+//!
+//! The modular renormalizer used to spawn one scoped OS thread per module
+//! per layer; across an RSL stream that pays the full thread-startup cost
+//! on every single layer. [`WorkerPool`] instead keeps a fixed set of
+//! workers alive for the lifetime of the pool, feeding them module jobs
+//! over a channel. Each worker owns its own [`Renormalizer`] (and thus its
+//! own `ScratchPool`), so the per-worker scratch memory is sized once and
+//! reused for every module of every layer the pool ever processes.
+//!
+//! # Ownership and determinism rules
+//!
+//! * Layers are shared with the workers as `Arc<PhysicalLayer>`; the pool
+//!   never mutates a layer. When the batch returns, the caller again holds
+//!   the only strong references it created, so buffer recycling (dropping
+//!   or reusing the layer allocation) stays in the caller's hands.
+//! * Every job is tagged with its output slot. Results are written back by
+//!   slot index, so the outcome of a batch is independent of worker
+//!   scheduling: any worker count — including a single worker, or more
+//!   workers than modules — produces byte-identical lattices in identical
+//!   order.
+//! * Module renormalization is a pure function of `(layer, region,
+//!   node_size)`; workers keep no cross-job state other than their scratch
+//!   pool, whose epoch-stamping makes reuse observationally reset-free.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use oneperc_hardware::PhysicalLayer;
+
+use crate::renormalize::{RenormalizedLattice, Renormalizer};
+
+/// One rectangular module region of a layer, in physical sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleRegion {
+    /// Top-left corner `(x, y)` of the region.
+    pub origin: (usize, usize),
+    /// Extent along x.
+    pub width: usize,
+    /// Extent along y.
+    pub height: usize,
+}
+
+/// One unit of work: renormalize a region of a shared layer into slot
+/// `slot` of the batch output.
+struct ModuleJob {
+    layer: Arc<PhysicalLayer>,
+    region: ModuleRegion,
+    node_size: usize,
+    slot: usize,
+}
+
+/// A worker's answer for one job: the lattice, or the panic message of a
+/// job that blew up. Panics must travel back explicitly — a worker that
+/// died silently would leave the batch collector waiting forever while
+/// the surviving workers keep the result channel open.
+type ModuleResult = (usize, Result<RenormalizedLattice, String>);
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "module worker panicked".to_string()
+    }
+}
+
+/// A persistent pool of renormalization workers fed over a channel.
+///
+/// Dropping the pool closes the job channel and joins every worker.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use oneperc_hardware::PhysicalLayer;
+/// use oneperc_percolation::{ModuleRegion, WorkerPool};
+///
+/// let mut pool = WorkerPool::new(2);
+/// let layer = Arc::new(PhysicalLayer::fully_connected(20, 20));
+/// let regions = [
+///     ModuleRegion { origin: (0, 0), width: 10, height: 10 },
+///     ModuleRegion { origin: (10, 10), width: 10, height: 10 },
+/// ];
+/// let lattices = pool.renormalize_modules(&layer, &regions, 5);
+/// assert_eq!(lattices.len(), 2);
+/// assert!(lattices.iter().all(|l| l.is_success()));
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Job sender; `None` only during teardown.
+    job_tx: Option<Sender<ModuleJob>>,
+    result_rx: Receiver<ModuleResult>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    /// Set when a batch panicked: the channels may still hold that batch's
+    /// stale jobs/results, so the pool refuses further batches instead of
+    /// mixing old results into new output slots.
+    poisoned: bool,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` persistent worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let (job_tx, job_rx) = channel::<ModuleJob>();
+        let (result_tx, result_rx) = channel::<ModuleResult>();
+        // mpsc receivers are single-consumer; the workers share the queue
+        // through a mutex, locking only for the dequeue itself.
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                std::thread::spawn(move || {
+                    let mut renorm = Renormalizer::new();
+                    loop {
+                        // Release the queue lock before renormalizing so
+                        // other workers can pick up the next job.
+                        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // pool dropped
+                        };
+                        let ModuleJob { layer, region, node_size, slot } = job;
+                        // A panicking job must reach the collector as a
+                        // message, or the batch would wait forever while
+                        // the other workers keep the channel open.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            renorm.renormalize_region(
+                                &layer,
+                                region.origin,
+                                region.width,
+                                region.height,
+                                node_size,
+                            )
+                        }));
+                        // Release the layer before reporting: once the
+                        // caller has collected the whole batch, it again
+                        // holds the only references it created.
+                        drop(layer);
+                        match outcome {
+                            Ok(lattice) => {
+                                if result_tx.send((slot, Ok(lattice))).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                // The scratch may be mid-search; retire
+                                // this worker after reporting.
+                                let _ = result_tx.send((slot, Err(panic_message(payload))));
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { job_tx: Some(job_tx), result_rx, handles, workers, poisoned: false }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Renormalizes every region of `layer` on the pool and returns the
+    /// lattices in region order. Blocks until the whole batch is done.
+    ///
+    /// The output is deterministic: result `i` always corresponds to
+    /// `regions[i]`, whatever order the workers finish in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a module job panics (the worker's message is relayed),
+    /// and on every later batch after such a failure — the channels may
+    /// still hold the failed batch's stale work, so the pool is poisoned
+    /// rather than risking old lattices surfacing in new output slots.
+    pub fn renormalize_modules(
+        &mut self,
+        layer: &Arc<PhysicalLayer>,
+        regions: &[ModuleRegion],
+        node_size: usize,
+    ) -> Vec<RenormalizedLattice> {
+        assert!(
+            !self.poisoned,
+            "worker pool poisoned by an earlier panicked batch; build a fresh pool"
+        );
+        let job_tx = self.job_tx.as_ref().expect("pool is live");
+        for (slot, &region) in regions.iter().enumerate() {
+            let job = ModuleJob { layer: Arc::clone(layer), region, node_size, slot };
+            job_tx.send(job).expect("worker pool hung up");
+        }
+        let mut out: Vec<Option<RenormalizedLattice>> = (0..regions.len()).map(|_| None).collect();
+        for _ in 0..regions.len() {
+            let (slot, result) = self.result_rx.recv().expect("worker pool died mid-batch");
+            match result {
+                Ok(lattice) => out[slot] = Some(lattice),
+                Err(msg) => {
+                    self.poisoned = true;
+                    panic!("module worker panicked renormalizing region {slot}: {msg}")
+                }
+            }
+        }
+        out.into_iter().map(|l| l.expect("every slot filled")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel wakes every worker out of `recv`.
+        self.job_tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadrants(side: usize) -> Vec<ModuleRegion> {
+        let h = side / 2;
+        vec![
+            ModuleRegion { origin: (0, 0), width: h, height: h },
+            ModuleRegion { origin: (h, 0), width: h, height: h },
+            ModuleRegion { origin: (0, h), width: h, height: h },
+            ModuleRegion { origin: (h, h), width: h, height: h },
+        ]
+    }
+
+    #[test]
+    fn batch_results_follow_region_order() {
+        let layer = Arc::new(PhysicalLayer::fully_connected(24, 24));
+        let regions = quadrants(24);
+        let mut pool = WorkerPool::new(3);
+        let lattices = pool.renormalize_modules(&layer, &regions, 6);
+        let mut reference = Renormalizer::new();
+        for (region, lattice) in regions.iter().zip(&lattices) {
+            let expected = reference.renormalize_region(
+                &layer,
+                region.origin,
+                region.width,
+                region.height,
+                6,
+            );
+            assert_eq!(lattice, &expected);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        use oneperc_hardware::{FusionEngine, HardwareConfig};
+        let mut engine = FusionEngine::new(HardwareConfig::new(32, 7, 0.75), 5);
+        let layer = Arc::new(engine.generate_layer());
+        let regions = quadrants(32);
+        let mut baseline: Option<Vec<RenormalizedLattice>> = None;
+        // 1 worker, a few workers, and oversubscribed (workers > modules).
+        for workers in [1, 2, 4, 7] {
+            let mut pool = WorkerPool::new(workers);
+            let lattices = pool.renormalize_modules(&layer, &regions, 8);
+            match &baseline {
+                None => baseline = Some(lattices),
+                Some(expected) => assert_eq!(&lattices, expected, "workers = {workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let layer = Arc::new(PhysicalLayer::fully_connected(16, 16));
+        let regions = quadrants(16);
+        let mut pool = WorkerPool::new(2);
+        let first = pool.renormalize_modules(&layer, &regions, 4);
+        for _ in 0..200 {
+            let again = pool.renormalize_modules(&layer, &regions, 4);
+            assert_eq!(again, first);
+        }
+    }
+
+    #[test]
+    fn caller_keeps_sole_ownership_after_batch() {
+        let layer = Arc::new(PhysicalLayer::fully_connected(12, 12));
+        let regions = quadrants(12);
+        let mut pool = WorkerPool::new(2);
+        let _ = pool.renormalize_modules(&layer, &regions, 3);
+        // All job-held clones were dropped with the batch: the allocation
+        // can cycle back to a layer buffer.
+        let layer = Arc::try_unwrap(layer).expect("pool released the layer");
+        assert_eq!(layer.site_count(), 144);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "module worker panicked")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // Regression: with 2+ workers, a job that panics must surface as a
+        // batch panic; before the catch_unwind relay, the dead worker's
+        // missing result left `renormalize_modules` blocked forever
+        // because the surviving worker kept the result channel open.
+        let layer = Arc::new(PhysicalLayer::fully_connected(8, 8));
+        let regions = [
+            // Out-of-bounds region: renormalize_region asserts and panics.
+            ModuleRegion { origin: (6, 6), width: 8, height: 8 },
+            ModuleRegion { origin: (0, 0), width: 4, height: 4 },
+            ModuleRegion { origin: (4, 0), width: 4, height: 4 },
+        ];
+        let mut pool = WorkerPool::new(2);
+        let _ = pool.renormalize_modules(&layer, &regions, 2);
+    }
+
+    #[test]
+    fn panicked_batch_poisons_the_pool() {
+        // A caller that catches the batch panic must not be able to reuse
+        // the pool: the failed batch's stale jobs/results may still sit in
+        // the channels and would corrupt the next batch's output slots.
+        let layer = Arc::new(PhysicalLayer::fully_connected(8, 8));
+        let bad = [ModuleRegion { origin: (6, 6), width: 8, height: 8 }];
+        let good = [ModuleRegion { origin: (0, 0), width: 4, height: 4 }];
+        let mut pool = WorkerPool::new(2);
+        let first = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.renormalize_modules(&layer, &bad, 2)
+        }));
+        assert!(first.is_err(), "bad region must panic the batch");
+        let second = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.renormalize_modules(&layer, &good, 2)
+        }));
+        let err = second.expect_err("poisoned pool must refuse new batches");
+        let msg = panic_message(err);
+        assert!(msg.contains("poisoned"), "unexpected message: {msg}");
+    }
+}

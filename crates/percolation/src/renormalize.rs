@@ -25,7 +25,11 @@ use crate::scratch::{ScratchPool, NO_SITE};
 /// Sites are stored as flat `u32` indices into the layer
 /// (`y * layer_width + x`); [`RenormalizedLattice::site_coords`] decodes
 /// them back to coordinates.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every field — target geometry, node representatives
+/// and full path contents — so `a == b` is the byte-identity check used by
+/// the pipelined-vs-serial determinism suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenormalizedLattice {
     target_side: usize,
     node_size: usize,

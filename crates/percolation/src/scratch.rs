@@ -154,4 +154,79 @@ mod tests {
         assert!(pool.is_visited(1, e));
         assert!(!pool.is_visited(60, e), "new entries start unvisited");
     }
+
+    #[test]
+    fn search_epoch_wraparound_clears_stale_stamps() {
+        let mut pool = ScratchPool::new();
+        pool.ensure(8);
+        // Park the counter two steps from overflow and leave stamps behind
+        // at every epoch up to the wrap.
+        pool.epoch = u32::MAX - 2;
+        let e1 = pool.begin_search(); // MAX - 1
+        pool.visit(3, NO_SITE, e1);
+        let e2 = pool.begin_search(); // MAX
+        pool.visit(5, NO_SITE, e2);
+        assert_eq!(e2, u32::MAX);
+        assert!(!pool.is_visited(3, e2), "previous epoch invisible at MAX");
+        // The wrap itself: the pool must fall back to a full clear so no
+        // site stamped with a pre-wrap epoch can alias a post-wrap one.
+        let e3 = pool.begin_search();
+        assert_eq!(e3, 1, "epoch restarts after the wrap");
+        for i in 0..8u32 {
+            assert!(!pool.is_visited(i, e3), "site {i} leaked across the wrap");
+        }
+        pool.visit(2, NO_SITE, e3);
+        assert!(pool.is_visited(2, e3));
+    }
+
+    #[test]
+    fn mark_epoch_wraparound_is_independent_of_search_epoch() {
+        let mut pool = ScratchPool::new();
+        pool.ensure(8);
+        pool.mark_epoch = u32::MAX;
+        let e = pool.begin_search();
+        pool.visit(1, NO_SITE, e);
+        let m = pool.begin_mark(); // wraps to 1
+        assert_eq!(m, 1);
+        for i in 0..8u32 {
+            assert!(!pool.is_marked(i, m), "mark {i} leaked across the wrap");
+        }
+        // The search epoch and its stamps are untouched by the mark wrap.
+        assert!(pool.is_visited(1, e));
+    }
+
+    #[test]
+    fn thousands_of_searches_never_leak_visits() {
+        // Cross-layer reuse: one search per "layer" for thousands of
+        // layers, without any intervening reset. Every search must start
+        // from a blank view of the grid.
+        let n = 16usize;
+        let mut pool = ScratchPool::new();
+        pool.ensure(n);
+        for layer in 0..5000u32 {
+            let e = pool.begin_search();
+            for i in 0..n as u32 {
+                assert!(!pool.is_visited(i, e), "layer {layer}: site {i} pre-visited");
+            }
+            // Visit a layer-dependent subset so stale stamps differ between
+            // consecutive layers.
+            pool.visit(layer % n as u32, NO_SITE, e);
+            pool.visit((layer * 7 + 3) % n as u32, layer % n as u32, e);
+        }
+    }
+
+    #[test]
+    fn thousands_of_mark_generations_never_leak_marks() {
+        let n = 12usize;
+        let mut pool = ScratchPool::new();
+        pool.ensure(n);
+        for round in 0..4000u32 {
+            let m = pool.begin_mark();
+            for i in 0..n as u32 {
+                assert!(!pool.is_marked(i, m), "round {round}: site {i} pre-marked");
+            }
+            pool.set_mark(round % n as u32, m);
+            assert!(pool.is_marked(round % n as u32, m));
+        }
+    }
 }

@@ -8,9 +8,35 @@
 //! layers**, all other layers become **routing layers** whose qubits are
 //! simply fused forward to the next RSL. Cross-layer connections park the
 //! photons of the source node in delay lines until the target layer exists.
+//!
+//! # The pipelined layer stream
+//!
+//! The per-layer loop is a two-stage pipeline: *generate* (the fusion
+//! strategy samples the next random layer) and *renormalize + connect*
+//! (the percolation pass classifies it). With
+//! [`ReshapeConfig::with_pipelining`], generation moves to a dedicated
+//! thread that owns the [`FusionEngine`] and runs one layer ahead, so
+//! `generate_layer_into` for layer `t + 1` overlaps the renormalization of
+//! layer `t` on a second core. Layers travel to the consumer through a
+//! bounded depth-1 channel (the double buffer) and the spent
+//! [`PhysicalLayer`] allocations cycle back to the generator over a
+//! recycle channel, keeping the steady state allocation-free exactly like
+//! the serial path.
+//!
+//! Determinism is preserved by construction: the generator thread draws
+//! from the same seeded sampler in the same order as the serial path, the
+//! channel is FIFO, and time-like fusion outcomes come from a *separate*
+//! sampler seeded from the configuration (in both modes), so prefetching a
+//! layer never reorders RNG draws. With a fixed seed the pipelined engine
+//! therefore produces byte-identical [`RenormalizedLattice`]s and
+//! identical [`LogicalLayerReport`]s to the serial engine — the contract
+//! enforced by `tests/pipeline_determinism.rs`.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::thread::JoinHandle;
 
 use graphstate::FusionOutcome;
-use oneperc_hardware::{DelayLine, FusionEngine, HardwareConfig, PhysicalLayer};
+use oneperc_hardware::{DelayLine, FusionEngine, FusionSampler, HardwareConfig, PhysicalLayer};
 
 use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
@@ -63,6 +89,10 @@ pub struct ReshapeConfig {
     pub max_layers_per_logical: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Run layer generation on a dedicated pipeline thread, double-buffered
+    /// one layer ahead of renormalization. Output is byte-identical to the
+    /// serial path for the same seed.
+    pub pipelined: bool,
 }
 
 impl ReshapeConfig {
@@ -86,6 +116,7 @@ impl ReshapeConfig {
             temporal_redundancy: 4,
             max_layers_per_logical: 2048,
             seed,
+            pipelined: false,
         }
     }
 
@@ -95,10 +126,24 @@ impl ReshapeConfig {
         self.temporal_redundancy = redundancy;
         self
     }
+
+    /// Enables or disables the double-buffered layer pipeline.
+    pub fn with_pipelining(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
+    }
+
+    /// Seed of the dedicated time-like fusion sampler. Time-like hops draw
+    /// from their own stream (in both the serial and pipelined engines) so
+    /// that prefetching layers never reorders the layer-pattern draws.
+    fn timelike_seed(&self) -> u64 {
+        // Fixed odd multiplier decorrelates the two streams per seed.
+        self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5EED)
+    }
 }
 
 /// Outcome of forming one logical layer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogicalLayerReport {
     /// Whether the logical layer was formed within the safety cap.
     pub formed: bool,
@@ -113,7 +158,7 @@ pub struct LogicalLayerReport {
 }
 
 /// Cumulative statistics of a reshaping run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReshapeStats {
     /// Logical layers formed so far.
     pub logical_layers: u64,
@@ -162,7 +207,13 @@ impl ReshapeStats {
 #[derive(Debug)]
 pub struct ReshapeEngine {
     config: ReshapeConfig,
-    fusion_engine: FusionEngine,
+    /// Where merged layers come from: the in-thread fusion engine (serial)
+    /// or the double-buffered generator thread (pipelined).
+    source: LayerSource,
+    /// Dedicated sampler for time-like fusion outcomes. Kept separate from
+    /// the layer-pattern stream so the pipelined generator can run ahead
+    /// without reordering any RNG draw; both modes use it identically.
+    timelike: FusionSampler,
     delay: DelayLine<(usize, usize)>,
     stats: ReshapeStats,
     routing_since_logical: usize,
@@ -172,22 +223,146 @@ pub struct ReshapeEngine {
     /// the sampler to keep large-RSL runs fast).
     bulk_attempted: u64,
     bulk_succeeded: u64,
+    /// Layer-pattern fusions accumulated from *consumed* layers. Counting
+    /// at consumption (not generation) keeps the serial and pipelined
+    /// totals identical even while the generator runs one layer ahead.
+    layer_attempted: u64,
+    layer_succeeded: u64,
     /// Renormalized lattice of the most recent logical layer (if any).
     last_logical: Option<RenormalizedLattice>,
     /// Flat-grid renormalizer whose scratch memory is reused across every
     /// RSL this engine consumes.
     renormalizer: Renormalizer,
-    /// Reusable layer buffer: each merged layer is generated in place, so
-    /// the steady-state per-RSL loop performs no layer allocation.
-    layer_buf: Option<PhysicalLayer>,
+}
+
+/// Origin of the merged-layer stream.
+#[derive(Debug)]
+enum LayerSource {
+    /// Generate each layer in-thread, reusing one buffer (the pre-pipeline
+    /// behavior). The engine is boxed to keep the variants close in size.
+    Serial {
+        engine: Box<FusionEngine>,
+        /// Reusable layer buffer: each merged layer is generated in place,
+        /// so the steady-state per-RSL loop performs no layer allocation.
+        buf: Option<PhysicalLayer>,
+    },
+    /// Pull layers from the generator thread, one layer ahead.
+    Pipelined(LayerPipeline),
+}
+
+impl LayerSource {
+    /// Produces the next merged layer of the stream.
+    fn next_layer(&mut self, rsl_size: usize) -> PhysicalLayer {
+        match self {
+            LayerSource::Serial { engine, buf } => {
+                let mut layer = buf
+                    .take()
+                    .unwrap_or_else(|| PhysicalLayer::blank(rsl_size, rsl_size));
+                engine.generate_layer_into(&mut layer);
+                layer
+            }
+            LayerSource::Pipelined(pipeline) => pipeline.recv(),
+        }
+    }
+
+    /// Returns a spent layer so its allocation is reused for a later layer
+    /// (serially in place, or cycled back to the generator thread).
+    fn recycle(&mut self, layer: PhysicalLayer) {
+        match self {
+            LayerSource::Serial { buf, .. } => *buf = Some(layer),
+            LayerSource::Pipelined(pipeline) => pipeline.recycle(layer),
+        }
+    }
+}
+
+/// The generator half of the double-buffered pipeline.
+///
+/// The spawned thread owns the [`FusionEngine`] and keeps exactly one
+/// finished layer queued in the bounded channel while generating the next
+/// one, i.e. it runs at most one layer ahead of the consumer. Spent layer
+/// buffers return through the recycle channel, so after warm-up the
+/// pipeline circulates a fixed set of allocations. Dropping the pipeline
+/// closes the layer channel, which unblocks and terminates the generator.
+#[derive(Debug)]
+struct LayerPipeline {
+    /// `Option` so `Drop` can hang up the channel before joining.
+    layer_rx: Option<Receiver<PhysicalLayer>>,
+    recycle_tx: Sender<PhysicalLayer>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LayerPipeline {
+    /// Spawns the generator thread for the given hardware model and seed.
+    fn spawn(hardware: HardwareConfig, seed: u64) -> Self {
+        let (layer_tx, layer_rx) = sync_channel::<PhysicalLayer>(1);
+        let (recycle_tx, recycle_rx) = channel::<PhysicalLayer>();
+        let rsl_size = hardware.rsl_size;
+        let handle = std::thread::Builder::new()
+            .name("rsl-generator".into())
+            .spawn(move || {
+                let mut engine = FusionEngine::new(hardware, seed);
+                loop {
+                    // Reuse a recycled buffer when one is back already;
+                    // otherwise allocate (only happens during warm-up).
+                    let mut layer = recycle_rx
+                        .try_recv()
+                        .unwrap_or_else(|_| PhysicalLayer::blank(rsl_size, rsl_size));
+                    engine.generate_layer_into(&mut layer);
+                    if layer_tx.send(layer).is_err() {
+                        break; // consumer dropped the engine
+                    }
+                }
+            })
+            .expect("spawn RSL generator thread");
+        LayerPipeline { layer_rx: Some(layer_rx), recycle_tx, handle: Some(handle) }
+    }
+
+    /// Receives the next layer in generation order (FIFO).
+    fn recv(&mut self) -> PhysicalLayer {
+        self.layer_rx
+            .as_ref()
+            .expect("pipeline is live")
+            .recv()
+            .expect("RSL generator thread died")
+    }
+
+    /// Cycles a spent buffer back to the generator.
+    fn recycle(&mut self, layer: PhysicalLayer) {
+        // A send error only means the generator already exited; the buffer
+        // is simply dropped then.
+        let _ = self.recycle_tx.send(layer);
+    }
+}
+
+impl Drop for LayerPipeline {
+    fn drop(&mut self) {
+        // Hang up the layer channel first: a generator blocked in `send`
+        // wakes with an error and exits, making the join safe.
+        self.layer_rx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl ReshapeEngine {
     /// Creates an engine.
     pub fn new(config: ReshapeConfig) -> Self {
+        let source = if config.pipelined {
+            LayerSource::Pipelined(LayerPipeline::spawn(config.hardware, config.seed))
+        } else {
+            LayerSource::Serial {
+                engine: Box::new(FusionEngine::new(config.hardware, config.seed)),
+                buf: None,
+            }
+        };
         ReshapeEngine {
             config,
-            fusion_engine: FusionEngine::new(config.hardware, config.seed),
+            source,
+            timelike: FusionSampler::new(
+                config.hardware.effective_fusion_prob(),
+                config.timelike_seed(),
+            ),
             delay: DelayLine::new(config.hardware.photon_lifetime_cycles),
             stats: ReshapeStats::default(),
             routing_since_logical: 0,
@@ -195,9 +370,10 @@ impl ReshapeEngine {
             stored_keys: Vec::new(),
             bulk_attempted: 0,
             bulk_succeeded: 0,
+            layer_attempted: 0,
+            layer_succeeded: 0,
             last_logical: None,
             renormalizer: Renormalizer::new(),
-            layer_buf: None,
         }
     }
 
@@ -218,21 +394,24 @@ impl ReshapeEngine {
 
     /// Consumes resource-state layers until one of them becomes a logical
     /// layer satisfying `requirement`, or the safety cap is hit.
+    ///
+    /// In pipelined mode the next layer was already generated while the
+    /// previous one was being renormalized; a layer prefetched but not yet
+    /// consumed when a logical layer forms simply waits in the channel and
+    /// is the first layer of the next call, so the stream order matches the
+    /// serial path exactly.
     pub fn advance_logical_layer(&mut self, requirement: &LayerRequirement) -> LogicalLayerReport {
         let mut report = LogicalLayerReport::default();
         let merging = self.config.hardware.merging_factor() as u64;
 
         while report.merged_layers < self.config.max_layers_per_logical {
-            let n = self.config.hardware.rsl_size;
-            let mut layer = self
-                .layer_buf
-                .take()
-                .unwrap_or_else(|| PhysicalLayer::blank(n, n));
-            self.fusion_engine.generate_layer_into(&mut layer);
+            let layer = self.source.next_layer(self.config.hardware.rsl_size);
             report.merged_layers += 1;
             report.raw_rsl += layer.raw_rsl_consumed as u64;
             self.stats.merged_layers += 1;
             self.stats.raw_rsl += layer.raw_rsl_consumed as u64;
+            self.layer_attempted += layer.fusions_attempted;
+            self.layer_succeeded += layer.fusions_succeeded;
             // Every merged layer advances the delay-line clock by the number
             // of raw RSG cycles it took to produce.
             for _ in 0..layer.raw_rsl_consumed {
@@ -251,7 +430,7 @@ impl ReshapeEngine {
             if !target_reached {
                 report.renorm_failures += 1;
                 self.absorb_routing_layer(&layer);
-                self.layer_buf = Some(layer);
+                self.source.recycle(layer);
                 self.update_fusion_totals();
                 continue;
             }
@@ -270,7 +449,7 @@ impl ReshapeEngine {
             if !all_ok {
                 report.timelike_failures += 1;
                 self.absorb_routing_layer(&layer);
-                self.layer_buf = Some(layer);
+                self.source.recycle(layer);
                 self.update_fusion_totals();
                 continue;
             }
@@ -293,7 +472,7 @@ impl ReshapeEngine {
             self.stats.logical_layers += 1;
             self.routing_since_logical = 0;
             self.last_logical = Some(lattice);
-            self.layer_buf = Some(layer);
+            self.source.recycle(layer);
             self.update_fusion_totals();
             report.formed = true;
             return report;
@@ -327,7 +506,7 @@ impl ReshapeEngine {
         for _ in 0..hops {
             let mut hop_ok = false;
             for _ in 0..self.config.temporal_redundancy {
-                if self.fusion_engine.sample_fusion() == FusionOutcome::Success {
+                if self.timelike.sample() == FusionOutcome::Success {
                     hop_ok = true;
                     break;
                 }
@@ -352,13 +531,15 @@ impl ReshapeEngine {
             (forward as f64 * self.config.hardware.effective_fusion_prob()).round() as u64;
     }
 
-    /// Recomputes the cumulative fusion totals: everything drawn through the
-    /// hardware sampler (layer patterns and time-like hops) plus the
+    /// Recomputes the cumulative fusion totals: the layer-pattern fusions
+    /// of every consumed layer, the time-like hop draws, and the
     /// bulk-accounted forward fusions of routing layers.
     fn update_fusion_totals(&mut self) {
-        let engine_total = self.fusion_engine.fusion_stats();
-        self.stats.fusions_attempted = engine_total.attempted + self.bulk_attempted;
-        self.stats.fusions_succeeded = engine_total.succeeded + self.bulk_succeeded;
+        let timelike = self.timelike.stats();
+        self.stats.fusions_attempted =
+            self.layer_attempted + timelike.attempted + self.bulk_attempted;
+        self.stats.fusions_succeeded =
+            self.layer_succeeded + timelike.succeeded + self.bulk_succeeded;
     }
 }
 
@@ -478,5 +659,55 @@ mod tests {
     fn oversized_target_panics() {
         let hw = HardwareConfig::new(20, 7, 0.75);
         let _ = ReshapeConfig::new(hw, 12, 3, 0);
+    }
+
+    #[test]
+    fn pipelined_stream_is_byte_identical_to_serial() {
+        let config = small_config(0.75, 13);
+        let mut serial = ReshapeEngine::new(config);
+        let mut piped = ReshapeEngine::new(config.with_pipelining(true));
+        let req = LayerRequirement {
+            temporal_edges: vec![TemporalRequirement { coord: (1, 1), back_distance: 1 }],
+            stores: 1,
+            retrieves: 0,
+        };
+        for step in 0..6 {
+            let a = serial.advance_logical_layer(&req);
+            let b = piped.advance_logical_layer(&req);
+            assert_eq!(a, b, "report diverged at logical layer {step}");
+            assert_eq!(
+                serial.last_logical_lattice(),
+                piped.last_logical_lattice(),
+                "lattice diverged at logical layer {step}"
+            );
+        }
+        assert_eq!(serial.stats(), piped.stats());
+    }
+
+    #[test]
+    fn pipelined_engine_drops_cleanly_with_prefetched_layer() {
+        // The generator runs one layer ahead; dropping the engine while a
+        // prefetched layer is still queued must join the thread, not hang.
+        let mut engine = ReshapeEngine::new(small_config(0.85, 3).with_pipelining(true));
+        let report = engine.advance_logical_layer(&LayerRequirement::none());
+        assert!(report.formed);
+        drop(engine);
+    }
+
+    #[test]
+    fn fusion_totals_count_consumed_layers_and_timelike_draws() {
+        // Prefetched-but-unconsumed layers must not inflate the totals: a
+        // pipelined engine that consumed k layers reports exactly the same
+        // attempt count as a serial engine that consumed k layers.
+        let config = small_config(0.72, 19);
+        let mut serial = ReshapeEngine::new(config);
+        let mut piped = ReshapeEngine::new(config.with_pipelining(true));
+        for _ in 0..4 {
+            serial.advance_logical_layer(&LayerRequirement::none());
+            piped.advance_logical_layer(&LayerRequirement::none());
+        }
+        assert_eq!(serial.stats().fusions_attempted, piped.stats().fusions_attempted);
+        assert_eq!(serial.stats().fusions_succeeded, piped.stats().fusions_succeeded);
+        assert!(serial.stats().fusions_attempted > 0);
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for `ScratchPool` epoch-stamping under cross-layer (and
+//! cross-thread) reuse, exercised through the public renormalizer APIs.
+//!
+//! The worker pool keeps one `Renormalizer` — and thus one `ScratchPool` —
+//! alive per worker for the lifetime of the RSL stream, and `Renormalizer`
+//! values may be moved between threads (a pool teardown/rebuild migrates
+//! the work to freshly owned pools). These tests pin down the contract that
+//! makes all of that safe: a scratch pool's history is unobservable, no
+//! matter how many layers it has seen or which thread drives it.
+
+use std::sync::Arc;
+
+use oneperc_hardware::{FusionEngine, HardwareConfig, PhysicalLayer};
+use oneperc_percolation::{
+    ModularConfig, ModularRenormalizer, ModuleRegion, Renormalizer, WorkerPool,
+};
+
+fn random_layer(side: usize, p: f64, seed: u64) -> PhysicalLayer {
+    let mut engine = FusionEngine::new(HardwareConfig::new(side, 7, p), seed);
+    engine.generate_layer()
+}
+
+/// Reference output from a renormalizer that has never seen another layer.
+fn fresh(layer: &PhysicalLayer, node_size: usize) -> oneperc_percolation::RenormalizedLattice {
+    Renormalizer::new().renormalize(layer, node_size)
+}
+
+#[test]
+fn heavily_reused_pool_matches_fresh_pool_after_thousands_of_layers() {
+    // Reset-free reuse: one Renormalizer across thousands of layers of
+    // varying geometry must keep producing exactly what a fresh pool
+    // produces — the epoch stamps stand in for a full clear per layer.
+    let mut veteran = Renormalizer::new();
+    for round in 0..1500u64 {
+        // Alternate geometries so stale stamps from a larger layer overlap
+        // the sites of a smaller one.
+        let (side, node) = if round % 3 == 0 { (24, 6) } else { (16, 4) };
+        let layer = random_layer(side, 0.72, round);
+        let a = veteran.renormalize(&layer, node);
+        if round % 250 == 0 || round < 5 {
+            assert_eq!(a, fresh(&layer, node), "round {round} diverged");
+        }
+    }
+}
+
+#[test]
+fn renormalizer_migrated_across_threads_never_leaks_marks() {
+    // Regression: a pool that renormalized layer A on one thread, then
+    // moves to another thread and renormalizes layer B, must not carry
+    // visitation marks over. (Stamps are per-pool state, not per-thread,
+    // so a move is invisible — this pins that down.)
+    let layer_a = random_layer(32, 0.75, 11);
+    let layer_b = random_layer(32, 0.70, 99);
+
+    let expected_b = fresh(&layer_b, 8);
+    let mut migrant = Renormalizer::new();
+    let on_a = migrant.renormalize(&layer_a, 8);
+    assert_eq!(on_a, fresh(&layer_a, 8));
+
+    // Move the renormalizer (with its warm scratch) into a worker thread.
+    let (migrant, on_b) = std::thread::spawn(move || {
+        let mut migrant = migrant;
+        let on_b = migrant.renormalize(&layer_b, 8);
+        (migrant, on_b)
+    })
+    .join()
+    .expect("worker thread");
+    assert_eq!(on_b, expected_b, "marks leaked into the migrated pool");
+
+    // And back to the original thread, onto the first layer again.
+    let mut migrant = migrant;
+    assert_eq!(migrant.renormalize(&layer_a, 8), on_a, "round trip diverged");
+}
+
+#[test]
+fn pool_workers_reusing_scratch_across_layers_match_sequential() {
+    // A 1-worker pool funnels every module of every layer through the same
+    // scratch pool, in whatever order the batches arrive — the harshest
+    // reuse pattern. It must match a sequential renormalizer layer for
+    // layer.
+    let config = ModularConfig::new(2, 7, 6).with_workers(1);
+    let mut pooled = ModularRenormalizer::new(config);
+    let mut sequential = ModularRenormalizer::new(config.sequential());
+    for seed in 0..12u64 {
+        let layer = Arc::new(random_layer(48, 0.74, seed));
+        let a = pooled.run_shared(&layer);
+        let b = sequential.run(&layer);
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn overlapping_regions_on_one_worker_stay_independent() {
+    // Overlapping module regions of the same layer visit the same flat
+    // sites back to back on one worker; each batch result must equal a
+    // fresh renormalizer's answer for its region.
+    let layer = Arc::new(random_layer(40, 0.75, 7));
+    let regions = [
+        ModuleRegion { origin: (0, 0), width: 24, height: 24 },
+        ModuleRegion { origin: (8, 8), width: 24, height: 24 },
+        ModuleRegion { origin: (16, 16), width: 24, height: 24 },
+        ModuleRegion { origin: (0, 0), width: 24, height: 24 },
+    ];
+    let mut pool = WorkerPool::new(1);
+    let lattices = pool.renormalize_modules(&layer, &regions, 6);
+    for (region, lattice) in regions.iter().zip(&lattices) {
+        let expected = Renormalizer::new().renormalize_region(
+            &layer,
+            region.origin,
+            region.width,
+            region.height,
+            6,
+        );
+        assert_eq!(lattice, &expected, "region {region:?}");
+    }
+    assert_eq!(lattices[0], lattices[3], "identical regions must agree");
+}
