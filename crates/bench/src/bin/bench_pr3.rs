@@ -1,0 +1,222 @@
+//! Measures the PR-3 session API against the one-shot facade and writes
+//! `BENCH_PR3.json` (the PR-3 acceptance artifact).
+//!
+//! The measurement is the experiment shape the session API was built for:
+//! a 16-seed sweep of the same compiled program. Two contestants per
+//! `(L, mode)` point:
+//!
+//! * **Cold per-call** — a fresh `Compiler::execute` per seed: every run
+//!   constructs (and tears down) the reshaping engine, and in the
+//!   pipelined/pooled modes also the generator thread and the worker
+//!   pool. This is what PR-2-era callers paid per experiment point.
+//! * **Warm session** — one `Session::execute_batch` over the same seeds:
+//!   the engine is `reset` between runs, threads and scratch survive.
+//!
+//! Both paths are verified byte-identical per seed (wall-clock aside)
+//! before any timing is recorded; the speedup is pure amortization, not a
+//! different computation. Run with `--release`; debug timings are
+//! meaningless.
+//!
+//! Usage: `bench_pr3 [--out <path>] [--seeds <n>] [--reps <n>] [--smoke]`
+
+use std::time::Instant;
+
+use oneperc::{CompilerConfig, ExecutionReport, Session};
+use oneperc_circuit::benchmarks;
+
+const P: f64 = 0.75;
+
+struct Args {
+    out: String,
+    seeds: u64,
+    reps: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_PR3.json".to_string(), seeds: 16, reps: 6, smoke: false };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                args.out = iter.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--seeds" => {
+                args.seeds = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                args.reps = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_pr3: warm session vs cold per-call seed-sweep A/B; \
+                     writes BENCH_PR3.json"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.smoke {
+        args.seeds = args.seeds.min(4);
+        args.reps = 1;
+    }
+    args
+}
+
+/// One execution mode of the online pass.
+#[derive(Clone, Copy)]
+struct Mode {
+    name: &'static str,
+    pipelined: bool,
+    renorm_workers: usize,
+}
+
+const MODES: [Mode; 3] = [
+    Mode { name: "serial", pipelined: false, renorm_workers: 0 },
+    Mode { name: "pipelined", pipelined: true, renorm_workers: 0 },
+    Mode { name: "pipelined+pool2", pipelined: true, renorm_workers: 2 },
+];
+
+fn config_for(rsl: usize, mode: Mode) -> CompilerConfig {
+    CompilerConfig::for_sensitivity(rsl, 3, P, 0)
+        .with_pipelining(mode.pipelined)
+        .with_renorm_workers(mode.renorm_workers)
+}
+
+/// One timed cold sweep: a fresh one-shot facade per seed, paying engine
+/// (and thread/pool) construction on every call.
+#[allow(deprecated)]
+fn cold_sweep(config: CompilerConfig, compiled: &oneperc::CompiledProgram, seeds: &[u64]) -> f64 {
+    let start = Instant::now();
+    for &seed in seeds {
+        let compiler = oneperc::Compiler::new(config.with_seed(seed));
+        std::hint::black_box(compiler.execute(compiled).rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+/// One timed warm sweep through an already-running session.
+fn warm_sweep(session: &Session, compiled: &oneperc::CompiledProgram, seeds: &[u64]) -> f64 {
+    let start = Instant::now();
+    for outcome in session.execute_batch(compiled, seeds) {
+        std::hint::black_box(outcome.report().rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+/// Interleaved A/B measurement: `reps` alternating cold/warm sweeps, best
+/// round kept for each side (the minimum is the standard noise filter when
+/// the quantity of interest — per-call setup cost — is a constant offset
+/// under multi-millisecond executions). Also verifies byte-identity of the
+/// two paths per seed before anything is timed.
+#[allow(deprecated)]
+fn measure_mode(
+    config: CompilerConfig,
+    compiled: &oneperc::CompiledProgram,
+    seeds: &[u64],
+    reps: usize,
+) -> (f64, f64) {
+    let session = Session::new(config);
+    // Verification pass (doubles as warm-up for both paths).
+    let warm_reports: Vec<ExecutionReport> = session
+        .execute_batch(compiled, seeds)
+        .into_iter()
+        .map(|o| o.into_report().deterministic())
+        .collect();
+    let cold_reports: Vec<ExecutionReport> = seeds
+        .iter()
+        .map(|&seed| {
+            oneperc::Compiler::new(config.with_seed(seed)).execute(compiled).deterministic()
+        })
+        .collect();
+    assert_eq!(warm_reports, cold_reports, "warm and cold sweeps diverged");
+
+    let mut cold = f64::INFINITY;
+    let mut warm = f64::INFINITY;
+    for _ in 0..reps {
+        cold = cold.min(cold_sweep(config, compiled, seeds));
+        warm = warm.min(warm_sweep(&session, compiled, seeds));
+    }
+    (cold, warm)
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seeds: Vec<u64> = (1..=args.seeds).collect();
+
+    let mut rows = Vec::new();
+    let mut headline = f64::NAN;
+    for &rsl in &[24usize, 40] {
+        for mode in MODES {
+            let config = config_for(rsl, mode);
+            // Offline pass only — no execution context needed for it.
+            let compiled = oneperc::Compiler::new(config)
+                .compile(&benchmarks::qaoa(4, 2))
+                .expect("offline pass succeeds");
+
+            let (cold, warm) = measure_mode(config, &compiled, &seeds, args.reps);
+            let speedup = cold / warm;
+            // The absolute per-execution setup cost the session amortizes
+            // away: engine + generator thread + pool construction.
+            let recovered_us = (cold - warm) * 1e6;
+            if rsl == 40 && mode.name == "pipelined+pool2" {
+                headline = speedup;
+            }
+            println!(
+                "L={rsl:<3} {:<16} cold {:>9.1} us/exec | warm {:>9.1} us/exec | {speedup:.2}x ({recovered_us:+.0} us/exec)",
+                mode.name,
+                cold * 1e6,
+                warm * 1e6,
+            );
+            rows.push(format!(
+                "    {{ \"rsl_size\": {rsl}, \"mode\": \"{}\", \"seeds\": {}, \
+                 \"cold_us_per_exec\": {:.3}, \"warm_us_per_exec\": {:.3}, \
+                 \"speedup_warm_vs_cold\": {speedup:.3}, \
+                 \"startup_recovered_us_per_exec\": {recovered_us:.3}, \
+                 \"byte_identical\": true }}",
+                mode.name,
+                seeds.len(),
+                cold * 1e6,
+                warm * 1e6,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"16-seed sweep, warm session vs cold per-call (PR 3)\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"fusion_success_prob\": {P},\n  \
+         \"resource_state_size\": 7,\n  \
+         \"circuit\": \"qaoa-4\",\n  \
+         \"smoke\": {},\n  \
+         \"sweeps\": [\n{}\n  ],\n  \
+         \"speedup\": {headline:.3},\n  \
+         \"speedup_basis\": \"measured wall-clock at L=40, pipelined+pool2: cold per-call \
+         (engine+generator thread+pool per execution) vs one warm session, byte-identical \
+         reports verified per seed\"\n}}\n",
+        args.smoke,
+        rows.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_PR3.json");
+    println!("{json}");
+    println!("wrote {}", args.out);
+    if !args.smoke && headline < 1.0 {
+        eprintln!("WARNING: warm session slower than cold calls ({headline:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@ pub mod baseline;
 use std::fs;
 use std::path::PathBuf;
 
-use oneperc::{Compiler, CompilerConfig, ExecutionReport};
+use oneperc::{CompilerConfig, ExecutionReport, Session};
 use oneperc_circuit::benchmarks::Benchmark;
 use oneperc_oneq::{OneqCompiler, OneqConfig, OneqReport};
 
@@ -117,10 +117,11 @@ pub fn run_oneperc_with_config(
     seed: u64,
 ) -> ExecutionReport {
     let circuit = bench.circuit(qubits, seed);
-    let compiler = Compiler::new(config);
-    compiler
-        .compile_and_execute(&circuit)
-        .unwrap_or_else(|e| panic!("OnePerc failed on {bench}-{qubits}: {e}"))
+    let session = Session::new(config);
+    let compiled = session
+        .compile(&circuit)
+        .unwrap_or_else(|e| panic!("OnePerc failed on {bench}-{qubits}: {e}"));
+    session.execute_report(&compiled)
 }
 
 /// Runs the OneQ baseline on a benchmark with the paper's repeat-until-

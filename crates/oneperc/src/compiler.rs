@@ -10,19 +10,29 @@ use oneperc_percolation::{LayerRequirement, ReshapeConfig, ReshapeEngine, Tempor
 
 use crate::config::CompilerConfig;
 use crate::memory::MemoryModel;
-use crate::report::ExecutionReport;
+use crate::report::{ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
 
 /// Errors of the end-to-end compilation.
+///
+/// Marked non-exhaustive: future online-error variants (delay-line
+/// exhaustion, hardware backpressure, …) must not be breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CompileError {
     /// The offline mapping failed.
     Mapping(MapError),
+    /// The online pass gave up on a logical layer
+    /// (see [`ExecuteOutcome::into_result`]).
+    Incomplete(LayerFailure),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Mapping(e) => write!(f, "offline mapping failed: {e}"),
+            CompileError::Incomplete(failure) => {
+                write!(f, "online execution incomplete: {failure}")
+            }
         }
     }
 }
@@ -37,6 +47,7 @@ impl From<MapError> for CompileError {
 
 /// The output of the offline pass, ready for online execution.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct CompiledProgram {
     /// The program graph state of the input circuit.
     pub program: ProgramGraph,
@@ -54,11 +65,129 @@ impl CompiledProgram {
     }
 }
 
-/// The OnePerc compiler facade.
+/// Offline pass shared by [`Compiler::compile`] and
+/// [`Session::compile`](crate::Session::compile): circuit → program graph
+/// state → FlexLattice IR → instructions.
+pub(crate) fn run_offline_pass(
+    config: &CompilerConfig,
+    circuit: &Circuit,
+) -> Result<CompiledProgram, CompileError> {
+    let start = Instant::now();
+    let program = ProgramGraph::from_circuit(circuit);
+    let mapper_config = MapperConfig::new(config.virtual_hardware())
+        .with_occupancy_limit(config.occupancy_limit)
+        .with_refresh_period(config.refresh_period);
+    let mapping = Mapper::new(mapper_config).map(&program)?;
+    Ok(CompiledProgram { program, mapping, offline_time: start.elapsed() })
+}
+
+/// The reshaping-engine configuration a compiler configuration implies.
+pub(crate) fn reshape_config(config: &CompilerConfig) -> ReshapeConfig {
+    ReshapeConfig::new(config.hardware, config.node_size, config.virtual_side, config.seed)
+        .with_temporal_redundancy(config.temporal_redundancy)
+        .with_pipelining(config.pipelined)
+        .with_renorm_workers(config.renorm_workers)
+}
+
+/// Online pass shared by the deprecated one-shot [`Compiler::execute`] shim
+/// and the warm [`Session`](crate::Session) lanes: drives `engine` through
+/// every IR layer of `compiled` and derives the evaluation metrics.
 ///
-/// [`Compiler::compile`] runs the offline pass; [`Compiler::execute`]
-/// simulates the online pass on the stochastic hardware model and reports
-/// the evaluation metrics.
+/// The caller is responsible for `engine` being in its start-of-run state
+/// (freshly constructed, or [`ReshapeEngine::reset`]) with the seed it
+/// wants; every metric of the outcome is then a pure function of
+/// `(config, compiled, seed)` — wall-clock fields aside — regardless of
+/// engine reuse, worker counts or lane placement.
+pub(crate) fn run_online_pass(
+    engine: &mut ReshapeEngine,
+    compiled: &CompiledProgram,
+    config: &CompilerConfig,
+    memory_model: &MemoryModel,
+) -> ExecuteOutcome {
+    let start = Instant::now();
+    let mut failure: Option<LayerFailure> = None;
+    for (layer_index, summary) in compiled.mapping.ir.layer_summaries().into_iter().enumerate() {
+        let requirement = LayerRequirement {
+            temporal_edges: summary
+                .incoming_temporal
+                .iter()
+                .map(|&(coord, gap)| TemporalRequirement { coord, back_distance: gap })
+                .collect(),
+            stores: summary.stores,
+            retrieves: summary.retrieves,
+        };
+        let report = engine.advance_logical_layer(&requirement);
+        if !report.formed {
+            let reason = if report.timelike_failures > report.renorm_failures {
+                LayerFailureReason::TimelikeStarved
+            } else {
+                LayerFailureReason::RenormalizationStarved
+            };
+            failure = Some(LayerFailure {
+                layer_index,
+                reason,
+                merged_layers: report.merged_layers,
+                renorm_failures: report.renorm_failures,
+                timelike_failures: report.timelike_failures,
+            });
+            break;
+        }
+    }
+    let online_time = start.elapsed();
+
+    let stats = *engine.stats();
+    // Memory: without refresh the real-time stage retains graph
+    // information for every merged layer it has consumed; with refresh
+    // only the layers of the current refresh window are retained. The
+    // window is `refresh_period` logical layers' worth of merged layers,
+    // computed in saturating integer arithmetic — a huge refresh period
+    // must degrade to "retain everything", not overflow.
+    let retained_layers = match config.refresh_period {
+        Some(period) => {
+            let period = period as u64;
+            let window = if stats.logical_layers == 0 {
+                period
+            } else {
+                // ceil(period · merged / logical) without f64 precision
+                // loss; u128 keeps the product from wrapping.
+                let scaled = (period as u128 * stats.merged_layers as u128)
+                    .div_ceil(stats.logical_layers as u128);
+                u64::try_from(scaled).unwrap_or(u64::MAX)
+            };
+            window.max(period).min(stats.merged_layers.max(1))
+        }
+        None => stats.merged_layers.max(1),
+    };
+    let peak_memory_bytes = memory_model.peak_bytes(config.hardware.rsl_size, retained_layers);
+
+    let report = ExecutionReport {
+        rsl_consumed: stats.raw_rsl,
+        merged_layers: stats.merged_layers,
+        fusions: stats.fusions_attempted,
+        logical_layers: stats.logical_layers,
+        routing_layers: stats.routing_layers,
+        ir_layers: compiled.layer_count(),
+        program_nodes: compiled.mapping.stats.program_nodes,
+        complete: failure.is_none(),
+        pipelined: config.pipelined,
+        peak_memory_bytes,
+        offline_time: compiled.offline_time,
+        online_time,
+    };
+    match failure {
+        None => ExecuteOutcome::Complete(report),
+        Some(failure) => ExecuteOutcome::Incomplete { report, failure },
+    }
+}
+
+/// The one-shot OnePerc compiler facade.
+///
+/// [`Compiler::compile`] runs the offline pass; the deprecated
+/// [`Compiler::execute`] simulates the online pass on the stochastic
+/// hardware model, constructing (and discarding) the full execution context
+/// — reshaping engine, generator thread, worker pool — on every call. New
+/// code should keep a [`Session`](crate::Session) instead: it owns those
+/// resources warm and multiplexes many seeded executions through them.
 #[derive(Debug, Clone)]
 pub struct Compiler {
     config: CompilerConfig,
@@ -90,77 +219,26 @@ impl Compiler {
     /// Returns [`CompileError::Mapping`] when the program cannot be mapped
     /// onto the configured virtual hardware.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
-        let start = Instant::now();
-        let program = ProgramGraph::from_circuit(circuit);
-        let mapper_config = MapperConfig::new(self.config.virtual_hardware())
-            .with_occupancy_limit(self.config.occupancy_limit)
-            .with_refresh_period(self.config.refresh_period);
-        let mapping = Mapper::new(mapper_config).map(&program)?;
-        Ok(CompiledProgram { program, mapping, offline_time: start.elapsed() })
+        run_offline_pass(&self.config, circuit)
     }
 
     /// Online pass: simulates the execution of a compiled program on the
     /// stochastic photonic hardware and reports `#RSL`, `#fusion` and the
     /// supporting metrics.
+    ///
+    /// This is the **cold** path: every call constructs a fresh reshaping
+    /// engine (plus generator thread and renormalization pool when
+    /// configured) and tears it down again. A
+    /// [`Session`](crate::Session) produces byte-identical reports while
+    /// reusing all of that across calls.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Session` and use `Session::execute` / `Session::execute_batch`; \
+                this one-shot shim pays full engine and thread startup per call"
+    )]
     pub fn execute(&self, compiled: &CompiledProgram) -> ExecutionReport {
-        let start = Instant::now();
-        let reshape_config = ReshapeConfig::new(
-            self.config.hardware,
-            self.config.node_size,
-            self.config.virtual_side,
-            self.config.seed,
-        )
-        .with_temporal_redundancy(self.config.temporal_redundancy)
-        .with_pipelining(self.config.pipelined);
-        let mut engine = ReshapeEngine::new(reshape_config);
-
-        let mut complete = true;
-        for summary in compiled.mapping.ir.layer_summaries() {
-            let requirement = LayerRequirement {
-                temporal_edges: summary
-                    .incoming_temporal
-                    .iter()
-                    .map(|&(coord, gap)| TemporalRequirement { coord, back_distance: gap })
-                    .collect(),
-                stores: summary.stores,
-                retrieves: summary.retrieves,
-            };
-            let report = engine.advance_logical_layer(&requirement);
-            if !report.formed {
-                complete = false;
-                break;
-            }
-        }
-        let online_time = start.elapsed();
-
-        let stats = *engine.stats();
-        // Memory: without refresh the real-time stage retains graph
-        // information for every merged layer it has consumed; with refresh
-        // only the layers of the current refresh window are retained.
-        let retained_layers = match self.config.refresh_period {
-            Some(period) => {
-                let window = (period as f64 * stats.pl_ratio().max(1.0)).ceil() as u64;
-                window.min(stats.merged_layers.max(1))
-            }
-            None => stats.merged_layers.max(1),
-        };
-        let peak_memory_bytes =
-            self.memory_model.peak_bytes(self.config.hardware.rsl_size, retained_layers);
-
-        ExecutionReport {
-            rsl_consumed: stats.raw_rsl,
-            merged_layers: stats.merged_layers,
-            fusions: stats.fusions_attempted,
-            logical_layers: stats.logical_layers,
-            routing_layers: stats.routing_layers,
-            ir_layers: compiled.layer_count(),
-            program_nodes: compiled.mapping.stats.program_nodes,
-            complete,
-            pipelined: self.config.pipelined,
-            peak_memory_bytes,
-            offline_time: compiled.offline_time,
-            online_time,
-        }
+        let mut engine = ReshapeEngine::new(reshape_config(&self.config));
+        run_online_pass(&mut engine, compiled, &self.config, &self.memory_model).into_report()
     }
 
     /// Convenience: compile and execute in one call.
@@ -168,13 +246,22 @@ impl Compiler {
     /// # Errors
     ///
     /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Session` and use `Session::compile` + `Session::execute`; \
+                this one-shot shim pays full engine and thread startup per call"
+    )]
     pub fn compile_and_execute(&self, circuit: &Circuit) -> Result<ExecutionReport, CompileError> {
         let compiled = self.compile(circuit)?;
-        Ok(self.execute(&compiled))
+        let mut engine = ReshapeEngine::new(reshape_config(&self.config));
+        Ok(run_online_pass(&mut engine, &compiled, &self.config, &self.memory_model).into_report())
     }
 }
 
 #[cfg(test)]
+// The deprecated one-shot shims are exactly what this module tests: they
+// must keep producing the same reports as always (and as the session).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::CompilerConfig;
@@ -248,6 +335,55 @@ mod tests {
             .unwrap();
         assert!(with.peak_memory_bytes <= without.peak_memory_bytes);
         assert!(with.ir_layers >= without.ir_layers);
+    }
+
+    #[test]
+    fn huge_refresh_period_saturates_instead_of_overflowing() {
+        // Regression: the retained-layers window used to be computed as
+        // `(period as f64 * pl_ratio).ceil() as u64`, which loses precision
+        // above 2^53 and silently saturates through the float cast. The
+        // integer path must degrade to "retain every merged layer" — the
+        // same estimate as running without refresh — for any period.
+        let circuit = benchmarks::qft(4);
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.85, 9);
+        let unrefreshed = Compiler::new(base).compile_and_execute(&circuit).unwrap();
+        for period in [usize::MAX, usize::MAX / 2, u64::MAX as usize] {
+            let huge = Compiler::new(base.with_refresh_period(Some(period)))
+                .compile_and_execute(&circuit)
+                .unwrap();
+            assert_eq!(
+                huge.peak_memory_bytes, unrefreshed.peak_memory_bytes,
+                "period {period}: a window larger than the run retains everything"
+            );
+        }
+        // And a sane period still shrinks the estimate.
+        let small = Compiler::new(base.with_refresh_period(Some(5)))
+            .compile_and_execute(&circuit)
+            .unwrap();
+        assert!(small.peak_memory_bytes <= unrefreshed.peak_memory_bytes);
+    }
+
+    #[test]
+    fn incomplete_execution_reports_failed_layer() {
+        // Virtual side == RSL side cannot renormalize: the safety cap hits
+        // on the very first logical layer and the outcome must say so.
+        let config = CompilerConfig::for_sensitivity(12, 12, 0.7, 5);
+        let compiler = Compiler::new(config);
+        let compiled = compiler.compile(&benchmarks::qaoa(4, 1)).unwrap();
+        let mut engine = ReshapeEngine::new(reshape_config(&config));
+        let outcome =
+            run_online_pass(&mut engine, &compiled, &config, &MemoryModel::default());
+        assert!(!outcome.is_complete());
+        let failure = outcome.failure().unwrap();
+        assert_eq!(failure.layer_index, 0);
+        assert_eq!(failure.merged_layers, failure.renorm_failures + failure.timelike_failures);
+        assert_eq!(
+            failure.reason,
+            crate::report::LayerFailureReason::RenormalizationStarved
+        );
+        // The deprecated shim flattens the same information into the bool.
+        let report = compiler.execute(&compiled);
+        assert!(!report.complete);
     }
 
     #[test]

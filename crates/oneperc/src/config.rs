@@ -72,14 +72,17 @@ pub struct CompilerConfig {
     /// generation overlaps renormalization on a dedicated thread. The
     /// execution report is byte-identical to the serial path per seed.
     pub pipelined: bool,
-    /// Worker threads for modular-renormalization pools derived from this
-    /// configuration via [`CompilerConfig::modular`] (`0` = one per
-    /// available core, capped at one per module). Note that
-    /// [`Compiler::execute`](crate::Compiler::execute) itself renormalizes
-    /// non-modularly and does not consult this knob; it configures the
-    /// modular tooling (experiment binaries, latency studies) built from
-    /// the same compiler sizing. Wiring the modular pool into the reshaping
-    /// stage is a tracked ROADMAP follow-on.
+    /// Renormalization worker threads of the online pass (`0` = renormalize
+    /// in-thread). With workers, the reshaping stage streams upcoming
+    /// layers through a persistent [`WorkerPool`] — engine-private for the
+    /// one-shot `Compiler` shims, shared across lanes in a
+    /// [`Session`](crate::Session) — and consumes the lattices in stream
+    /// order, so reports are byte-identical for every worker count; only
+    /// the wall-clock changes. The same knob sizes modular-renormalization
+    /// pools derived via [`CompilerConfig::modular`] (there `0` = one per
+    /// available core, capped at one per module).
+    ///
+    /// [`WorkerPool`]: oneperc_percolation::WorkerPool
     pub renorm_workers: usize,
 }
 
@@ -131,12 +134,14 @@ impl CompilerConfig {
     }
 
     /// Overrides the resource-state size.
+    #[must_use]
     pub fn with_resource_state_size(mut self, size: usize) -> Self {
         self.hardware.resource_state_size = size;
         self
     }
 
     /// Enables the refresh mechanism with the given period (in layers).
+    #[must_use]
     pub fn with_refresh_period(mut self, period: Option<usize>) -> Self {
         self.refresh_period = period;
         self
@@ -144,6 +149,7 @@ impl CompilerConfig {
 
     /// Enables or disables the double-buffered RSL pipeline for the online
     /// pass.
+    #[must_use]
     pub fn with_pipelining(mut self, pipelined: bool) -> Self {
         self.pipelined = pipelined;
         self
@@ -151,8 +157,17 @@ impl CompilerConfig {
 
     /// Sets the worker-pool size used by modular renormalizers derived
     /// from this configuration (`0` = auto).
+    #[must_use]
     pub fn with_renorm_workers(mut self, workers: usize) -> Self {
         self.renorm_workers = workers;
+        self
+    }
+
+    /// Overrides the RNG seed shared by the stochastic components. A
+    /// session sweeping seeds applies this per execution request.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 

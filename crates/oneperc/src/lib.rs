@@ -7,20 +7,56 @@
 //! `#fusion`, the PL ratio, and the classical-memory estimate behind the
 //! refresh study.
 //!
-//! The main entry point is [`Compiler`]:
+//! # Sessions: the primary entry point
+//!
+//! Photonic compilation is *repeated stochastic execution over a fixed
+//! machine configuration*: the same compiled program is run across many
+//! RNG seeds to characterize the hardware's randomness. [`Session`] (alias
+//! [`OnePercService`]) is built for exactly that shape. It owns the warm
+//! execution context — persistent lane threads with reseedable reshaping
+//! engines, their pipelined generator threads, and a shared
+//! renormalization [`WorkerPool`](oneperc_percolation::WorkerPool) sized
+//! by [`CompilerConfig::renorm_workers`] — and multiplexes every execution
+//! through it, so a seed sweep pays thread and allocation startup once
+//! instead of per run.
+//!
+//! Quickstart — build a session, compile once, batch-execute a sweep:
 //!
 //! ```
-//! use oneperc::{Compiler, CompilerConfig};
+//! use oneperc::{CompilerConfig, Session};
 //! use oneperc_circuit::benchmarks;
 //!
+//! // One warm session per machine configuration.
 //! let config = CompilerConfig::for_qubits(4, 0.9, 1);
-//! let compiler = Compiler::new(config);
+//! let session = Session::new(config);
+//!
+//! // Offline pass runs once per circuit…
 //! let circuit = benchmarks::qaoa(4, 1);
-//! let compiled = compiler.compile(&circuit).unwrap();
-//! let report = compiler.execute(&compiled);
-//! assert!(report.rsl_consumed > 0);
-//! assert!(report.logical_layers > 0);
+//! let compiled = session.compile(&circuit).unwrap();
+//!
+//! // …online pass runs once per seed, through the warm pipelines.
+//! let outcomes = session.execute_batch(&compiled, &[1, 2, 3, 4]);
+//! for outcome in &outcomes {
+//!     let report = outcome.report();
+//!     assert!(report.rsl_consumed > 0);
+//!     assert!(report.logical_layers > 0);
+//! }
 //! ```
+//!
+//! Executions report a typed [`ExecuteOutcome`]: a complete run carries
+//! its [`ExecutionReport`], an incomplete one additionally says *which*
+//! logical layer failed to form and why ([`LayerFailure`]). Determinism is
+//! contractual: per `(config, circuit, seed)` the metrics are
+//! byte-identical whatever the lane count, `renorm_workers` setting, batch
+//! size or submission order — `tests/session_determinism.rs` enforces it.
+//!
+//! For scaling beyond one process, shard sessions: one `Session` per
+//! machine configuration, each with as many lanes as the host should
+//! dedicate to that tenant.
+//!
+//! The one-shot [`Compiler`] facade remains as a deprecated-but-working
+//! shim for existing callers; `Compiler::compile` (the offline pass) is
+//! not deprecated and shares its implementation with [`Session::compile`].
 //!
 //! The experiment harness in `crates/bench` drives this API to regenerate
 //! every table and figure of the paper's evaluation; the `examples/`
@@ -33,8 +69,10 @@ mod compiler;
 mod config;
 mod memory;
 mod report;
+mod session;
 
 pub use compiler::{CompileError, CompiledProgram, Compiler};
 pub use config::{CompilerConfig, Preset};
 pub use memory::MemoryModel;
-pub use report::ExecutionReport;
+pub use report::{ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
+pub use session::{ExecutionRequest, JobHandle, OnePercService, Session, SessionBuilder};

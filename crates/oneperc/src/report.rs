@@ -7,6 +7,7 @@ use std::time::Duration;
 /// The metrics of one end-to-end compilation + execution, aligned with the
 /// columns of Table 2 and the series of the analysis figures.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[must_use]
 pub struct ExecutionReport {
     /// Raw resource-state layers consumed — the paper's `#RSL`.
     pub rsl_consumed: u64,
@@ -59,6 +60,138 @@ impl ExecutionReport {
             0.0
         } else {
             self.online_time.as_secs_f64() / self.merged_layers as f64
+        }
+    }
+
+    /// The report with its wall-clock fields zeroed: every remaining field
+    /// is a pure function of the configuration and seed, so two runs of the
+    /// same `(config, circuit, seed)` must produce equal deterministic
+    /// views whatever machine, session or batch they ran in. This is the
+    /// comparison form used by the batch-determinism suite.
+    pub fn deterministic(mut self) -> ExecutionReport {
+        self.offline_time = Duration::ZERO;
+        self.online_time = Duration::ZERO;
+        self
+    }
+}
+
+/// Why a logical layer could not be formed within the safety cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerFailureReason {
+    /// Most attempts never renormalized to the target lattice — the RSL is
+    /// too small or the fusion probability too close to the percolation
+    /// threshold for this virtual-hardware size.
+    RenormalizationStarved,
+    /// Renormalization mostly succeeded but the requested time-like
+    /// connections kept failing — temporal redundancy or photon lifetime is
+    /// the binding constraint.
+    TimelikeStarved,
+}
+
+impl fmt::Display for LayerFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerFailureReason::RenormalizationStarved => {
+                write!(f, "2D renormalization kept missing the target lattice")
+            }
+            LayerFailureReason::TimelikeStarved => {
+                write!(f, "time-like connections kept failing")
+            }
+        }
+    }
+}
+
+/// Diagnostic detail for an online pass that gave up: which logical layer
+/// failed to form, after consuming how much, and why.
+///
+/// Replaces silently inspecting [`ExecutionReport::complete`] — an
+/// incomplete execution now says *what* starved it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerFailure {
+    /// Zero-based index of the IR logical layer that failed to form.
+    pub layer_index: usize,
+    /// Dominant failure mode of the attempts.
+    pub reason: LayerFailureReason,
+    /// Merged layers consumed by the failed attempt (the safety cap).
+    pub merged_layers: usize,
+    /// Attempts that failed 2D renormalization.
+    pub renorm_failures: usize,
+    /// Attempts that renormalized but failed a time-like connection.
+    pub timelike_failures: usize,
+}
+
+impl fmt::Display for LayerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "logical layer {} failed to form after {} merged layers \
+             ({} renormalization failures, {} time-like failures): {}",
+            self.layer_index,
+            self.merged_layers,
+            self.renorm_failures,
+            self.timelike_failures,
+            self.reason
+        )
+    }
+}
+
+/// Typed outcome of an online execution: the metrics, plus — when the run
+/// gave up — the failed layer's diagnostics instead of a silent
+/// `complete: false`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
+pub enum ExecuteOutcome {
+    /// Every requested logical layer was formed.
+    Complete(ExecutionReport),
+    /// A logical layer hit the safety cap; `report` covers everything
+    /// consumed up to (and including) the failed attempt.
+    Incomplete {
+        /// Metrics of the partial run.
+        report: ExecutionReport,
+        /// Which layer failed, and why.
+        failure: LayerFailure,
+    },
+}
+
+impl ExecuteOutcome {
+    /// Whether every logical layer was formed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ExecuteOutcome::Complete(_))
+    }
+
+    /// The execution metrics, complete or not.
+    pub fn report(&self) -> &ExecutionReport {
+        match self {
+            ExecuteOutcome::Complete(report) => report,
+            ExecuteOutcome::Incomplete { report, .. } => report,
+        }
+    }
+
+    /// Consumes the outcome into its metrics, complete or not.
+    pub fn into_report(self) -> ExecutionReport {
+        match self {
+            ExecuteOutcome::Complete(report) => report,
+            ExecuteOutcome::Incomplete { report, .. } => report,
+        }
+    }
+
+    /// The failed layer's diagnostics, when the run gave up.
+    pub fn failure(&self) -> Option<&LayerFailure> {
+        match self {
+            ExecuteOutcome::Complete(_) => None,
+            ExecuteOutcome::Incomplete { failure, .. } => Some(failure),
+        }
+    }
+
+    /// Converts to a `Result`, mapping an incomplete run onto
+    /// [`CompileError::Incomplete`](crate::CompileError::Incomplete).
+    pub fn into_result(self) -> Result<ExecutionReport, crate::CompileError> {
+        match self {
+            ExecuteOutcome::Complete(report) => Ok(report),
+            ExecuteOutcome::Incomplete { failure, .. } => {
+                Err(crate::CompileError::Incomplete(failure))
+            }
         }
     }
 }

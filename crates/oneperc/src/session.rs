@@ -1,0 +1,529 @@
+//! Long-lived compiler service sessions: warm pipelines, a shared
+//! renormalization worker pool, and batched multi-seed execution.
+//!
+//! The one-shot [`Compiler`](crate::Compiler) facade rebuilds the whole
+//! online execution context — reshaping engine, generator thread, worker
+//! pool, scratch memory — on every `execute` call. A [`Session`] builds
+//! that context **once** and multiplexes work through it:
+//!
+//! * Each of the session's **lanes** is a persistent worker thread owning a
+//!   warm [`ReshapeEngine`]; between executions the engine is
+//!   [`reset`](ReshapeEngine::reset) to the request's seed instead of being
+//!   reconstructed, so the generator thread, the circulating layer buffers
+//!   and the renormalization scratch all survive from one run to the next.
+//! * With [`CompilerConfig::renorm_workers`] > 0 the session owns a single
+//!   [`WorkerPool`] shared by every lane: each lane engine streams its
+//!   layers through its own [`PoolClient`], and the pool multiplexes the
+//!   interleaved jobs without ever mixing results between lanes.
+//! * [`Session::execute_batch`] sweeps many seeds through the same compiled
+//!   program — the bread-and-butter experiment shape of the paper's
+//!   evaluation — and [`Session::submit`] exposes the underlying
+//!   fire-and-collect job interface.
+//!
+//! Determinism is part of the API contract: for a fixed `(config, circuit,
+//! seed)`, the report of a session execution is byte-identical (wall-clock
+//! fields aside — compare with [`ExecutionReport::deterministic`]) to a
+//! fresh one-shot `Compiler` run, whatever the lane count, worker count,
+//! batch size or submission order. `tests/session_determinism.rs` pins
+//! this.
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc::{CompilerConfig, Session};
+//! use oneperc_circuit::benchmarks;
+//!
+//! let session = Session::new(CompilerConfig::for_qubits(4, 0.9, 1));
+//! let compiled = session.compile(&benchmarks::qaoa(4, 1)).unwrap();
+//! // Sweep three seeds through the warm pipeline.
+//! let outcomes = session.execute_batch(&compiled, &[1, 2, 3]);
+//! assert!(outcomes.iter().all(|o| o.is_complete()));
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use oneperc_circuit::Circuit;
+use oneperc_percolation::{panic_message, ReshapeEngine, WorkerPool};
+
+use crate::compiler::{
+    reshape_config, run_offline_pass, run_online_pass, CompileError, CompiledProgram,
+};
+use crate::config::CompilerConfig;
+use crate::memory::MemoryModel;
+use crate::report::{ExecuteOutcome, ExecutionReport};
+
+/// One unit of work for a session: execute a compiled program with a seed.
+///
+/// The program travels as an [`Arc`] so a whole seed sweep shares one
+/// allocation across lanes.
+#[derive(Debug, Clone)]
+pub struct ExecutionRequest {
+    /// The compiled program to execute (must come from a configuration
+    /// compatible with the session's, i.e. the same virtual hardware).
+    pub compiled: Arc<CompiledProgram>,
+    /// RNG seed of this execution's stochastic stream.
+    pub seed: u64,
+}
+
+impl ExecutionRequest {
+    /// Creates a request for one `(program, seed)` execution.
+    pub fn new(compiled: Arc<CompiledProgram>, seed: u64) -> Self {
+        ExecutionRequest { compiled, seed }
+    }
+}
+
+/// A pending session execution; redeem it with [`JobHandle::wait`].
+#[derive(Debug)]
+#[must_use = "a submitted job does its work regardless, but dropping the handle discards its result"]
+pub struct JobHandle {
+    reply_rx: Receiver<Result<ExecuteOutcome, String>>,
+    seed: u64,
+}
+
+impl JobHandle {
+    /// The seed of the submitted request.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Blocks until the lane finishes the job and returns its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when this job's execution panicked (the lane's message is
+    /// relayed; the lane itself survives with a fresh engine and keeps
+    /// serving other jobs) or when the session was torn down with the job
+    /// still pending.
+    pub fn wait(self) -> ExecuteOutcome {
+        match self.reply_rx.recv() {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(message)) => panic!("session execution panicked: {message}"),
+            Err(_) => panic!("session torn down while a job was pending"),
+        }
+    }
+}
+
+/// Message from the session facade to a lane thread.
+struct LaneRequest {
+    compiled: Arc<CompiledProgram>,
+    seed: u64,
+    reply: Sender<Result<ExecuteOutcome, String>>,
+}
+
+/// One persistent execution lane: a worker thread owning a warm engine.
+#[derive(Debug)]
+struct Lane {
+    /// `Option` so `Drop` can hang up before joining.
+    request_tx: Option<Sender<LaneRequest>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Lane {
+    fn spawn(
+        index: usize,
+        config: CompilerConfig,
+        memory_model: MemoryModel,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Lane {
+        let (request_tx, request_rx) = channel::<LaneRequest>();
+        let handle = std::thread::Builder::new()
+            .name(format!("oneperc-lane-{index}"))
+            .spawn(move || {
+                // The warm state of the lane: constructed once, reseeded
+                // per request. With a shared pool the engine streams its
+                // renormalization through the session-wide workers.
+                let base = reshape_config(&config);
+                let build_engine = || match &pool {
+                    Some(pool) => ReshapeEngine::with_renorm_client(base, pool.client()),
+                    None => ReshapeEngine::new(base),
+                };
+                let mut engine = build_engine();
+                while let Ok(request) = request_rx.recv() {
+                    let run_config = config.with_seed(request.seed);
+                    // A panicking execution must not take the lane (and
+                    // with it every queued and future job on this lane)
+                    // down: relay the panic to the one affected handle and
+                    // rebuild the engine — its post-panic state (in-flight
+                    // pool jobs included) is not worth salvaging, a fresh
+                    // engine with a fresh pool client is.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        engine.reset(request.seed);
+                        run_online_pass(&mut engine, &request.compiled, &run_config, &memory_model)
+                    }));
+                    let reply = match outcome {
+                        Ok(outcome) => Ok(outcome),
+                        Err(payload) => {
+                            engine = build_engine();
+                            Err(panic_message(payload))
+                        }
+                    };
+                    // A dropped handle just means the caller lost interest.
+                    let _ = request.reply.send(reply);
+                }
+            })
+            .expect("spawn session lane thread");
+        Lane { request_tx: Some(request_tx), handle: Some(handle) }
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        self.request_tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Configures a [`Session`] before its threads spawn.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct SessionBuilder {
+    config: CompilerConfig,
+    lanes: usize,
+    memory_model: MemoryModel,
+}
+
+impl SessionBuilder {
+    /// Number of persistent execution lanes (warm engines). More lanes run
+    /// more batch jobs concurrently; results never depend on the count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "a session needs at least one lane");
+        self.lanes = lanes;
+        self
+    }
+
+    /// Overrides the classical-memory model used for the refresh-study
+    /// memory estimate.
+    pub fn memory_model(mut self, model: MemoryModel) -> Self {
+        self.memory_model = model;
+        self
+    }
+
+    /// Spawns the session: the shared worker pool (when
+    /// `config.renorm_workers > 0`) and one warm engine per lane.
+    pub fn build(self) -> Session {
+        let pool = if self.config.renorm_workers > 0 {
+            Some(Arc::new(WorkerPool::new(self.config.renorm_workers)))
+        } else {
+            None
+        };
+        let lanes = (0..self.lanes)
+            .map(|index| Lane::spawn(index, self.config, self.memory_model, pool.clone()))
+            .collect();
+        Session {
+            config: self.config,
+            memory_model: self.memory_model,
+            lanes,
+            next_lane: AtomicUsize::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            pool,
+        }
+    }
+}
+
+/// A long-lived OnePerc compiler service session.
+///
+/// Owns the warm execution context — persistent lane threads with
+/// reseedable [`ReshapeEngine`]s, their pipelined generator threads, and
+/// (optionally) one shared renormalization [`WorkerPool`] — and multiplexes
+/// compile/execute work through it. See the [module docs](self) for the
+/// architecture and determinism contract, and [`SessionBuilder`] for
+/// construction knobs.
+///
+/// Sessions are the primary entry point of the crate; the one-shot
+/// [`Compiler`](crate::Compiler) shims remain for existing callers.
+#[derive(Debug)]
+pub struct Session {
+    config: CompilerConfig,
+    memory_model: MemoryModel,
+    /// Declared before `pool`: lanes (and their pool clients) must wind
+    /// down before the shared pool they submit to.
+    lanes: Vec<Lane>,
+    next_lane: AtomicUsize,
+    jobs_submitted: AtomicU64,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+/// The service alias: `OnePercService` is a [`Session`].
+pub type OnePercService = Session;
+
+impl Session {
+    /// Builds a single-lane session for a configuration (see
+    /// [`Session::builder`] for multi-lane setups).
+    pub fn new(config: CompilerConfig) -> Self {
+        Self::builder(config).build()
+    }
+
+    /// Starts configuring a session.
+    pub fn builder(config: CompilerConfig) -> SessionBuilder {
+        SessionBuilder { config, lanes: 1, memory_model: MemoryModel::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The classical-memory model in use.
+    pub fn memory_model(&self) -> &MemoryModel {
+        &self.memory_model
+    }
+
+    /// Number of persistent execution lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Workers of the shared renormalization pool (`None` when
+    /// `renorm_workers` is 0 and renormalization runs in-lane).
+    pub fn renorm_pool_workers(&self) -> Option<usize> {
+        self.pool.as_deref().map(WorkerPool::worker_count)
+    }
+
+    /// Jobs submitted over the session's lifetime.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.jobs_submitted.load(Ordering::Relaxed)
+    }
+
+    /// Offline pass: circuit → program graph state → FlexLattice IR →
+    /// instructions. The output can be executed any number of times, with
+    /// any seeds, by this session (or any session with the same
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the program cannot be mapped
+    /// onto the configured virtual hardware.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        run_offline_pass(&self.config, circuit)
+    }
+
+    /// Enqueues one `(program, seed)` execution on the next lane
+    /// (round-robin) and returns a handle to collect its outcome. This is
+    /// the fire-and-collect primitive under [`Session::execute`] and
+    /// [`Session::execute_batch`]; use it directly to overlap submission
+    /// with other work or to interleave programs.
+    pub fn submit(&self, request: ExecutionRequest) -> JobHandle {
+        let lane_index =
+            self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        let (reply, reply_rx) = channel();
+        let seed = request.seed;
+        self.lanes[lane_index]
+            .request_tx
+            .as_ref()
+            .expect("session is live")
+            .send(LaneRequest { compiled: request.compiled, seed, reply })
+            .expect("session lane hung up");
+        JobHandle { reply_rx, seed }
+    }
+
+    /// Online pass on the warm session: executes a compiled program with
+    /// the given seed and returns the typed outcome.
+    ///
+    /// Byte-identical (wall-clock aside) to a one-shot
+    /// `Compiler::execute` with `config.with_seed(seed)`.
+    ///
+    /// This convenience clones the program into an [`Arc`] per call; when
+    /// sweeping seeds one call at a time, hold the program in an `Arc`
+    /// yourself and use [`Session::execute_shared`] (or
+    /// [`Session::execute_batch`], which shares one clone across the whole
+    /// sweep).
+    pub fn execute(&self, compiled: &CompiledProgram, seed: u64) -> ExecuteOutcome {
+        self.execute_shared(Arc::new(compiled.clone()), seed)
+    }
+
+    /// [`Session::execute`] without the per-call program clone.
+    pub fn execute_shared(&self, compiled: Arc<CompiledProgram>, seed: u64) -> ExecuteOutcome {
+        self.submit(ExecutionRequest::new(compiled, seed)).wait()
+    }
+
+    /// Executes a compiled program once with the session's configured seed.
+    pub fn execute_report(&self, compiled: &CompiledProgram) -> ExecutionReport {
+        self.execute(compiled, self.config.seed).into_report()
+    }
+
+    /// Runs a whole seed sweep through the warm pipelines: one execution
+    /// per seed, distributed round-robin over the lanes, outcomes returned
+    /// in seed order. The compiled program is shared (one `Arc`) across
+    /// the batch.
+    ///
+    /// Per seed, the outcome is byte-identical (wall-clock aside) to a
+    /// sequential run — regardless of batch size, lane count, worker count
+    /// or completion order.
+    pub fn execute_batch(&self, compiled: &CompiledProgram, seeds: &[u64]) -> Vec<ExecuteOutcome> {
+        let shared = Arc::new(compiled.clone());
+        let handles: Vec<JobHandle> = seeds
+            .iter()
+            .map(|&seed| self.submit(ExecutionRequest::new(Arc::clone(&shared), seed)))
+            .collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// Convenience: compile once, then sweep seeds through the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn compile_and_sweep(
+        &self,
+        circuit: &Circuit,
+        seeds: &[u64],
+    ) -> Result<Vec<ExecuteOutcome>, CompileError> {
+        let compiled = self.compile(circuit)?;
+        Ok(self.execute_batch(&compiled, seeds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneperc_circuit::benchmarks;
+
+    fn small_config(p: f64, seed: u64) -> CompilerConfig {
+        CompilerConfig::for_sensitivity(36, 3, p, seed)
+    }
+
+    #[test]
+    fn session_executes_compiled_programs() {
+        let session = Session::new(small_config(0.9, 2));
+        let compiled = session.compile(&benchmarks::qaoa(4, 2)).unwrap();
+        let outcome = session.execute(&compiled, 2);
+        assert!(outcome.is_complete());
+        let report = outcome.report();
+        assert_eq!(report.logical_layers as usize, report.ir_layers);
+        assert!(report.rsl_consumed > 0);
+        assert_eq!(session.jobs_submitted(), 1);
+    }
+
+    #[test]
+    fn warm_session_matches_one_shot_compiler() {
+        let config = small_config(0.8, 7);
+        let circuit = benchmarks::rca(4);
+        let session = Session::new(config);
+        let compiled = session.compile(&circuit).unwrap();
+        for seed in [7u64, 8, 1_000_003] {
+            let warm = session.execute(&compiled, seed).into_report().deterministic();
+            #[allow(deprecated)]
+            let cold = crate::Compiler::new(config.with_seed(seed))
+                .compile_and_execute(&circuit)
+                .unwrap()
+                .deterministic();
+            assert_eq!(warm, cold, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_outcomes_follow_seed_order() {
+        let config = small_config(0.85, 1);
+        let session = Session::builder(config).lanes(3).build();
+        let compiled = session.compile(&benchmarks::qft(4)).unwrap();
+        let seeds = [5u64, 6, 7, 8, 9, 10];
+        let batch = session.execute_batch(&compiled, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let solo = session.execute(&compiled, seed);
+            assert_eq!(
+                batch[i].report().deterministic(),
+                solo.report().deterministic(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_interleaves_programs_and_seeds() {
+        let config = small_config(0.85, 3);
+        let session = Session::builder(config).lanes(2).build();
+        let qaoa = Arc::new(session.compile(&benchmarks::qaoa(4, 3)).unwrap());
+        let qft = Arc::new(session.compile(&benchmarks::qft(4)).unwrap());
+        let handles = vec![
+            session.submit(ExecutionRequest::new(Arc::clone(&qaoa), 11)),
+            session.submit(ExecutionRequest::new(Arc::clone(&qft), 12)),
+            session.submit(ExecutionRequest::new(Arc::clone(&qaoa), 13)),
+            session.submit(ExecutionRequest::new(Arc::clone(&qft), 11)),
+        ];
+        assert_eq!(handles[0].seed(), 11);
+        let outcomes: Vec<ExecuteOutcome> = handles.into_iter().map(JobHandle::wait).collect();
+        assert!(outcomes.iter().all(ExecuteOutcome::is_complete));
+        // Same program, same seed, different submission slot → same report.
+        assert_eq!(
+            outcomes[0].report().deterministic(),
+            session.execute(&qaoa, 11).report().deterministic()
+        );
+        assert_eq!(session.jobs_submitted(), 5);
+    }
+
+    #[test]
+    fn session_surfaces_layer_failures() {
+        // An impossible target (virtual side == RSL side at p far below
+        // what that needs) must report a typed failure, not just a bool.
+        let hw_config = CompilerConfig::for_sensitivity(12, 12, 0.7, 5);
+        let session = Session::new(hw_config);
+        let compiled = session.compile(&benchmarks::qaoa(4, 1)).unwrap();
+        let outcome = session.execute(&compiled, 5);
+        assert!(!outcome.is_complete());
+        let failure = outcome.failure().expect("incomplete outcome carries a failure");
+        assert_eq!(failure.layer_index, 0);
+        assert!(failure.merged_layers > 0);
+        assert!(!outcome.report().complete);
+        assert!(outcome.into_result().is_err());
+    }
+
+    #[test]
+    fn lane_survives_a_panicking_execution() {
+        // A memory model whose per-site cost overflows the peak-bytes
+        // multiply makes every execution panic inside the lane in debug
+        // builds (it wraps in release, where this test degenerates to a
+        // smoke check). The contract under test: the panic is relayed
+        // through the affected job's handle — and the lane thread
+        // survives it, so later submissions on the same lane still get
+        // answers instead of hanging or hitting a dead channel.
+        let config = small_config(0.85, 1).with_renorm_workers(1);
+        let session = Session::builder(config)
+            .memory_model(MemoryModel::new(u64::MAX))
+            .build();
+        let compiled = session.compile(&benchmarks::qaoa(4, 2)).unwrap();
+        for attempt in 0..3u64 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                session.execute(&compiled, attempt)
+            }));
+            if cfg!(debug_assertions) {
+                let payload =
+                    result.expect_err("overflow must panic in debug builds");
+                let message = panic_message(payload);
+                assert!(
+                    message.contains("session execution panicked"),
+                    "attempt {attempt}: panic must be relayed through the handle \
+                     (lane alive), got: {message}"
+                );
+            } else {
+                assert!(result.is_ok(), "attempt {attempt}");
+            }
+        }
+        assert_eq!(session.jobs_submitted(), 3, "every attempt reached the lane");
+    }
+
+    #[test]
+    fn renorm_pool_is_shared_and_sized_by_config() {
+        let session = Session::builder(small_config(0.85, 1).with_renorm_workers(2))
+            .lanes(2)
+            .build();
+        assert_eq!(session.renorm_pool_workers(), Some(2));
+        let compiled = session.compile(&benchmarks::qaoa(4, 2)).unwrap();
+        let pooled = session.execute_batch(&compiled, &[3, 4]);
+        let inline = Session::new(small_config(0.85, 1)).execute_batch(&compiled, &[3, 4]);
+        for (a, b) in pooled.iter().zip(&inline) {
+            assert_eq!(a.report().deterministic(), b.report().deterministic());
+        }
+    }
+}

@@ -16,22 +16,30 @@
 //!   independently-processed modules separated by joining intervals,
 //!   trading a small resource overhead for a large reduction in real-time
 //!   latency (Fig. 10, Fig. 13(c), Fig. 14(b)).
-//! * [`WorkerPool`] — the persistent, channel-fed module workers behind the
-//!   modular variant, amortizing thread startup across the RSL stream.
+//! * [`WorkerPool`] — persistent, channel-fed renormalization workers,
+//!   amortizing thread startup across the RSL stream. The pool multiplexes
+//!   any number of submitters: each [`PoolClient`] has a private reply
+//!   channel and slot sequence, so concurrent batches (several reshaping
+//!   engines, the modular renormalizer, …) interleave on the workers
+//!   without ever mixing results.
 //! * [`ReshapeEngine`] — the (2+1)-D driver that consumes a stream of RSLs,
 //!   classifies them into logical and routing layers, and establishes the
 //!   adjacent-layer and cross-layer time-like connections requested by the
-//!   IR program (Section 5.2). With [`ReshapeConfig::with_pipelining`] the
-//!   driver becomes a two-stage pipeline: layer generation runs on a
-//!   dedicated thread, double-buffered one layer ahead of renormalization.
+//!   IR program (Section 5.2). With [`ReshapeConfig::with_pipelining`] and
+//!   [`ReshapeConfig::with_renorm_workers`] the driver becomes a
+//!   three-stage pipeline: layer generation on a dedicated thread,
+//!   renormalization fanned out on a worker pool a few layers ahead, and
+//!   connection in the driving thread. [`ReshapeEngine::reset`] restarts
+//!   the stochastic stream for a new seed while keeping every thread and
+//!   allocation warm — the primitive behind the `oneperc` session API.
 //!
 //! # Pipeline architecture and ownership rules
 //!
 //! The online pass is organized as a stream of resource-state layers
-//! flowing generate → renormalize → connect. Two independent levers spread
-//! that stream across cores, and both are determinism-preserving — with a
-//! fixed seed they produce byte-identical [`RenormalizedLattice`]s and
-//! reports to the fully serial path, for any worker count:
+//! flowing generate → renormalize → connect. Three independent levers
+//! spread that stream across cores, and all are determinism-preserving —
+//! with a fixed seed they produce byte-identical [`RenormalizedLattice`]s
+//! and reports to the fully serial path, for any worker count:
 //!
 //! * **Stage overlap** (`ReshapeEngine`, pipelined mode): a generator
 //!   thread owns the `FusionEngine` and runs exactly one layer ahead
@@ -39,15 +47,23 @@
 //!   cycle back over a recycle channel, so the steady state circulates a
 //!   fixed set of allocations. Time-like fusion outcomes draw from their
 //!   own seeded sampler in both modes, which is what keeps the
-//!   layer-pattern RNG stream independent of prefetch timing.
+//!   layer-pattern RNG stream independent of prefetch timing. Layers are
+//!   epoch-tagged, so a [`ReshapeEngine::reset`] reseeds the generator in
+//!   place and silently discards the few stale prefetched layers.
+//! * **Stream fan-out** (`ReshapeEngine` with `renorm_workers` > 0):
+//!   upcoming layers are submitted to a [`WorkerPool`] as whole-layer
+//!   region jobs, a bounded lookahead ahead of consumption, and their
+//!   lattices are collected strictly in stream order. Every layer is
+//!   consumed in generation order whatever its logical/routing fate, so
+//!   the prefetched renormalization is never speculative waste.
 //! * **Module fan-out** (`ModularRenormalizer` on a [`WorkerPool`]):
 //!   modules of one layer are renormalized by persistent workers fed over
 //!   a channel. Each worker permanently owns one `Renormalizer` (and thus
 //!   one [`ScratchPool`]); layers are shared with workers as
 //!   `Arc<PhysicalLayer>` for the duration of a batch only, and results
-//!   are written back by module slot so worker scheduling cannot reorder
-//!   them. Scratch pools never migrate between workers mid-search; their
-//!   epoch stamps make cross-layer reuse reset-free.
+//!   are written back by slot so worker scheduling cannot reorder them.
+//!   Scratch pools never migrate between workers mid-search; their epoch
+//!   stamps make cross-layer reuse reset-free.
 //!
 //! [`PhysicalLayer`]: oneperc_hardware::PhysicalLayer
 //!
@@ -92,7 +108,7 @@ mod scratch;
 mod timelike;
 
 pub use modular::{ModularConfig, ModularOutcome, ModularRenormalizer, ModuleLayout};
-pub use pool::{ModuleRegion, WorkerPool};
+pub use pool::{panic_message, ModuleRegion, PoolClient, WorkerPool};
 pub use renormalize::{renormalize, RenormalizedLattice, Renormalizer};
 pub use scratch::ScratchPool;
 pub use timelike::{

@@ -1,28 +1,41 @@
-//! Persistent worker pool for module renormalization.
+//! Persistent worker pool for renormalization jobs.
 //!
 //! The modular renormalizer used to spawn one scoped OS thread per module
 //! per layer; across an RSL stream that pays the full thread-startup cost
 //! on every single layer. [`WorkerPool`] instead keeps a fixed set of
-//! workers alive for the lifetime of the pool, feeding them module jobs
-//! over a channel. Each worker owns its own [`Renormalizer`] (and thus its
-//! own `ScratchPool`), so the per-worker scratch memory is sized once and
-//! reused for every module of every layer the pool ever processes.
+//! workers alive for the lifetime of the pool, feeding them jobs over a
+//! channel. Each worker owns its own [`Renormalizer`] (and thus its own
+//! `ScratchPool`), so the per-worker scratch memory is sized once and
+//! reused for every job the pool ever processes.
 //!
-//! # Ownership and determinism rules
+//! # Multiplexing and determinism rules
+//!
+//! The pool multiplexes work from **multiple concurrent submitters**: every
+//! submitter obtains its own [`PoolClient`], and every job carries a reply
+//! sender pointing back at the client that submitted it. Workers draw jobs
+//! from one shared FIFO queue but answer each submitter on its private
+//! channel, so batches from different clients can interleave freely on the
+//! workers without their results ever mixing. This is what lets several
+//! warm reshaping engines (one per session lane) share a single pool.
 //!
 //! * Layers are shared with the workers as `Arc<PhysicalLayer>`; the pool
-//!   never mutates a layer. When the batch returns, the caller again holds
-//!   the only strong references it created, so buffer recycling (dropping
-//!   or reusing the layer allocation) stays in the caller's hands.
-//! * Every job is tagged with its output slot. Results are written back by
-//!   slot index, so the outcome of a batch is independent of worker
-//!   scheduling: any worker count — including a single worker, or more
-//!   workers than modules — produces byte-identical lattices in identical
-//!   order.
-//! * Module renormalization is a pure function of `(layer, region,
+//!   never mutates a layer. When a job's result has been received, the
+//!   caller again holds the only strong references it created, so buffer
+//!   recycling (dropping or reusing the layer allocation) stays in the
+//!   caller's hands.
+//! * Every job is tagged with its submitter-local slot. A client hands out
+//!   slots monotonically and reorders arrivals back into submission order,
+//!   so the outcome of a batch is independent of worker scheduling: any
+//!   worker count — including a single worker, or more workers than jobs —
+//!   produces byte-identical lattices in identical order.
+//! * Region renormalization is a pure function of `(layer, region,
 //!   node_size)`; workers keep no cross-job state other than their scratch
-//!   pool, whose epoch-stamping makes reuse observationally reset-free.
+//!   pool, whose epoch stamps make reuse observationally reset-free. A job
+//!   that panics is reported back to its submitter and the worker replaces
+//!   its (possibly mid-search) scratch with a fresh one, so one submitter's
+//!   failure never corrupts another's batch.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -32,7 +45,9 @@ use oneperc_hardware::PhysicalLayer;
 
 use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
-/// One rectangular module region of a layer, in physical sites.
+/// One rectangular region of a layer, in physical sites. A region may be a
+/// module of the modular renormalization or an entire layer (the shape the
+/// reshaping stage submits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModuleRegion {
     /// Top-left corner `(x, y)` of the region.
@@ -43,35 +58,60 @@ pub struct ModuleRegion {
     pub height: usize,
 }
 
-/// One unit of work: renormalize a region of a shared layer into slot
-/// `slot` of the batch output.
-struct ModuleJob {
+impl ModuleRegion {
+    /// The region covering an entire layer.
+    pub fn whole_layer(layer: &PhysicalLayer) -> Self {
+        ModuleRegion { origin: (0, 0), width: layer.width, height: layer.height }
+    }
+}
+
+/// A worker's answer for one job: the slot plus the lattice, or the panic
+/// message of a job that blew up. Panics must travel back explicitly — a
+/// silently swallowed panic would leave the submitter waiting forever.
+type JobReply = (usize, Result<RenormalizedLattice, String>);
+
+/// One unit of work: renormalize a region of a shared layer and answer the
+/// submitting client on its private reply channel.
+struct WorkItem {
     layer: Arc<PhysicalLayer>,
     region: ModuleRegion,
     node_size: usize,
     slot: usize,
+    reply: Sender<JobReply>,
 }
 
-/// A worker's answer for one job: the lattice, or the panic message of a
-/// job that blew up. Panics must travel back explicitly — a worker that
-/// died silently would leave the batch collector waiting forever while
-/// the surviving workers keep the result channel open.
-type ModuleResult = (usize, Result<RenormalizedLattice, String>);
+/// Messages on the shared job queue. `Shutdown` is injected once per worker
+/// when the pool is dropped; each worker consumes exactly one and exits,
+/// which makes teardown independent of how many [`PoolClient`]s still hold
+/// a sender.
+enum Job {
+    Work(Box<WorkItem>),
+    Shutdown,
+}
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Best-effort extraction of a panic payload's message. Shared with the
+/// session layer of the `oneperc` facade, which relays execution panics
+/// the same way the pool relays job panics.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "module worker panicked".to_string()
+        "renormalization worker panicked".to_string()
     }
 }
 
-/// A persistent pool of renormalization workers fed over a channel.
+/// A persistent pool of renormalization workers fed over a shared queue.
 ///
-/// Dropping the pool closes the job channel and joins every worker.
+/// Obtain per-submitter handles with [`WorkerPool::client`]; the one-shot
+/// [`WorkerPool::renormalize_modules`] batch entry point remains for
+/// callers that process one layer at a time (the modular renormalizer).
+///
+/// Dropping the pool injects one shutdown message per worker and joins all
+/// of them. In-flight jobs finish first; jobs submitted by clients that
+/// outlive the pool are never processed, so clients must not be used after
+/// their pool is gone.
 ///
 /// # Example
 ///
@@ -80,7 +120,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// use oneperc_hardware::PhysicalLayer;
 /// use oneperc_percolation::{ModuleRegion, WorkerPool};
 ///
-/// let mut pool = WorkerPool::new(2);
+/// let pool = WorkerPool::new(2);
 /// let layer = Arc::new(PhysicalLayer::fully_connected(20, 20));
 /// let regions = [
 ///     ModuleRegion { origin: (0, 0), width: 10, height: 10 },
@@ -92,15 +132,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// ```
 #[derive(Debug)]
 pub struct WorkerPool {
-    /// Job sender; `None` only during teardown.
-    job_tx: Option<Sender<ModuleJob>>,
-    result_rx: Receiver<ModuleResult>,
+    job_tx: Sender<Job>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
-    /// Set when a batch panicked: the channels may still hold that batch's
-    /// stale jobs/results, so the pool refuses further batches instead of
-    /// mixing old results into new output slots.
-    poisoned: bool,
 }
 
 impl WorkerPool {
@@ -111,15 +145,13 @@ impl WorkerPool {
     /// Panics when `workers` is zero.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "worker pool needs at least one worker");
-        let (job_tx, job_rx) = channel::<ModuleJob>();
-        let (result_tx, result_rx) = channel::<ModuleResult>();
+        let (job_tx, job_rx) = channel::<Job>();
         // mpsc receivers are single-consumer; the workers share the queue
         // through a mutex, locking only for the dequeue itself.
         let job_rx = Arc::new(Mutex::new(job_rx));
         let handles = (0..workers)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
-                let result_tx = result_tx.clone();
                 std::thread::spawn(move || {
                     let mut renorm = Renormalizer::new();
                     loop {
@@ -127,12 +159,16 @@ impl WorkerPool {
                         // other workers can pick up the next job.
                         let job = match job_rx.lock().expect("job queue poisoned").recv() {
                             Ok(job) => job,
-                            Err(_) => break, // pool dropped
+                            Err(_) => break, // pool and every client dropped
                         };
-                        let ModuleJob { layer, region, node_size, slot } = job;
-                        // A panicking job must reach the collector as a
-                        // message, or the batch would wait forever while
-                        // the other workers keep the channel open.
+                        let item = match job {
+                            Job::Work(item) => item,
+                            Job::Shutdown => break,
+                        };
+                        let WorkItem { layer, region, node_size, slot, reply } = *item;
+                        // A panicking job must reach its submitter as a
+                        // message, or that batch would wait forever while
+                        // the worker moved on.
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             renorm.renormalize_region(
                                 &layer,
@@ -142,28 +178,32 @@ impl WorkerPool {
                                 node_size,
                             )
                         }));
-                        // Release the layer before reporting: once the
-                        // caller has collected the whole batch, it again
-                        // holds the only references it created.
+                        // Release the layer before replying: once the
+                        // submitter has the result, it again holds the only
+                        // references it created.
                         drop(layer);
                         match outcome {
                             Ok(lattice) => {
-                                if result_tx.send((slot, Ok(lattice))).is_err() {
-                                    break;
-                                }
+                                // A dead reply channel only means the
+                                // submitter abandoned its jobs (its engine
+                                // was dropped or reset); other submitters
+                                // still need this worker.
+                                let _ = reply.send((slot, Ok(lattice)));
                             }
                             Err(payload) => {
-                                // The scratch may be mid-search; retire
-                                // this worker after reporting.
-                                let _ = result_tx.send((slot, Err(panic_message(payload))));
-                                break;
+                                // The scratch may be mid-search; replace it
+                                // rather than retiring the worker, so one
+                                // submitter's bad job cannot shrink the
+                                // pool for everyone else.
+                                renorm = Renormalizer::new();
+                                let _ = reply.send((slot, Err(panic_message(payload))));
                             }
                         }
                     }
                 })
             })
             .collect();
-        WorkerPool { job_tx: Some(job_tx), result_rx, handles, workers, poisoned: false }
+        WorkerPool { job_tx, handles, workers }
     }
 
     /// Number of worker threads in the pool.
@@ -171,54 +211,155 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Creates a new submitter handle. Clients are independent: each one
+    /// has a private reply channel and its own slot sequence, so any number
+    /// of clients (across threads) can stream batches through the shared
+    /// workers concurrently.
+    ///
+    /// A client must not be used after its pool has been dropped — jobs
+    /// submitted to a dead pool are never processed.
+    pub fn client(&self) -> PoolClient {
+        let (reply_tx, reply_rx) = channel::<JobReply>();
+        PoolClient {
+            job_tx: self.job_tx.clone(),
+            reply_tx,
+            reply_rx,
+            pool_workers: self.workers,
+            next_slot: 0,
+            next_result: 0,
+            reordered: BTreeMap::new(),
+        }
+    }
+
     /// Renormalizes every region of `layer` on the pool and returns the
     /// lattices in region order. Blocks until the whole batch is done.
     ///
     /// The output is deterministic: result `i` always corresponds to
-    /// `regions[i]`, whatever order the workers finish in.
+    /// `regions[i]`, whatever order the workers finish in. Concurrent
+    /// batches from other clients interleave on the workers without
+    /// affecting this batch's output.
     ///
     /// # Panics
     ///
-    /// Panics when a module job panics (the worker's message is relayed),
-    /// and on every later batch after such a failure — the channels may
-    /// still hold the failed batch's stale work, so the pool is poisoned
-    /// rather than risking old lattices surfacing in new output slots.
+    /// Panics when a job panics (the worker's message is relayed). The pool
+    /// itself stays usable: results are per-submitter, so a failed batch
+    /// cannot leak stale lattices into any later batch.
     pub fn renormalize_modules(
-        &mut self,
+        &self,
         layer: &Arc<PhysicalLayer>,
         regions: &[ModuleRegion],
         node_size: usize,
     ) -> Vec<RenormalizedLattice> {
-        assert!(
-            !self.poisoned,
-            "worker pool poisoned by an earlier panicked batch; build a fresh pool"
-        );
-        let job_tx = self.job_tx.as_ref().expect("pool is live");
-        for (slot, &region) in regions.iter().enumerate() {
-            let job = ModuleJob { layer: Arc::clone(layer), region, node_size, slot };
-            job_tx.send(job).expect("worker pool hung up");
+        let mut client = self.client();
+        for &region in regions {
+            client.submit(layer, region, node_size);
         }
-        let mut out: Vec<Option<RenormalizedLattice>> = (0..regions.len()).map(|_| None).collect();
-        for _ in 0..regions.len() {
-            let (slot, result) = self.result_rx.recv().expect("worker pool died mid-batch");
-            match result {
-                Ok(lattice) => out[slot] = Some(lattice),
-                Err(msg) => {
-                    self.poisoned = true;
-                    panic!("module worker panicked renormalizing region {slot}: {msg}")
-                }
-            }
-        }
-        out.into_iter().map(|l| l.expect("every slot filled")).collect()
+        (0..regions.len()).map(|_| client.recv_next()).collect()
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the job channel wakes every worker out of `recv`.
-        self.job_tx = None;
+        // One shutdown message per worker: each consumes exactly one and
+        // exits, even while clients still hold job senders. In-flight work
+        // ahead of the sentinels completes first.
+        for _ in 0..self.workers {
+            let _ = self.job_tx.send(Job::Shutdown);
+        }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// A per-submitter handle onto a [`WorkerPool`].
+///
+/// `submit` enqueues a region-renormalization job and assigns it the next
+/// slot of this client's stream; `recv_next` returns results strictly in
+/// submission order, buffering any that arrive early. One client therefore
+/// behaves like a private pipeline through the shared workers: results come
+/// back in the order the work went in, independent of the worker count and
+/// of what other clients are doing.
+#[derive(Debug)]
+pub struct PoolClient {
+    job_tx: Sender<Job>,
+    reply_tx: Sender<JobReply>,
+    reply_rx: Receiver<JobReply>,
+    /// Worker count of the pool this client submits to.
+    pool_workers: usize,
+    /// Slot assigned to the next submitted job.
+    next_slot: usize,
+    /// Slot whose result `recv_next` returns next.
+    next_result: usize,
+    /// Results that arrived ahead of `next_result`.
+    reordered: BTreeMap<usize, Result<RenormalizedLattice, String>>,
+}
+
+impl PoolClient {
+    /// Worker count of the pool behind this client — what a submitter
+    /// should size its in-flight window against.
+    pub fn pool_workers(&self) -> usize {
+        self.pool_workers
+    }
+    /// Enqueues one region job and returns its slot in this client's
+    /// stream.
+    pub fn submit(
+        &mut self,
+        layer: &Arc<PhysicalLayer>,
+        region: ModuleRegion,
+        node_size: usize,
+    ) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let item = WorkItem {
+            layer: Arc::clone(layer),
+            region,
+            node_size,
+            slot,
+            reply: self.reply_tx.clone(),
+        };
+        self.job_tx.send(Job::Work(Box::new(item))).expect("worker pool hung up");
+        slot
+    }
+
+    /// Number of submitted jobs whose results have not been received yet.
+    pub fn in_flight(&self) -> usize {
+        self.next_slot - self.next_result - self.reordered.len()
+    }
+
+    /// Receives the result of the oldest outstanding job, blocking until it
+    /// is available.
+    ///
+    /// The pool must outlive the client's outstanding work: jobs submitted
+    /// before the pool is dropped are always processed (the teardown
+    /// sentinels queue behind them), but a job racing the teardown can be
+    /// left unprocessed, and this call would then block forever — there is
+    /// no other thread left to answer. Submitting to an already-torn-down
+    /// pool fails loudly in [`PoolClient::submit`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no job is outstanding or when the job itself panicked
+    /// (the worker's message is relayed).
+    pub fn recv_next(&mut self) -> RenormalizedLattice {
+        let want = self.next_result;
+        assert!(want < self.next_slot, "no outstanding job to receive");
+        let result = loop {
+            if let Some(result) = self.reordered.remove(&want) {
+                break result;
+            }
+            // The channel cannot hang up while `self` holds a sender; a
+            // worker answers every job it dequeues, panicking included.
+            let (slot, result) = self.reply_rx.recv().expect("reply channel is open");
+            if slot == want {
+                break result;
+            }
+            self.reordered.insert(slot, result);
+        };
+        self.next_result += 1;
+        match result {
+            Ok(lattice) => lattice,
+            Err(msg) => panic!("renormalization job for slot {want} panicked: {msg}"),
         }
     }
 }
@@ -241,7 +382,7 @@ mod tests {
     fn batch_results_follow_region_order() {
         let layer = Arc::new(PhysicalLayer::fully_connected(24, 24));
         let regions = quadrants(24);
-        let mut pool = WorkerPool::new(3);
+        let pool = WorkerPool::new(3);
         let lattices = pool.renormalize_modules(&layer, &regions, 6);
         let mut reference = Renormalizer::new();
         for (region, lattice) in regions.iter().zip(&lattices) {
@@ -265,7 +406,7 @@ mod tests {
         let mut baseline: Option<Vec<RenormalizedLattice>> = None;
         // 1 worker, a few workers, and oversubscribed (workers > modules).
         for workers in [1, 2, 4, 7] {
-            let mut pool = WorkerPool::new(workers);
+            let pool = WorkerPool::new(workers);
             let lattices = pool.renormalize_modules(&layer, &regions, 8);
             match &baseline {
                 None => baseline = Some(lattices),
@@ -278,7 +419,7 @@ mod tests {
     fn pool_survives_many_batches() {
         let layer = Arc::new(PhysicalLayer::fully_connected(16, 16));
         let regions = quadrants(16);
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let first = pool.renormalize_modules(&layer, &regions, 4);
         for _ in 0..200 {
             let again = pool.renormalize_modules(&layer, &regions, 4);
@@ -290,12 +431,75 @@ mod tests {
     fn caller_keeps_sole_ownership_after_batch() {
         let layer = Arc::new(PhysicalLayer::fully_connected(12, 12));
         let regions = quadrants(12);
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let _ = pool.renormalize_modules(&layer, &regions, 3);
         // All job-held clones were dropped with the batch: the allocation
         // can cycle back to a layer buffer.
         let layer = Arc::try_unwrap(layer).expect("pool released the layer");
         assert_eq!(layer.site_count(), 144);
+    }
+
+    #[test]
+    fn concurrent_clients_multiplex_one_pool() {
+        use oneperc_hardware::{FusionEngine, HardwareConfig};
+        // Several submitter threads stream interleaved batches through the
+        // same two workers; every submitter must see exactly the lattices a
+        // private sequential renormalizer computes, in its own order.
+        let pool = Arc::new(WorkerPool::new(2));
+        let layers: Vec<Arc<PhysicalLayer>> = (0..4)
+            .map(|seed| {
+                let hw = HardwareConfig::new(24, 7, 0.75);
+                Arc::new(FusionEngine::new(hw, seed).generate_layer())
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for submitter in 0..3usize {
+                let pool = Arc::clone(&pool);
+                let layers = layers.clone();
+                scope.spawn(move || {
+                    let mut client = pool.client();
+                    let mut reference = Renormalizer::new();
+                    for round in 0..10 {
+                        let layer = &layers[(submitter + round) % layers.len()];
+                        let region = ModuleRegion::whole_layer(layer);
+                        client.submit(layer, region, 6);
+                        // Keep a second job in flight to force interleaving.
+                        let second = &layers[(submitter + round + 1) % layers.len()];
+                        client.submit(second, ModuleRegion::whole_layer(second), 6);
+                        let a = client.recv_next();
+                        let b = client.recv_next();
+                        assert_eq!(a, reference.renormalize(layer, 6));
+                        assert_eq!(b, reference.renormalize(second, 6));
+                    }
+                    assert_eq!(client.in_flight(), 0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn client_streams_results_in_submission_order() {
+        let layer = Arc::new(PhysicalLayer::fully_connected(16, 16));
+        let pool = WorkerPool::new(3);
+        let mut client = pool.client();
+        let regions = quadrants(16);
+        for &region in &regions {
+            client.submit(&layer, region, 4);
+        }
+        assert_eq!(client.in_flight(), 4);
+        let mut reference = Renormalizer::new();
+        for region in &regions {
+            let got = client.recv_next();
+            let expected = reference.renormalize_region(
+                &layer,
+                region.origin,
+                region.width,
+                region.height,
+                4,
+            );
+            assert_eq!(got, expected);
+        }
+        assert_eq!(client.in_flight(), 0);
     }
 
     #[test]
@@ -305,12 +509,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "module worker panicked")]
+    #[should_panic(expected = "panicked")]
     fn worker_panic_propagates_instead_of_hanging() {
         // Regression: with 2+ workers, a job that panics must surface as a
-        // batch panic; before the catch_unwind relay, the dead worker's
-        // missing result left `renormalize_modules` blocked forever
-        // because the surviving worker kept the result channel open.
+        // batch panic; without the catch_unwind relay, the dead worker's
+        // missing result would leave `renormalize_modules` blocked forever.
         let layer = Arc::new(PhysicalLayer::fully_connected(8, 8));
         let regions = [
             // Out-of-bounds region: renormalize_region asserts and panics.
@@ -318,28 +521,44 @@ mod tests {
             ModuleRegion { origin: (0, 0), width: 4, height: 4 },
             ModuleRegion { origin: (4, 0), width: 4, height: 4 },
         ];
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let _ = pool.renormalize_modules(&layer, &regions, 2);
     }
 
     #[test]
-    fn panicked_batch_poisons_the_pool() {
-        // A caller that catches the batch panic must not be able to reuse
-        // the pool: the failed batch's stale jobs/results may still sit in
-        // the channels and would corrupt the next batch's output slots.
+    fn panicked_batch_leaves_pool_usable() {
+        // Per-submitter reply channels mean a failed batch cannot leak
+        // stale results into a later one, so the pool stays usable — the
+        // worker replaces its scratch and keeps serving. (The previous
+        // design had to poison the whole pool here.)
         let layer = Arc::new(PhysicalLayer::fully_connected(8, 8));
         let bad = [ModuleRegion { origin: (6, 6), width: 8, height: 8 }];
         let good = [ModuleRegion { origin: (0, 0), width: 4, height: 4 }];
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let first = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.renormalize_modules(&layer, &bad, 2)
         }));
         assert!(first.is_err(), "bad region must panic the batch");
-        let second = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.renormalize_modules(&layer, &good, 2)
-        }));
-        let err = second.expect_err("poisoned pool must refuse new batches");
-        let msg = panic_message(err);
-        assert!(msg.contains("poisoned"), "unexpected message: {msg}");
+        for _ in 0..4 {
+            let again = pool.renormalize_modules(&layer, &good, 2);
+            assert_eq!(again.len(), 1);
+            assert!(again[0].is_success());
+        }
+    }
+
+    #[test]
+    fn pool_drops_cleanly_with_abandoned_jobs() {
+        // A client whose jobs are still queued when it is dropped must not
+        // wedge the pool or its teardown.
+        let layer = Arc::new(PhysicalLayer::fully_connected(32, 32));
+        let pool = WorkerPool::new(1);
+        let mut client = pool.client();
+        for _ in 0..8 {
+            client.submit(&layer, ModuleRegion::whole_layer(&layer), 8);
+        }
+        drop(client); // replies go nowhere; workers must shrug it off
+        let survivors = pool.renormalize_modules(&layer, &quadrants(32), 8);
+        assert_eq!(survivors.len(), 4);
+        drop(pool);
     }
 }

@@ -32,12 +32,15 @@
 //! identical [`LogicalLayerReport`]s to the serial engine — the contract
 //! enforced by `tests/pipeline_determinism.rs`.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use graphstate::FusionOutcome;
 use oneperc_hardware::{DelayLine, FusionEngine, FusionSampler, HardwareConfig, PhysicalLayer};
 
+use crate::pool::{ModuleRegion, PoolClient, WorkerPool};
 use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
 /// One time-like edge requested by the IR program for the layer currently
@@ -93,6 +96,12 @@ pub struct ReshapeConfig {
     /// one layer ahead of renormalization. Output is byte-identical to the
     /// serial path for the same seed.
     pub pipelined: bool,
+    /// Worker threads renormalizing layers on a persistent pool (`0` =
+    /// renormalize in-thread). With workers the engine submits upcoming
+    /// layers of the stream to the pool a few layers ahead and consumes the
+    /// lattices strictly in stream order, so the output is byte-identical
+    /// to the in-thread path for any worker count.
+    pub renorm_workers: usize,
 }
 
 impl ReshapeConfig {
@@ -117,10 +126,12 @@ impl ReshapeConfig {
             max_layers_per_logical: 2048,
             seed,
             pipelined: false,
+            renorm_workers: 0,
         }
     }
 
     /// Overrides the per-hop redundancy.
+    #[must_use]
     pub fn with_temporal_redundancy(mut self, redundancy: usize) -> Self {
         assert!(redundancy > 0, "redundancy must be positive");
         self.temporal_redundancy = redundancy;
@@ -128,8 +139,24 @@ impl ReshapeConfig {
     }
 
     /// Enables or disables the double-buffered layer pipeline.
+    #[must_use]
     pub fn with_pipelining(mut self, pipelined: bool) -> Self {
         self.pipelined = pipelined;
+        self
+    }
+
+    /// Sets the renormalization worker count (`0` = in-thread). Results are
+    /// independent of the worker count; only the wall-clock changes.
+    #[must_use]
+    pub fn with_renorm_workers(mut self, workers: usize) -> Self {
+        self.renorm_workers = workers;
+        self
+    }
+
+    /// Overrides the RNG seed (the stochastic stream restarts from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -230,9 +257,59 @@ pub struct ReshapeEngine {
     layer_succeeded: u64,
     /// Renormalized lattice of the most recent logical layer (if any).
     last_logical: Option<RenormalizedLattice>,
-    /// Flat-grid renormalizer whose scratch memory is reused across every
-    /// RSL this engine consumes.
-    renormalizer: Renormalizer,
+    /// Where lattices come from: the in-thread renormalizer or the worker
+    /// pool fed a few layers ahead. Scratch memory (or the pool's workers)
+    /// is reused across every RSL this engine consumes — and across
+    /// [`ReshapeEngine::reset`]s.
+    renorm: RenormBackend,
+}
+
+/// A merged layer travelling through the engine: owned when generated
+/// in-thread, shared while the worker pool may still hold job clones.
+#[derive(Debug)]
+enum LayerHolder {
+    Owned(PhysicalLayer),
+    Shared(Arc<PhysicalLayer>),
+}
+
+impl LayerHolder {
+    fn layer(&self) -> &PhysicalLayer {
+        match self {
+            LayerHolder::Owned(layer) => layer,
+            LayerHolder::Shared(layer) => layer,
+        }
+    }
+
+    /// Reclaims the allocation for recycling when nothing else holds it.
+    fn into_owned(self) -> Option<PhysicalLayer> {
+        match self {
+            LayerHolder::Owned(layer) => Some(layer),
+            // The pool drops its clones before replying, so by consumption
+            // time the engine normally holds the only reference; a shared
+            // count > 1 just means the buffer cannot be recycled this time.
+            LayerHolder::Shared(layer) => Arc::try_unwrap(layer).ok(),
+        }
+    }
+}
+
+/// Origin of the renormalized-lattice stream.
+#[derive(Debug)]
+enum RenormBackend {
+    /// Renormalize each layer in-thread on one reusable scratch.
+    Local(Renormalizer),
+    /// Submit upcoming layers to a worker pool and consume the lattices in
+    /// stream order. `queue` holds the layers whose jobs are in flight,
+    /// oldest first; its length is kept at `lookahead` so the pool always
+    /// has work while the engine connects the current layer.
+    Pooled {
+        client: PoolClient,
+        queue: VecDeque<Arc<PhysicalLayer>>,
+        lookahead: usize,
+        /// The pool owned by this engine, when not shared with other
+        /// engines by the caller. Declared after `client` so the client's
+        /// channels close first.
+        own_pool: Option<WorkerPool>,
+    },
 }
 
 /// Origin of the merged-layer stream.
@@ -273,6 +350,23 @@ impl LayerSource {
             LayerSource::Pipelined(pipeline) => pipeline.recycle(layer),
         }
     }
+
+    /// Restarts the layer stream from `seed` without tearing the source
+    /// down: the serial engine reseeds in place, the pipelined generator
+    /// thread is told to reseed and its already-prefetched layers are
+    /// discarded on the next receive.
+    fn reset(&mut self, seed: u64) {
+        match self {
+            LayerSource::Serial { engine, .. } => engine.reseed(seed),
+            LayerSource::Pipelined(pipeline) => pipeline.reset(seed),
+        }
+    }
+}
+
+/// Command sent to the generator thread between layers.
+enum GenCommand {
+    /// Reseed the fusion engine and stamp all further layers with `epoch`.
+    Reset { seed: u64, epoch: u64 },
 }
 
 /// The generator half of the double-buffered pipeline.
@@ -283,47 +377,83 @@ impl LayerSource {
 /// buffers return through the recycle channel, so after warm-up the
 /// pipeline circulates a fixed set of allocations. Dropping the pipeline
 /// closes the layer channel, which unblocks and terminates the generator.
+///
+/// # Warm reseeding
+///
+/// [`LayerPipeline::reset`] restarts the stochastic stream **without
+/// respawning the thread**: every layer is stamped with the epoch it was
+/// generated under, the reset bumps the consumer-side epoch and posts a
+/// reseed command, and the consumer silently recycles any stale-epoch
+/// layers that were already prefetched (at most the channel depth plus the
+/// one being generated). The generator applies pending commands between
+/// layers, so the first layer of the new epoch comes from a freshly
+/// reseeded engine — byte-identical to a cold-started pipeline.
 #[derive(Debug)]
 struct LayerPipeline {
     /// `Option` so `Drop` can hang up the channel before joining.
-    layer_rx: Option<Receiver<PhysicalLayer>>,
+    layer_rx: Option<Receiver<(u64, PhysicalLayer)>>,
     recycle_tx: Sender<PhysicalLayer>,
+    command_tx: Sender<GenCommand>,
+    /// Epoch of the layers the consumer currently accepts.
+    epoch: u64,
     handle: Option<JoinHandle<()>>,
 }
 
 impl LayerPipeline {
     /// Spawns the generator thread for the given hardware model and seed.
     fn spawn(hardware: HardwareConfig, seed: u64) -> Self {
-        let (layer_tx, layer_rx) = sync_channel::<PhysicalLayer>(1);
+        let (layer_tx, layer_rx) = sync_channel::<(u64, PhysicalLayer)>(1);
         let (recycle_tx, recycle_rx) = channel::<PhysicalLayer>();
+        let (command_tx, command_rx) = channel::<GenCommand>();
         let rsl_size = hardware.rsl_size;
         let handle = std::thread::Builder::new()
             .name("rsl-generator".into())
             .spawn(move || {
                 let mut engine = FusionEngine::new(hardware, seed);
+                let mut epoch = 0u64;
                 loop {
+                    // Apply every pending command; the last reseed wins.
+                    while let Ok(command) = command_rx.try_recv() {
+                        match command {
+                            GenCommand::Reset { seed, epoch: e } => {
+                                engine.reseed(seed);
+                                epoch = e;
+                            }
+                        }
+                    }
                     // Reuse a recycled buffer when one is back already;
                     // otherwise allocate (only happens during warm-up).
                     let mut layer = recycle_rx
                         .try_recv()
                         .unwrap_or_else(|_| PhysicalLayer::blank(rsl_size, rsl_size));
                     engine.generate_layer_into(&mut layer);
-                    if layer_tx.send(layer).is_err() {
+                    if layer_tx.send((epoch, layer)).is_err() {
                         break; // consumer dropped the engine
                     }
                 }
             })
             .expect("spawn RSL generator thread");
-        LayerPipeline { layer_rx: Some(layer_rx), recycle_tx, handle: Some(handle) }
+        LayerPipeline {
+            layer_rx: Some(layer_rx),
+            recycle_tx,
+            command_tx,
+            epoch: 0,
+            handle: Some(handle),
+        }
     }
 
-    /// Receives the next layer in generation order (FIFO).
+    /// Receives the next layer of the current epoch in generation order
+    /// (FIFO), recycling any stale prefetched layers of earlier epochs.
     fn recv(&mut self) -> PhysicalLayer {
-        self.layer_rx
-            .as_ref()
-            .expect("pipeline is live")
-            .recv()
-            .expect("RSL generator thread died")
+        let rx = self.layer_rx.as_ref().expect("pipeline is live");
+        loop {
+            let (epoch, layer) = rx.recv().expect("RSL generator thread died");
+            if epoch == self.epoch {
+                return layer;
+            }
+            // Prefetched under an earlier seed: only the buffer survives.
+            let _ = self.recycle_tx.send(layer);
+        }
     }
 
     /// Cycles a spent buffer back to the generator.
@@ -331,6 +461,15 @@ impl LayerPipeline {
         // A send error only means the generator already exited; the buffer
         // is simply dropped then.
         let _ = self.recycle_tx.send(layer);
+    }
+
+    /// Restarts the generator's stream from `seed` while keeping the
+    /// thread (and its circulating buffers) warm.
+    fn reset(&mut self, seed: u64) {
+        self.epoch += 1;
+        self.command_tx
+            .send(GenCommand::Reset { seed, epoch: self.epoch })
+            .expect("RSL generator thread died");
     }
 }
 
@@ -346,8 +485,53 @@ impl Drop for LayerPipeline {
 }
 
 impl ReshapeEngine {
-    /// Creates an engine.
+    /// Creates an engine. With [`ReshapeConfig::renorm_workers`] > 0 the
+    /// engine owns a private [`WorkerPool`] of that size; use
+    /// [`ReshapeEngine::with_renorm_client`] to share one pool between
+    /// several engines instead.
     pub fn new(config: ReshapeConfig) -> Self {
+        let renorm = if config.renorm_workers > 0 {
+            let pool = WorkerPool::new(config.renorm_workers);
+            let client = pool.client();
+            RenormBackend::Pooled {
+                client,
+                queue: VecDeque::new(),
+                lookahead: Self::lookahead_for(config.renorm_workers),
+                own_pool: Some(pool),
+            }
+        } else {
+            RenormBackend::Local(Renormalizer::new())
+        };
+        Self::with_backend(config, renorm)
+    }
+
+    /// Creates an engine whose layer renormalization runs on a **shared**
+    /// worker pool through `client` (obtained from
+    /// [`WorkerPool::client`]). Several engines — e.g. one per session lane
+    /// — can stream through one pool concurrently; results are
+    /// byte-identical to [`ReshapeEngine::new`] with any
+    /// `renorm_workers` setting, including the in-thread path.
+    ///
+    /// The pool must outlive this engine.
+    pub fn with_renorm_client(config: ReshapeConfig, client: PoolClient) -> Self {
+        // Size the in-flight window against the pool actually behind the
+        // client — `config.renorm_workers` need not agree with the shared
+        // pool's size, and a lookahead below the worker count would
+        // silently starve it.
+        let lookahead = Self::lookahead_for(client.pool_workers().max(config.renorm_workers));
+        let renorm =
+            RenormBackend::Pooled { client, queue: VecDeque::new(), lookahead, own_pool: None };
+        Self::with_backend(config, renorm)
+    }
+
+    /// In-flight depth of the pooled renormalization stage: one job per
+    /// worker plus one so a worker never idles while the engine connects
+    /// the current layer, capped to keep prefetch memory bounded.
+    fn lookahead_for(workers: usize) -> usize {
+        (workers.max(1) + 1).min(8)
+    }
+
+    fn with_backend(config: ReshapeConfig, renorm: RenormBackend) -> Self {
         let source = if config.pipelined {
             LayerSource::Pipelined(LayerPipeline::spawn(config.hardware, config.seed))
         } else {
@@ -373,13 +557,65 @@ impl ReshapeEngine {
             layer_attempted: 0,
             layer_succeeded: 0,
             last_logical: None,
-            renormalizer: Renormalizer::new(),
+            renorm,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ReshapeConfig {
         &self.config
+    }
+
+    /// Workers of the engine-owned renormalization pool: `None` when the
+    /// engine renormalizes in-thread or streams through a shared pool it
+    /// does not own.
+    pub fn own_pool_workers(&self) -> Option<usize> {
+        match &self.renorm {
+            RenormBackend::Pooled { own_pool: Some(pool), .. } => Some(pool.worker_count()),
+            _ => None,
+        }
+    }
+
+    /// Restarts the engine's stochastic execution from `seed`, exactly as
+    /// if it had been freshly constructed with that seed, while keeping
+    /// every warm resource alive: the generator thread (pipelined mode) is
+    /// reseeded in place, the renormalization scratch — or the worker pool
+    /// and its in-flight lookahead — is retained, and the circulating layer
+    /// buffers keep circulating. This is what makes a long-lived session
+    /// lane cheap: repeated seeded executions pay no thread or allocation
+    /// startup.
+    ///
+    /// Byte-for-byte equivalence with a cold engine is the contract tested
+    /// by `warm_reset_matches_cold_engine` and the session determinism
+    /// suite.
+    pub fn reset(&mut self, seed: u64) {
+        // Drain the pooled lookahead first: in-flight jobs belong to the
+        // old stream. Their lattices are discarded, their layer buffers
+        // recycled into the (about-to-be-reseeded) source.
+        if let RenormBackend::Pooled { client, queue, .. } = &mut self.renorm {
+            while let Some(layer) = queue.pop_front() {
+                let _ = client.recv_next();
+                if let Ok(buf) = Arc::try_unwrap(layer) {
+                    self.source.recycle(buf);
+                }
+            }
+        }
+        self.config.seed = seed;
+        self.source.reset(seed);
+        self.timelike = FusionSampler::new(
+            self.config.hardware.effective_fusion_prob(),
+            self.config.timelike_seed(),
+        );
+        self.delay = DelayLine::new(self.config.hardware.photon_lifetime_cycles);
+        self.stats = ReshapeStats::default();
+        self.routing_since_logical = 0;
+        self.next_store_key = 0;
+        self.stored_keys.clear();
+        self.bulk_attempted = 0;
+        self.bulk_succeeded = 0;
+        self.layer_attempted = 0;
+        self.layer_succeeded = 0;
+        self.last_logical = None;
     }
 
     /// Cumulative statistics.
@@ -390,6 +626,50 @@ impl ReshapeEngine {
     /// The renormalized lattice realizing the most recent logical layer.
     pub fn last_logical_lattice(&self) -> Option<&RenormalizedLattice> {
         self.last_logical.as_ref()
+    }
+
+    /// Produces the next merged layer of the stream together with its
+    /// renormalized lattice.
+    ///
+    /// On the pooled backend the engine first tops the lookahead window up
+    /// — generating upcoming layers and submitting them as whole-layer
+    /// region jobs — then blocks on the oldest job's result. Because every
+    /// layer of the stream is consumed in generation order whatever its
+    /// logical/routing fate, renormalizing ahead is never speculative
+    /// waste, and because region renormalization is a pure per-layer
+    /// function collected in submission order, the lattices are
+    /// byte-identical to the in-thread path for any worker count.
+    fn next_renormalized(&mut self) -> (LayerHolder, RenormalizedLattice) {
+        let ReshapeEngine { config, source, renorm, .. } = self;
+        match renorm {
+            RenormBackend::Local(renormalizer) => {
+                let layer = source.next_layer(config.hardware.rsl_size);
+                let lattice = renormalizer.renormalize(&layer, config.node_size);
+                (LayerHolder::Owned(layer), lattice)
+            }
+            RenormBackend::Pooled { client, queue, lookahead, .. } => {
+                while queue.len() < *lookahead {
+                    let layer = Arc::new(source.next_layer(config.hardware.rsl_size));
+                    let _ = client.submit(
+                        &layer,
+                        ModuleRegion::whole_layer(&layer),
+                        config.node_size,
+                    );
+                    queue.push_back(layer);
+                }
+                let lattice = client.recv_next();
+                let layer = queue.pop_front().expect("lookahead queue is non-empty");
+                (LayerHolder::Shared(layer), lattice)
+            }
+        }
+    }
+
+    /// Returns a consumed layer's allocation to the source when the engine
+    /// holds it exclusively again.
+    fn recycle_holder(&mut self, holder: LayerHolder) {
+        if let Some(buf) = holder.into_owned() {
+            self.source.recycle(buf);
+        }
     }
 
     /// Consumes resource-state layers until one of them becomes a logical
@@ -405,7 +685,10 @@ impl ReshapeEngine {
         let merging = self.config.hardware.merging_factor() as u64;
 
         while report.merged_layers < self.config.max_layers_per_logical {
-            let layer = self.source.next_layer(self.config.hardware.rsl_size);
+            // Generate + renormalize: in-thread, or collected from the
+            // worker pool that was fed this layer a few steps ago.
+            let (holder, lattice) = self.next_renormalized();
+            let layer = holder.layer();
             report.merged_layers += 1;
             report.raw_rsl += layer.raw_rsl_consumed as u64;
             self.stats.merged_layers += 1;
@@ -418,9 +701,6 @@ impl ReshapeEngine {
                 self.stats.delay_line_expired += self.delay.advance_cycle() as u64;
             }
 
-            // Attempt 2D renormalization to the requested target size; the
-            // renormalizer's flat-grid scratch is reused across layers.
-            let lattice = self.renormalizer.renormalize(&layer, self.config.node_size);
             let target_reached = lattice.node_count()
                 >= self.config.target_side * self.config.target_side
                 && (0..self.config.target_side).all(|i| {
@@ -429,8 +709,8 @@ impl ReshapeEngine {
 
             if !target_reached {
                 report.renorm_failures += 1;
-                self.absorb_routing_layer(&layer);
-                self.source.recycle(layer);
+                self.absorb_routing_layer(holder.layer());
+                self.recycle_holder(holder);
                 self.update_fusion_totals();
                 continue;
             }
@@ -448,8 +728,8 @@ impl ReshapeEngine {
 
             if !all_ok {
                 report.timelike_failures += 1;
-                self.absorb_routing_layer(&layer);
-                self.source.recycle(layer);
+                self.absorb_routing_layer(holder.layer());
+                self.recycle_holder(holder);
                 self.update_fusion_totals();
                 continue;
             }
@@ -472,7 +752,7 @@ impl ReshapeEngine {
             self.stats.logical_layers += 1;
             self.routing_since_logical = 0;
             self.last_logical = Some(lattice);
-            self.source.recycle(layer);
+            self.recycle_holder(holder);
             self.update_fusion_totals();
             report.formed = true;
             return report;
@@ -692,6 +972,95 @@ mod tests {
         let report = engine.advance_logical_layer(&LayerRequirement::none());
         assert!(report.formed);
         drop(engine);
+    }
+
+    /// Drives an engine through `logical` layers and returns the final
+    /// stats plus every formed lattice.
+    fn drive(
+        engine: &mut ReshapeEngine,
+        logical: usize,
+    ) -> (ReshapeStats, Vec<Option<RenormalizedLattice>>) {
+        let req = LayerRequirement {
+            temporal_edges: vec![TemporalRequirement { coord: (1, 1), back_distance: 1 }],
+            stores: 1,
+            retrieves: 0,
+        };
+        let lattices = (0..logical)
+            .map(|_| {
+                let report = engine.advance_logical_layer(&req);
+                assert!(report.formed);
+                engine.last_logical_lattice().cloned()
+            })
+            .collect();
+        (*engine.stats(), lattices)
+    }
+
+    #[test]
+    fn warm_reset_matches_cold_engine() {
+        for pipelined in [false, true] {
+            for workers in [0usize, 2] {
+                let config = small_config(0.75, 3)
+                    .with_pipelining(pipelined)
+                    .with_renorm_workers(workers);
+                let mut warm = ReshapeEngine::new(config);
+                // Dirty the warm engine with a different-seed run first.
+                let _ = drive(&mut warm, 3);
+                warm.reset(91);
+                assert_eq!(warm.config().seed, 91);
+                let mut cold = ReshapeEngine::new(config.with_seed(91));
+                let a = drive(&mut warm, 5);
+                let b = drive(&mut cold, 5);
+                assert_eq!(a, b, "pipelined={pipelined} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_resets_reproduce_the_same_run() {
+        let config = small_config(0.72, 17).with_pipelining(true);
+        let mut engine = ReshapeEngine::new(config);
+        engine.reset(55);
+        let first = drive(&mut engine, 4);
+        for _ in 0..3 {
+            engine.reset(55);
+            assert_eq!(drive(&mut engine, 4), first);
+        }
+    }
+
+    #[test]
+    fn pooled_renormalization_is_byte_identical_to_local() {
+        let base = small_config(0.75, 29);
+        let mut local = ReshapeEngine::new(base);
+        let expected = drive(&mut local, 5);
+        // 1 worker, several, and oversubscribed; plus pipelined generation
+        // on top — all must match the in-thread lattices exactly.
+        for workers in [1usize, 2, 5] {
+            let mut pooled = ReshapeEngine::new(base.with_renorm_workers(workers));
+            assert_eq!(pooled.own_pool_workers(), Some(workers));
+            assert_eq!(drive(&mut pooled, 5), expected, "workers = {workers}");
+            let mut both =
+                ReshapeEngine::new(base.with_renorm_workers(workers).with_pipelining(true));
+            assert_eq!(drive(&mut both, 5), expected, "workers = {workers} + pipeline");
+        }
+    }
+
+    #[test]
+    fn engines_sharing_one_pool_match_private_engines() {
+        // Two engines with different seeds stream through one shared pool
+        // concurrently; each must reproduce its private-engine run.
+        let pool = WorkerPool::new(2);
+        let config_a = small_config(0.78, 101);
+        let config_b = small_config(0.78, 202);
+        let mut shared_a = ReshapeEngine::with_renorm_client(config_a, pool.client());
+        let mut shared_b = ReshapeEngine::with_renorm_client(config_b, pool.client());
+        assert_eq!(shared_a.own_pool_workers(), None);
+        let (got_a, got_b) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| drive(&mut shared_a, 4));
+            let b = scope.spawn(|| drive(&mut shared_b, 4));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(got_a, drive(&mut ReshapeEngine::new(config_a), 4));
+        assert_eq!(got_b, drive(&mut ReshapeEngine::new(config_b), 4));
     }
 
     #[test]

@@ -101,7 +101,7 @@ fn overlapping_regions_on_one_worker_stay_independent() {
         ModuleRegion { origin: (16, 16), width: 24, height: 24 },
         ModuleRegion { origin: (0, 0), width: 24, height: 24 },
     ];
-    let mut pool = WorkerPool::new(1);
+    let pool = WorkerPool::new(1);
     let lattices = pool.renormalize_modules(&layer, &regions, 6);
     for (region, lattice) in regions.iter().zip(&lattices) {
         let expected = Renormalizer::new().renormalize_region(

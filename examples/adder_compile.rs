@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example adder_compile`.
 
 use oneperc_suite::circuit::{benchmarks, ProgramGraph};
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 use oneperc_suite::ir::InstructionInterpreter;
 
 fn main() {
@@ -36,10 +36,11 @@ fn main() {
         dag.scheduler().front().len()
     );
 
-    // Stage 3 + 4: offline mapping and online execution.
+    // Stage 3 + 4: offline mapping and online execution through a warm
+    // compiler session.
     let config = CompilerConfig::for_qubits(circuit.n_qubits(), 0.75, 11);
-    let compiler = Compiler::new(config);
-    let compiled = compiler.compile(&circuit).expect("mapping succeeds");
+    let session = Session::new(config);
+    let compiled = session.compile(&circuit).expect("mapping succeeds");
     let stats = &compiled.mapping.stats;
     println!(
         "offline mapping: {} layers, {} ancillas, {} spatial edges, {} temporal edges ({} cross-layer)",
@@ -57,6 +58,13 @@ fn main() {
         compiled.mapping.instructions.len()
     );
 
-    let report = compiler.execute(&compiled);
-    println!("\nexecution report:\n{report}");
+    match session.execute(&compiled, config.seed) {
+        outcome if outcome.is_complete() => {
+            println!("\nexecution report:\n{}", outcome.report());
+        }
+        outcome => {
+            let failure = outcome.failure().expect("incomplete outcome names its failure");
+            println!("\nexecution incomplete: {failure}");
+        }
+    }
 }

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example compare_with_oneq`.
 
 use oneperc_suite::circuit::benchmarks::Benchmark;
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 use oneperc_suite::oneq::{OneqCompiler, OneqConfig};
 
 fn main() {
@@ -29,10 +29,10 @@ fn main() {
             .run(&circuit)
             .expect("baseline planning succeeds");
 
-            // OnePerc: randomness-aware compilation.
-            let ours = Compiler::new(CompilerConfig::for_qubits(qubits, p, seed))
-                .compile_and_execute(&circuit)
-                .expect("oneperc compilation succeeds");
+            // OnePerc: randomness-aware compilation through a session.
+            let session = Session::new(CompilerConfig::for_qubits(qubits, p, seed));
+            let compiled = session.compile(&circuit).expect("oneperc compilation succeeds");
+            let ours = session.execute_report(&compiled);
 
             let baseline_rsl = if baseline.saturated {
                 format!("> {cap}")

@@ -1,9 +1,10 @@
-//! Quickstart: compile and execute a small QAOA program with OnePerc.
+//! Quickstart: build a compiler session, compile a small QAOA program
+//! once, and batch-execute a seed sweep through the warm pipeline.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use oneperc_suite::circuit::benchmarks;
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 
 fn main() {
     // A 4-qubit QAOA max-cut instance on a random graph (the smallest
@@ -13,12 +14,15 @@ fn main() {
 
     // Table 1 sizing for 4 qubits at the practical fusion success
     // probability of 0.75: a 2x2 virtual hardware on a 48x48 RSL built from
-    // 4-qubit star resource states.
-    let config = CompilerConfig::for_qubits(4, 0.75, 42);
-    let compiler = Compiler::new(config);
+    // 4-qubit star resource states. The session owns the warm execution
+    // context — a persistent lane engine plus two renormalization pool
+    // workers — for as long as it lives.
+    let config = CompilerConfig::for_qubits(4, 0.75, 42).with_renorm_workers(2);
+    let session = Session::new(config);
 
-    // Offline pass: program graph state -> FlexLattice IR -> instructions.
-    let compiled = compiler.compile(&circuit).expect("offline mapping succeeds");
+    // Offline pass, once per circuit: program graph state → FlexLattice IR
+    // → instructions.
+    let compiled = session.compile(&circuit).expect("offline mapping succeeds");
     println!(
         "offline pass: {} program nodes mapped onto {} virtual-hardware layers, {} instructions",
         compiled.mapping.stats.program_nodes,
@@ -30,14 +34,33 @@ fn main() {
         println!("  {instruction}");
     }
 
-    // Online pass: stochastic fusions, percolation, renormalization and
-    // time-like connections until every logical layer is formed.
-    let report = compiler.execute(&compiled);
-    println!("\nexecution report:\n{report}");
-    println!(
-        "\nthe program consumed {} resource-state layers ({} fusions) at fusion success probability {}",
-        report.rsl_consumed,
-        report.fusions,
-        config.hardware.fusion_success_prob
-    );
+    // Online pass, once per seed: stochastic fusions, percolation,
+    // renormalization and time-like connections until every logical layer
+    // is formed. The whole sweep reuses the warm engine — only the RNG
+    // stream restarts between runs.
+    let seeds: Vec<u64> = (42..50).collect();
+    let outcomes = session.execute_batch(&compiled, &seeds);
+    println!("\nseed sweep over {} seeds:", seeds.len());
+    println!("{:>6} {:>10} {:>12} {:>10}", "seed", "#RSL", "#fusion", "PL ratio");
+    for (seed, outcome) in seeds.iter().zip(&outcomes) {
+        let report = outcome.report();
+        println!(
+            "{seed:>6} {:>10} {:>12} {:>10.2}",
+            report.rsl_consumed,
+            report.fusions,
+            report.pl_ratio()
+        );
+    }
+
+    // Full report of the first run; a typed failure would name the starved
+    // logical layer instead of a silent `complete: false`.
+    match &outcomes[0] {
+        outcome if outcome.is_complete() => {
+            println!("\nfirst execution report:\n{}", outcome.report());
+        }
+        outcome => {
+            let failure = outcome.failure().expect("incomplete outcome names its failure");
+            println!("\nexecution incomplete: {failure}");
+        }
+    }
 }

@@ -15,19 +15,23 @@
 //! * [`ir`] — virtual hardware, FlexLattice IR and the instruction set.
 //! * [`mapper`] — the offline mapping pass.
 //! * [`oneq`] — the OneQ baseline with repeat-until-success execution.
-//! * [`compiler`] — the OnePerc compiler facade and its metrics.
+//! * [`compiler`] — the OnePerc compiler service (sessions, batched
+//!   multi-seed execution) and its metrics.
 //!
 //! # Example
 //!
 //! ```
-//! use oneperc_suite::compiler::{Compiler, CompilerConfig};
+//! use oneperc_suite::compiler::{CompilerConfig, Session};
 //! use oneperc_suite::circuit::benchmarks;
 //!
-//! let compiler = Compiler::new(CompilerConfig::for_qubits(4, 0.9, 7));
-//! let report = compiler
-//!     .compile_and_execute(&benchmarks::vqe(4, 7))
+//! let session = Session::new(CompilerConfig::for_qubits(4, 0.9, 7));
+//! let compiled = session
+//!     .compile(&benchmarks::vqe(4, 7))
 //!     .expect("compilation succeeds");
-//! assert!(report.rsl_consumed > 0);
+//! // Sweep two seeds through the warm session.
+//! for outcome in session.execute_batch(&compiled, &[7, 8]) {
+//!     assert!(outcome.report().rsl_consumed > 0);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]

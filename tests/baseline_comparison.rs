@@ -3,7 +3,7 @@
 //! does not.
 
 use oneperc_suite::circuit::benchmarks::Benchmark;
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 use oneperc_suite::oneq::{OneqCompiler, OneqConfig};
 
 const CAP: u64 = 60_000;
@@ -21,10 +21,9 @@ fn oneq_rsl(bench: Benchmark, qubits: usize, p: f64) -> (u64, bool) {
 
 fn oneperc_rsl(bench: Benchmark, qubits: usize, p: f64) -> u64 {
     let circuit = bench.circuit(qubits, 13);
-    Compiler::new(CompilerConfig::for_qubits(qubits, p, 13))
-        .compile_and_execute(&circuit)
-        .expect("oneperc compiles")
-        .rsl_consumed
+    let session = Session::new(CompilerConfig::for_qubits(qubits, p, 13));
+    let compiled = session.compile(&circuit).expect("oneperc compiles");
+    session.execute_report(&compiled).rsl_consumed
 }
 
 /// At the practical fusion success probability (0.75) the baseline hits the

@@ -2,7 +2,7 @@
 //! instructions → online execution, across crates.
 
 use oneperc_suite::circuit::{benchmarks, ProgramGraph};
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 use oneperc_suite::ir::InstructionInterpreter;
 
 /// Every benchmark family compiles and executes end to end on the Table 1
@@ -11,12 +11,12 @@ use oneperc_suite::ir::InstructionInterpreter;
 fn all_benchmarks_compile_and_execute() {
     for bench in benchmarks::Benchmark::all() {
         let circuit = bench.circuit(4, 3);
-        let compiler = Compiler::new(CompilerConfig::for_qubits(4, 0.9, 3));
-        let compiled = compiler.compile(&circuit).expect("offline pass succeeds");
+        let session = Session::new(CompilerConfig::for_qubits(4, 0.9, 3));
+        let compiled = session.compile(&circuit).expect("offline pass succeeds");
         assert!(compiled.mapping.complete, "{bench}: mapping incomplete");
         assert!(compiled.mapping.ir.validate().is_ok(), "{bench}: invalid IR");
 
-        let report = compiler.execute(&compiled);
+        let report = session.execute_report(&compiled);
         assert!(report.complete, "{bench}: online pass did not finish");
         assert_eq!(report.logical_layers as usize, compiled.layer_count());
         assert_eq!(report.merged_layers, report.logical_layers + report.routing_layers);
@@ -31,8 +31,8 @@ fn all_benchmarks_compile_and_execute() {
 fn instruction_streams_are_well_formed() {
     for bench in benchmarks::Benchmark::all() {
         let circuit = bench.circuit(4, 9);
-        let compiler = Compiler::new(CompilerConfig::for_qubits(4, 0.75, 9));
-        let compiled = compiler.compile(&circuit).expect("offline pass succeeds");
+        let session = Session::new(CompilerConfig::for_qubits(4, 0.75, 9));
+        let compiled = session.compile(&circuit).expect("offline pass succeeds");
         let mut interpreter = InstructionInterpreter::new();
         interpreter
             .run(&compiled.mapping.instructions)
@@ -75,8 +75,9 @@ fn rsl_grows_as_fusion_probability_drops() {
     let circuit = benchmarks::qaoa(4, 5);
     let mut previous = 0u64;
     for p in [0.9, 0.78, 0.7] {
-        let compiler = Compiler::new(CompilerConfig::for_sensitivity(36, 2, p, 5));
-        let report = compiler.compile_and_execute(&circuit).expect("compilation succeeds");
+        let session = Session::new(CompilerConfig::for_sensitivity(36, 2, p, 5));
+        let compiled = session.compile(&circuit).expect("compilation succeeds");
+        let report = session.execute_report(&compiled);
         assert!(
             report.rsl_consumed >= previous,
             "p = {p} consumed fewer RSLs ({}) than a higher probability ({previous})",
@@ -92,10 +93,11 @@ fn rsl_grows_as_fusion_probability_drops() {
 fn refresh_preserves_program_and_bounds_memory() {
     let circuit = benchmarks::qft(4);
     let base = CompilerConfig::for_sensitivity(36, 3, 0.85, 4);
-    let plain = Compiler::new(base).compile_and_execute(&circuit).unwrap();
-    let refreshed = Compiler::new(base.with_refresh_period(Some(6)))
-        .compile_and_execute(&circuit)
-        .unwrap();
+    let session = Session::new(base);
+    let plain = session.execute_report(&session.compile(&circuit).unwrap());
+    let refreshed_session = Session::new(base.with_refresh_period(Some(6)));
+    let refreshed =
+        refreshed_session.execute_report(&refreshed_session.compile(&circuit).unwrap());
     assert_eq!(plain.program_nodes, refreshed.program_nodes);
     assert!(refreshed.peak_memory_bytes <= plain.peak_memory_bytes);
 }

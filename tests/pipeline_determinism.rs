@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use oneperc_suite::circuit::benchmarks;
-use oneperc_suite::compiler::{Compiler, CompilerConfig};
+use oneperc_suite::compiler::{CompilerConfig, Session};
 use oneperc_suite::hardware::{FusionEngine, HardwareConfig};
 use oneperc_suite::percolation::{
     LayerRequirement, ModularConfig, ModularRenormalizer, ReshapeConfig, ReshapeEngine,
@@ -139,10 +139,11 @@ fn compiler_reports_identical_across_modes() {
     for (qubits, p, seed) in [(4usize, 0.9, 5u64), (4, 0.75, 17)] {
         let circuit = benchmarks::qaoa(qubits, 6);
         let base = CompilerConfig::for_qubits(qubits, p, seed);
-        let serial = Compiler::new(base).compile_and_execute(&circuit).unwrap();
-        let piped = Compiler::new(base.with_pipelining(true))
-            .compile_and_execute(&circuit)
-            .unwrap();
+        let serial_session = Session::new(base);
+        let serial =
+            serial_session.execute_report(&serial_session.compile(&circuit).unwrap());
+        let piped_session = Session::new(base.with_pipelining(true));
+        let piped = piped_session.execute_report(&piped_session.compile(&circuit).unwrap());
         assert!(serial.complete && piped.complete, "p={p} seed={seed}");
         assert_eq!(serial.rsl_consumed, piped.rsl_consumed, "p={p} seed={seed}");
         assert_eq!(serial.merged_layers, piped.merged_layers, "p={p} seed={seed}");
