@@ -1,0 +1,228 @@
+//! Measures the PR-4 service layer — content-addressed compile cache and
+//! async front-end — and writes `BENCH_PR4.json` (the PR-4 acceptance
+//! artifact).
+//!
+//! Two A/B measurements per RSL size, both on the service's natural
+//! workload (a 16-seed sweep of one circuit):
+//!
+//! * **Cold-compile vs cache-hit.** The per-call service shape: each
+//!   request arrives as `(circuit, seed)`. The uncached contestant runs
+//!   the offline pass per call (what `Session::compile` + execute cost
+//!   before PR 4); the cached contestant serves every call after the
+//!   first from the content-addressed `ProgramCache`.
+//! * **Async vs sync submission.** The same sweep through
+//!   `Session::execute_batch` (channel handshakes) and through
+//!   `AsyncSession::sweep` + `block_on` (admission window, `JobFuture`
+//!   waker wiring), quantifying the overhead the async front-end adds.
+//!
+//! Both pairs are verified byte-identical (wall-clock and cache telemetry
+//! aside) before anything is timed. Run with `--release`; debug timings
+//! are meaningless.
+//!
+//! Usage: `bench_pr4 [--out <path>] [--seeds <n>] [--reps <n>] [--smoke]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use oneperc::service::{block_on, AsyncSession};
+use oneperc::{CompilerConfig, ExecutionReport, Session};
+use oneperc_circuit::benchmarks;
+use oneperc_circuit::Circuit;
+
+const P: f64 = 0.75;
+
+struct Args {
+    out: String,
+    seeds: u64,
+    reps: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_PR4.json".to_string(), seeds: 16, reps: 6, smoke: false };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                args.out = iter.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--seeds" => {
+                args.seeds = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                args.reps = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_pr4: compile-cache and async-front-end A/B on a seed sweep; \
+                     writes BENCH_PR4.json"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.smoke {
+        args.seeds = args.seeds.min(4);
+        args.reps = 1;
+    }
+    args
+}
+
+fn deterministic(outcomes: &[oneperc::ExecuteOutcome]) -> Vec<ExecutionReport> {
+    outcomes.iter().map(|o| o.report().deterministic()).collect()
+}
+
+/// Per-call service shape without the cache: every `(circuit, seed)` call
+/// pays the offline pass before executing on the warm session. Execution
+/// goes through `execute_shared` exactly like the cached contestant, so
+/// the A/B difference is the offline pass alone (no per-call program
+/// clone on either side).
+fn compile_per_call_sweep(session: &Session, circuit: &Circuit, seeds: &[u64]) -> f64 {
+    let start = Instant::now();
+    for &seed in seeds {
+        let compiled = Arc::new(session.compile(circuit).expect("offline pass succeeds"));
+        std::hint::black_box(session.execute_shared(compiled, seed).report().rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+/// The same shape through the content-addressed cache: the first call of a
+/// session compiles, every other is a hit.
+fn cached_sweep(session: &Session, circuit: &Circuit, seeds: &[u64]) -> f64 {
+    let start = Instant::now();
+    for &seed in seeds {
+        let compiled = session.compile_cached(circuit).expect("offline pass succeeds");
+        std::hint::black_box(session.execute_shared(compiled, seed).report().rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+/// Synchronous batch submission (channel handshakes per job).
+fn sync_batch(session: &Session, circuit: &Circuit, seeds: &[u64]) -> f64 {
+    let compiled = session.compile_cached(circuit).expect("offline pass succeeds");
+    let start = Instant::now();
+    for outcome in session.execute_batch_shared(compiled, seeds) {
+        std::hint::black_box(outcome.report().rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+/// Async submission: admission window + `JobFuture`s drained under the
+/// hand-rolled `block_on`.
+fn async_sweep(service: &AsyncSession, circuit: &Circuit, seeds: &[u64]) -> f64 {
+    let start = Instant::now();
+    let futures = service.sweep(circuit, seeds).expect("offline pass succeeds");
+    for future in futures {
+        std::hint::black_box(block_on(future).report().rsl_consumed);
+    }
+    start.elapsed().as_secs_f64() / seeds.len() as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seeds: Vec<u64> = (1..=args.seeds).collect();
+    let circuit = benchmarks::qaoa(4, 2);
+
+    let mut rows = Vec::new();
+    let mut headline = f64::NAN;
+    for &rsl in &[24usize, 40] {
+        let config = CompilerConfig::for_sensitivity(rsl, 3, P, 0);
+        let session = Session::new(config);
+        let service = AsyncSession::builder(config).queue_depth(8).build();
+
+        // Byte-identity of every contestant before timing (doubles as
+        // warm-up; the service sweep also proves compile-once via its
+        // counters).
+        let reference = deterministic(&session.execute_batch(
+            &session.compile(&circuit).expect("offline pass succeeds"),
+            &seeds,
+        ));
+        let cached = deterministic(&session.sweep(&circuit, &seeds).expect("sweep"));
+        let futures = service.sweep(&circuit, &seeds).expect("sweep");
+        let asynced: Vec<_> = futures.into_iter().map(block_on).collect();
+        assert_eq!(reference, cached, "cached sweep diverged");
+        assert_eq!(reference, deterministic(&asynced), "async sweep diverged");
+        assert_eq!(service.cache_stats().misses, 1, "async sweep must compile once");
+
+        let mut cold_compile = f64::INFINITY;
+        let mut cache_hit = f64::INFINITY;
+        let mut sync_submit = f64::INFINITY;
+        let mut async_submit = f64::INFINITY;
+        for _ in 0..args.reps {
+            cold_compile = cold_compile.min(compile_per_call_sweep(&session, &circuit, &seeds));
+            cache_hit = cache_hit.min(cached_sweep(&session, &circuit, &seeds));
+            sync_submit = sync_submit.min(sync_batch(&session, &circuit, &seeds));
+            async_submit = async_submit.min(async_sweep(&service, &circuit, &seeds));
+        }
+
+        let cache_speedup = cold_compile / cache_hit;
+        let recovered_us = (cold_compile - cache_hit) * 1e6;
+        let async_overhead_us = (async_submit - sync_submit) * 1e6;
+        if rsl == 40 {
+            headline = cache_speedup;
+        }
+        println!(
+            "L={rsl:<3} compile-per-call {:>9.1} us/exec | cache-hit {:>9.1} us/exec | {cache_speedup:.2}x ({recovered_us:+.0} us/exec)",
+            cold_compile * 1e6,
+            cache_hit * 1e6,
+        );
+        println!(
+            "L={rsl:<3} sync submit     {:>9.1} us/exec | async     {:>9.1} us/exec | overhead {async_overhead_us:+.1} us/exec",
+            sync_submit * 1e6,
+            async_submit * 1e6,
+        );
+        rows.push(format!(
+            "    {{ \"rsl_size\": {rsl}, \"seeds\": {}, \
+             \"compile_per_call_us_per_exec\": {:.3}, \"cache_hit_us_per_exec\": {:.3}, \
+             \"cache_speedup\": {cache_speedup:.3}, \
+             \"offline_recovered_us_per_exec\": {recovered_us:.3}, \
+             \"sync_submit_us_per_exec\": {:.3}, \"async_submit_us_per_exec\": {:.3}, \
+             \"async_overhead_us_per_exec\": {async_overhead_us:.3}, \
+             \"compiled_once\": true, \"byte_identical\": true }}",
+            seeds.len(),
+            cold_compile * 1e6,
+            cache_hit * 1e6,
+            sync_submit * 1e6,
+            async_submit * 1e6,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"16-seed sweep: content-addressed compile cache and async front-end (PR 4)\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"fusion_success_prob\": {P},\n  \
+         \"resource_state_size\": 7,\n  \
+         \"circuit\": \"qaoa-4\",\n  \
+         \"smoke\": {},\n  \
+         \"sweeps\": [\n{}\n  ],\n  \
+         \"speedup\": {headline:.3},\n  \
+         \"speedup_basis\": \"measured wall-clock at L=40: offline pass per call vs \
+         content-addressed cache hit per call, one warm session, byte-identical reports \
+         verified per seed; async rows quantify JobFuture+admission overhead vs the \
+         synchronous channel path\"\n}}\n",
+        args.smoke,
+        rows.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_PR4.json");
+    println!("{json}");
+    println!("wrote {}", args.out);
+    if !args.smoke && headline < 1.0 {
+        eprintln!("WARNING: cache hit slower than compile-per-call ({headline:.2}x)");
+        std::process::exit(1);
+    }
+}

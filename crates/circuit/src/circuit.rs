@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::gate::Gate;
+use crate::hash::StableHasher;
 
 /// A gate-model quantum circuit.
 ///
@@ -102,6 +103,29 @@ impl Circuit {
             .iter()
             .filter(|g| matches!(g, Gate::J { .. }))
             .count()
+    }
+
+    /// A stable 64-bit structural hash of the circuit: qubit count plus the
+    /// gate list in application order (the linearization of the gate DAG),
+    /// each gate encoded as a discriminant tag, its qubit operands and its
+    /// angle bit patterns.
+    ///
+    /// Two circuits hash equal exactly when they are structurally equal, so
+    /// the hash can address content — most importantly the compiled-program
+    /// cache of the service layer, where the offline pass is a pure
+    /// function of `(circuit, configuration)`. The encoding is pinned by
+    /// [`StableHasher`]: the value is reproducible across processes,
+    /// platforms and compiler releases, unlike `std::hash`.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        // Version tag of the encoding itself, bumped on any format change.
+        h.write_tag(1);
+        h.write_usize(self.n_qubits);
+        h.write_usize(self.gates.len());
+        for gate in &self.gates {
+            gate.write_structural(&mut h);
+        }
+        h.finish()
     }
 }
 

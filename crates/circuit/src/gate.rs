@@ -3,6 +3,8 @@
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 use std::fmt;
 
+use crate::hash::StableHasher;
+
 /// A quantum gate in the circuit IR.
 ///
 /// The only gates the MBQC translation understands are [`Gate::J`] and
@@ -136,6 +138,86 @@ impl Gate {
     /// Returns `true` when the gate is already in the `{J, CZ}` set.
     pub fn is_primitive(&self) -> bool {
         matches!(self, Gate::J { .. } | Gate::Cz { .. })
+    }
+
+    /// Feeds this gate's canonical encoding — a discriminant tag, the qubit
+    /// operands, the angle bit patterns — into a [`StableHasher`]. Part of
+    /// [`Circuit::structural_hash`](crate::Circuit::structural_hash); the
+    /// tags are append-only so existing hashes never move.
+    pub(crate) fn write_structural(&self, h: &mut StableHasher) {
+        match *self {
+            Gate::J { qubit, alpha } => {
+                h.write_tag(0);
+                h.write_usize(qubit);
+                h.write_f64(alpha);
+            }
+            Gate::Cz { a, b } => {
+                h.write_tag(1);
+                h.write_usize(a);
+                h.write_usize(b);
+            }
+            Gate::H { qubit } => {
+                h.write_tag(2);
+                h.write_usize(qubit);
+            }
+            Gate::X { qubit } => {
+                h.write_tag(3);
+                h.write_usize(qubit);
+            }
+            Gate::Z { qubit } => {
+                h.write_tag(4);
+                h.write_usize(qubit);
+            }
+            Gate::S { qubit } => {
+                h.write_tag(5);
+                h.write_usize(qubit);
+            }
+            Gate::T { qubit } => {
+                h.write_tag(6);
+                h.write_usize(qubit);
+            }
+            Gate::Tdg { qubit } => {
+                h.write_tag(7);
+                h.write_usize(qubit);
+            }
+            Gate::Rz { qubit, theta } => {
+                h.write_tag(8);
+                h.write_usize(qubit);
+                h.write_f64(theta);
+            }
+            Gate::Rx { qubit, theta } => {
+                h.write_tag(9);
+                h.write_usize(qubit);
+                h.write_f64(theta);
+            }
+            Gate::Ry { qubit, theta } => {
+                h.write_tag(10);
+                h.write_usize(qubit);
+                h.write_f64(theta);
+            }
+            Gate::Cnot { control, target } => {
+                h.write_tag(11);
+                h.write_usize(control);
+                h.write_usize(target);
+            }
+            Gate::Cphase { control, target, theta } => {
+                h.write_tag(12);
+                h.write_usize(control);
+                h.write_usize(target);
+                h.write_f64(theta);
+            }
+            Gate::Swap { a, b } => {
+                h.write_tag(13);
+                h.write_usize(a);
+                h.write_usize(b);
+            }
+            Gate::Toffoli { a, b, target } => {
+                h.write_tag(14);
+                h.write_usize(a);
+                h.write_usize(b);
+                h.write_usize(target);
+            }
+        }
     }
 
     /// Lowers the gate into an equivalent sequence over `{J(α), CZ}`

@@ -1,0 +1,179 @@
+//! Stable structural hashing for content-addressed compilation caches.
+//!
+//! OnePerc's offline pass is a pure function of `(circuit, compiler
+//! configuration)`; only the online pass consumes randomness. A service
+//! sweeping many seeds over one circuit can therefore reuse the compiled
+//! artifact across every call — *if* it can address it by content. This
+//! module provides the addressing half: a 64-bit hash that is **stable
+//! across processes, platforms and runs** (unlike `std::hash`, whose
+//! `RandomState` is seeded per process and whose `Hasher` output is
+//! explicitly unspecified across releases).
+//!
+//! [`StableHasher`] is FNV-1a over a canonical byte encoding; the circuit
+//! side of the key is [`Circuit::structural_hash`](crate::Circuit::structural_hash),
+//! which digests the gate list in application order — the linearization of
+//! the circuit's gate DAG, so structurally equal circuits (same gates, same
+//! qubits, same angles, same order) collide exactly and everything else
+//! practically never does. The compiler crate combines it with a
+//! configuration fingerprint built on the same hasher.
+
+/// A stable 64-bit streaming hasher (FNV-1a).
+///
+/// Deliberately *not* an implementation of `std::hash::Hasher`: values fed
+/// to it go through the explicit `write_*` methods below so the encoding is
+/// pinned by this crate, not by whatever `#[derive(Hash)]` happens to emit
+/// in a given std release.
+///
+/// # Example
+///
+/// ```
+/// use oneperc_circuit::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_u64(7);
+/// a.write_f64(0.75);
+/// let mut b = StableHasher::new();
+/// b.write_u64(7);
+/// b.write_f64(0.75);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Creates a hasher in the FNV-1a offset-basis state.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` so 32- and 64-bit targets agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern. `-0.0` and `0.0` hash differently —
+    /// for cache addressing a spurious *miss* is merely a recompile, while
+    /// any value normalization would have to be replicated forever.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a one-byte tag (enum discriminants, booleans).
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_bytes(&[tag]);
+    }
+
+    /// The 64-bit digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, Circuit, Gate};
+
+    #[test]
+    fn identical_streams_agree_and_order_matters() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn widths_are_not_conflated() {
+        // A tag byte and a u64 with the same leading byte must not collide
+        // by construction of the explicit encodings.
+        let mut a = StableHasher::new();
+        a.write_tag(5);
+        let mut b = StableHasher::new();
+        b.write_u64(5);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn golden_value_pins_the_algorithm() {
+        // The whole point of the hasher is stability across builds: if this
+        // constant moves, every persisted cache key in the world would be
+        // silently invalidated. Change it only with a cache-format bump.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"oneperc");
+        assert_eq!(h.finish(), 0x9219_061a_f563_4967);
+    }
+
+    #[test]
+    fn circuit_hash_is_deterministic_across_instances() {
+        let a = benchmarks::qaoa(4, 7).structural_hash();
+        let b = benchmarks::qaoa(4, 7).structural_hash();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn circuit_hash_separates_structures() {
+        let base = benchmarks::qaoa(4, 7).structural_hash();
+        assert_ne!(base, benchmarks::qaoa(4, 8).structural_hash(), "different instance");
+        assert_ne!(base, benchmarks::qft(4).structural_hash(), "different family");
+
+        // Angle perturbation on a single gate.
+        let mut c1 = Circuit::new(2);
+        c1.push(Gate::J { qubit: 0, alpha: 0.5 });
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::J { qubit: 0, alpha: 0.5 + 1e-12 });
+        assert_ne!(c1.structural_hash(), c2.structural_hash());
+
+        // Gate order (the DAG linearization) is part of the structure.
+        let mut ab = Circuit::new(2);
+        ab.push(Gate::H { qubit: 0 });
+        ab.push(Gate::X { qubit: 1 });
+        let mut ba = Circuit::new(2);
+        ba.push(Gate::X { qubit: 1 });
+        ba.push(Gate::H { qubit: 0 });
+        assert_ne!(ab.structural_hash(), ba.structural_hash());
+
+        // Qubit count matters even with an identical gate list.
+        let mut narrow = Circuit::new(2);
+        narrow.push(Gate::H { qubit: 0 });
+        let mut wide = Circuit::new(3);
+        wide.push(Gate::H { qubit: 0 });
+        assert_ne!(narrow.structural_hash(), wide.structural_hash());
+    }
+
+    #[test]
+    fn empty_circuits_hash_by_width() {
+        assert_ne!(Circuit::new(1).structural_hash(), Circuit::new(2).structural_hash());
+        assert_eq!(Circuit::new(3).structural_hash(), Circuit::new(3).structural_hash());
+    }
+}

@@ -15,6 +15,9 @@
 //!   wire of graph-state qubits, `CZ` gates become edges.
 //! * [`DependencyDag`] — the flow-induced partial order among graph-state
 //!   qubits used by the offline mapper for dynamic scheduling.
+//! * [`StableHasher`] / [`Circuit::structural_hash`] — process-independent
+//!   64-bit structural hashing, the addressing half of the service layer's
+//!   content-addressed compiled-program cache.
 //!
 //! # Example
 //!
@@ -34,9 +37,11 @@ pub mod benchmarks;
 mod circuit;
 mod dag;
 mod gate;
+mod hash;
 mod program;
 
 pub use circuit::Circuit;
 pub use dag::DependencyDag;
 pub use gate::Gate;
+pub use hash::StableHasher;
 pub use program::{ProgramGraph, ProgramNode};

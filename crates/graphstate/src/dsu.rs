@@ -39,9 +39,34 @@ impl DisjointSet {
     /// allocations. This is the hot-path entry point: the online pass calls
     /// it once per band/strip instead of constructing a fresh
     /// [`DisjointSet`] (and paying two allocations) per connectivity check.
+    ///
+    /// The identity refill of `parent` runs in fixed-width chunks of
+    /// straight-line stores (word-parallel: no iterator protocol in the
+    /// loop body, so the compiler emits vector adds on a stepped index
+    /// register instead of scalar `extend` iterations) — this is the fill
+    /// the joining-interval connectivity check of the modular
+    /// renormalizer pays once per strip scan.
     pub fn reset(&mut self, n: usize) {
-        self.parent.clear();
-        self.parent.extend(0..n);
+        // `resize` zero-fills only the grown tail (a one-time cost as the
+        // structure reaches its steady-state size); every slot is then
+        // identity-written by the chunk loop below.
+        self.parent.resize(n, 0);
+        const LANES: usize = 8;
+        let mut base = 0usize;
+        let mut chunks = self.parent.chunks_exact_mut(LANES);
+        for chunk in &mut chunks {
+            // Fixed-size pattern: the bound check vanishes and the eight
+            // stores vectorize.
+            let lanes: &mut [usize; LANES] = chunk.try_into().expect("exact chunk");
+            for (offset, slot) in lanes.iter_mut().enumerate() {
+                *slot = base + offset;
+            }
+            base += LANES;
+        }
+        for (offset, slot) in chunks.into_remainder().iter_mut().enumerate() {
+            *slot = base + offset;
+        }
+        // One memset covers truncation, growth and the stale-rank clear.
         self.rank.clear();
         self.rank.resize(n, 0);
         self.n_sets = n;
@@ -164,5 +189,65 @@ mod tests {
         let dsu = DisjointSet::new(0);
         assert!(dsu.is_empty());
         assert_eq!(dsu.set_count(), 0);
+    }
+
+    /// A reset structure must be observationally identical to a freshly
+    /// constructed one: same length, every element its own singleton root.
+    fn assert_equivalent_to_fresh(dsu: &mut DisjointSet, n: usize) {
+        assert_eq!(dsu.len(), n);
+        assert_eq!(dsu.set_count(), n);
+        for i in 0..n {
+            assert_eq!(dsu.find(i), i, "element {i} not a singleton root after reset to {n}");
+        }
+    }
+
+    #[test]
+    fn chunked_reset_is_equivalent_to_fresh_construction() {
+        // Sizes straddling the chunk width: empty, sub-chunk, exact
+        // multiples, every remainder length, and a large non-multiple.
+        let sizes = [0usize, 1, 3, 7, 8, 9, 10, 15, 16, 17, 64, 100, 1003];
+        let mut dsu = DisjointSet::new(0);
+        for &n in &sizes {
+            // Dirty the structure first so the reset has real work to undo.
+            if dsu.len() >= 2 {
+                let len = dsu.len();
+                for i in 0..len - 1 {
+                    dsu.union(i, (i * 7 + 1) % len);
+                }
+            }
+            dsu.reset(n);
+            assert_equivalent_to_fresh(&mut dsu, n);
+        }
+    }
+
+    #[test]
+    fn reset_handles_growth_and_shrinkage() {
+        let mut dsu = DisjointSet::new(5);
+        dsu.union(0, 4);
+        dsu.reset(100); // grow
+        assert_equivalent_to_fresh(&mut dsu, 100);
+        for i in 0..99 {
+            dsu.union(i, i + 1);
+        }
+        dsu.reset(5); // shrink: ranks and parents from the large epoch must not leak
+        assert_equivalent_to_fresh(&mut dsu, 5);
+        // Unions after the shrink behave like on a fresh structure.
+        assert!(dsu.union(0, 1));
+        assert!(dsu.same_set(0, 1));
+        assert_eq!(dsu.set_count(), 4);
+    }
+
+    #[test]
+    fn reset_clears_stale_ranks() {
+        // Build a rank-heavy structure, reset, and verify union-by-rank
+        // behaves freshly: rank ties attach the second root under the
+        // first, which is only observable if ranks really restarted at 0.
+        let mut dsu = DisjointSet::new(64);
+        for i in 1..64 {
+            dsu.union(0, i);
+        }
+        dsu.reset(64);
+        assert!(dsu.union(2, 3));
+        assert_eq!(dsu.find(3), 2, "equal-rank union parents the first argument");
     }
 }

@@ -10,7 +10,7 @@ use oneperc_percolation::{LayerRequirement, ReshapeConfig, ReshapeEngine, Tempor
 
 use crate::config::CompilerConfig;
 use crate::memory::MemoryModel;
-use crate::report::{ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
+use crate::report::{CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
 
 /// Errors of the end-to-end compilation.
 ///
@@ -37,6 +37,9 @@ impl fmt::Display for CompileError {
     }
 }
 
+// The cause is inlined in `Display` (house style, like `MapError`), so
+// `source()` stays `None` — chain-walking reporters would otherwise print
+// the inner error twice.
 impl Error for CompileError {}
 
 impl From<MapError> for CompileError {
@@ -171,6 +174,7 @@ pub(crate) fn run_online_pass(
         complete: failure.is_none(),
         pipelined: config.pipelined,
         peak_memory_bytes,
+        cache: CacheStats::default(),
         offline_time: compiled.offline_time,
         online_time,
     };

@@ -1,5 +1,6 @@
 //! Compiler configuration and the paper's benchmark presets (Table 1).
 
+use oneperc_circuit::StableHasher;
 use oneperc_hardware::HardwareConfig;
 use oneperc_ir::VirtualHardware;
 use oneperc_percolation::ModularConfig;
@@ -176,6 +177,46 @@ impl CompilerConfig {
         VirtualHardware::square(self.virtual_side)
     }
 
+    /// A stable 64-bit fingerprint of every configuration knob **except the
+    /// seed**: combined with
+    /// [`Circuit::structural_hash`](oneperc_circuit::Circuit::structural_hash)
+    /// it keys the service layer's content-addressed compiled-program
+    /// cache.
+    ///
+    /// The seed is deliberately excluded — the offline pass is
+    /// deterministic and seed-independent (only the online pass consumes
+    /// randomness), so a multi-seed sweep over one circuit must address the
+    /// *same* compiled artifact. Every other knob participates, including
+    /// ones (like [`CompilerConfig::pipelined`]) that do not influence the
+    /// offline output today: keying conservatively costs at most a
+    /// recompile, while under-keying would silently serve a stale artifact
+    /// if a knob ever grows offline-side effects.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        // Version tag of the fingerprint encoding, bumped on format change.
+        h.write_tag(1);
+        h.write_usize(self.hardware.rsl_size);
+        h.write_usize(self.hardware.resource_state_size);
+        h.write_f64(self.hardware.fusion_success_prob);
+        h.write_f64(self.hardware.photon_loss_rate);
+        h.write_usize(self.hardware.target_degree);
+        h.write_usize(self.hardware.photon_lifetime_cycles);
+        h.write_usize(self.virtual_side);
+        h.write_usize(self.node_size);
+        h.write_f64(self.occupancy_limit);
+        match self.refresh_period {
+            None => h.write_tag(0),
+            Some(period) => {
+                h.write_tag(1);
+                h.write_usize(period);
+            }
+        }
+        h.write_usize(self.temporal_redundancy);
+        h.write_tag(u8::from(self.pipelined));
+        h.write_usize(self.renorm_workers);
+        h.finish()
+    }
+
     /// The modular-renormalization configuration implied by this compiler
     /// configuration for `modules_per_side` modules at the given MI ratio:
     /// the node size comes from the RSL/virtual-hardware sizing and the
@@ -254,5 +295,73 @@ mod tests {
     fn oversized_virtual_hardware_panics() {
         let hw = HardwareConfig::new(10, 4, 0.75);
         let _ = CompilerConfig::new(hw, 20, 0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_seed() {
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.8, 1);
+        assert_eq!(base.fingerprint(), base.with_seed(999).fingerprint());
+        assert_eq!(base.fingerprint(), base.fingerprint(), "fingerprint is stable");
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_knob() {
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.8, 1);
+        let variants = [
+            ("rsl_size", CompilerConfig::for_sensitivity(48, 3, 0.8, 1)),
+            ("virtual_side", CompilerConfig::for_sensitivity(36, 4, 0.8, 1)),
+            ("fusion_prob", CompilerConfig::for_sensitivity(36, 3, 0.75, 1)),
+            ("resource_state", base.with_resource_state_size(4)),
+            ("refresh", base.with_refresh_period(Some(5))),
+            ("pipelined", base.with_pipelining(true)),
+            ("renorm_workers", base.with_renorm_workers(2)),
+            ("occupancy", {
+                let mut c = base;
+                c.occupancy_limit = 0.5;
+                c
+            }),
+            ("temporal", {
+                let mut c = base;
+                c.temporal_redundancy = 5;
+                c
+            }),
+            ("loss", {
+                let mut c = base;
+                c.hardware = c.hardware.with_photon_loss(0.01);
+                c
+            }),
+            ("lifetime", {
+                let mut c = base;
+                c.hardware.photon_lifetime_cycles = 100;
+                c
+            }),
+            ("target_degree", {
+                let mut c = base;
+                c.hardware = c.hardware.with_target_degree(4);
+                c
+            }),
+        ];
+        for (knob, variant) in variants {
+            assert_ne!(
+                base.fingerprint(),
+                variant.fingerprint(),
+                "changing {knob} must change the fingerprint"
+            );
+        }
+        // And the variants are pairwise distinct among themselves.
+        for (i, (ka, a)) in variants.iter().enumerate() {
+            for (kb, b) in variants.iter().skip(i + 1) {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "{ka} vs {kb} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_period_none_and_zero_are_distinct() {
+        let base = CompilerConfig::for_sensitivity(36, 3, 0.8, 1);
+        assert_ne!(
+            base.with_refresh_period(None).fingerprint(),
+            base.with_refresh_period(Some(0)).fingerprint()
+        );
     }
 }

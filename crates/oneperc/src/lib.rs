@@ -50,6 +50,41 @@
 //! byte-identical whatever the lane count, `renorm_workers` setting, batch
 //! size or submission order — `tests/session_determinism.rs` enforces it.
 //!
+//! # The service layer: async admission and content-addressed compilation
+//!
+//! On top of sessions, [`service`] adds what an embedding RPC server
+//! needs. [`service::AsyncSession`] fronts a warm session with a bounded
+//! admission window — [`try_submit`](service::AsyncSession::try_submit)
+//! answers [`Busy`](service::SubmitError::Busy) instead of queueing
+//! without limit — and returns [`service::JobFuture`]s: plain
+//! `std::future::Future`s (hand-rolled `Waker` wiring, no runtime
+//! dependency) consumable by any executor or the built-in
+//! [`service::block_on`]. And because the offline pass is deterministic
+//! per `(circuit, config)` while only the online pass consumes
+//! randomness, every circuit-accepting entry point resolves programs
+//! through a content-addressed [`service::ProgramCache`] — keyed by the
+//! circuit's [structural hash](oneperc_circuit::Circuit::structural_hash)
+//! plus the configuration's [fingerprint](CompilerConfig::fingerprint),
+//! seed excluded — so a multi-seed sweep compiles **once**:
+//!
+//! ```
+//! use oneperc::service::{block_on, AsyncSession};
+//! use oneperc::CompilerConfig;
+//! use oneperc_circuit::benchmarks;
+//!
+//! let service = AsyncSession::new(CompilerConfig::for_qubits(4, 0.9, 1));
+//! let circuit = benchmarks::qaoa(4, 1);
+//! let futures = service.sweep(&circuit, &[1, 2, 3, 4]).unwrap();
+//! for future in futures {
+//!     assert!(block_on(future).is_complete());
+//! }
+//! assert_eq!(service.cache_stats().misses, 1, "compiled exactly once");
+//! ```
+//!
+//! The synchronous twin is [`Session::sweep`]; cache hit/miss/eviction
+//! counters surface as [`CacheStats`] on the reports and through
+//! [`Session::cache_stats`].
+//!
 //! For scaling beyond one process, shard sessions: one `Session` per
 //! machine configuration, each with as many lanes as the host should
 //! dedicate to that tenant.
@@ -69,10 +104,15 @@ mod compiler;
 mod config;
 mod memory;
 mod report;
+pub mod service;
 mod session;
 
 pub use compiler::{CompileError, CompiledProgram, Compiler};
 pub use config::{CompilerConfig, Preset};
 pub use memory::MemoryModel;
-pub use report::{ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
-pub use session::{ExecutionRequest, JobHandle, OnePercService, Session, SessionBuilder};
+pub use report::{CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
+pub use service::{AsyncSession, AsyncSessionBuilder, JobFuture, SubmitError};
+pub use session::{
+    ExecutionRequest, JobHandle, OnePercService, Session, SessionBuilder,
+    DEFAULT_PROGRAM_CACHE_CAPACITY,
+};

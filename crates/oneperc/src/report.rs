@@ -1,8 +1,67 @@
 //! Execution metrics: the paper's `#RSL` and `#fusion`, plus supporting
-//! statistics.
+//! statistics, and the counters of the service layer's compiled-program
+//! cache.
 
+use std::error::Error;
 use std::fmt;
 use std::time::Duration;
+
+/// Counters of a session's content-addressed compiled-program cache at a
+/// point in time (see [`crate::service::ProgramCache`]).
+///
+/// A snapshot travels on every [`ExecutionReport`] produced through a
+/// cached entry point ([`Session::sweep`](crate::Session::sweep),
+/// [`AsyncSession::submit_circuit`](crate::service::AsyncSession::submit_circuit),
+/// …) so service callers can observe hit rates in-band; reports from
+/// explicit-program paths carry the all-zero default. The counters describe
+/// the session's *traffic history*, not the execution itself —
+/// [`ExecutionReport::deterministic`] therefore clears them along with the
+/// wall-clock fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the offline pass.
+    pub misses: u64,
+    /// Entries displaced to make room (LRU order).
+    pub evictions: u64,
+    /// Programs currently resident.
+    pub entries: usize,
+    /// Maximum resident programs (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.0}% hit rate), {} of {} entries resident, {} evictions",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.capacity,
+            self.evictions
+        )
+    }
+}
 
 /// The metrics of one end-to-end compilation + execution, aligned with the
 /// columns of Table 2 and the series of the analysis figures.
@@ -33,6 +92,12 @@ pub struct ExecutionReport {
     pub pipelined: bool,
     /// Peak classical-memory estimate in bytes for the real-time stage.
     pub peak_memory_bytes: u64,
+    /// Compiled-program cache counters at report time, when the execution
+    /// came through a cached entry point (all-zero default otherwise). Like
+    /// the wall-clock fields this is operational telemetry, not a function
+    /// of `(config, circuit, seed)`; [`ExecutionReport::deterministic`]
+    /// clears it.
+    pub cache: CacheStats,
     /// Wall-clock time spent in the offline pass.
     pub offline_time: Duration,
     /// Wall-clock time spent simulating the online pass.
@@ -63,14 +128,16 @@ impl ExecutionReport {
         }
     }
 
-    /// The report with its wall-clock fields zeroed: every remaining field
-    /// is a pure function of the configuration and seed, so two runs of the
-    /// same `(config, circuit, seed)` must produce equal deterministic
-    /// views whatever machine, session or batch they ran in. This is the
-    /// comparison form used by the batch-determinism suite.
+    /// The report with its wall-clock fields and cache counters zeroed:
+    /// every remaining field is a pure function of the configuration and
+    /// seed, so two runs of the same `(config, circuit, seed)` must produce
+    /// equal deterministic views whatever machine, session, batch or cache
+    /// state they ran against. This is the comparison form used by the
+    /// batch-determinism suite.
     pub fn deterministic(mut self) -> ExecutionReport {
         self.offline_time = Duration::ZERO;
         self.online_time = Duration::ZERO;
+        self.cache = CacheStats::default();
         self
     }
 }
@@ -136,6 +203,12 @@ impl fmt::Display for LayerFailure {
     }
 }
 
+// `LayerFailure` is the error payload of an incomplete execution
+// (`ExecuteOutcome::into_result` wraps it in `CompileError::Incomplete`);
+// implementing `Error` lets service callers `?` it into `Box<dyn Error>`
+// directly instead of matching the outcome by hand.
+impl Error for LayerFailure {}
+
 /// Typed outcome of an online execution: the metrics, plus — when the run
 /// gave up — the failed layer's diagnostics instead of a silent
 /// `complete: false`.
@@ -194,6 +267,28 @@ impl ExecuteOutcome {
             }
         }
     }
+
+    /// Stamps the report's cache counters; used by the cached entry points
+    /// of the session and the async service so hit rates are observable
+    /// in-band.
+    pub(crate) fn with_cache_stats(mut self, stats: CacheStats) -> ExecuteOutcome {
+        match &mut self {
+            ExecuteOutcome::Complete(report) => report.cache = stats,
+            ExecuteOutcome::Incomplete { report, .. } => report.cache = stats,
+        }
+        self
+    }
+}
+
+impl fmt::Display for ExecuteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecuteOutcome::Complete(report) => report.fmt(f),
+            ExecuteOutcome::Incomplete { failure, .. } => {
+                write!(f, "incomplete execution: {failure}")
+            }
+        }
+    }
 }
 
 impl fmt::Display for ExecutionReport {
@@ -209,6 +304,9 @@ impl fmt::Display for ExecutionReport {
             "online pipeline {:>12}",
             if self.pipelined { "2-stage" } else { "serial" }
         )?;
+        if self.cache.lookups() > 0 {
+            writeln!(f, "program cache   {}", self.cache)?;
+        }
         writeln!(
             f,
             "offline time    {:>9.2} s",
@@ -245,5 +343,67 @@ mod tests {
         assert!(text.contains("#RSL"));
         assert!(text.contains("42"));
         assert!(text.contains("#fusion"));
+        assert!(!text.contains("program cache"), "idle cache stays out of the report");
+        let cached = ExecutionReport {
+            cache: CacheStats { hits: 3, misses: 1, evictions: 0, entries: 1, capacity: 8 },
+            ..report
+        };
+        assert!(cached.to_string().contains("program cache"));
+    }
+
+    #[test]
+    fn cache_stats_ratios_and_display() {
+        let stats = CacheStats { hits: 3, misses: 1, evictions: 2, entries: 4, capacity: 8 };
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("3 hits"));
+        assert!(text.contains("75% hit rate"));
+        assert!(text.contains("2 evictions"));
+    }
+
+    #[test]
+    fn deterministic_clears_cache_counters() {
+        let report = ExecutionReport {
+            rsl_consumed: 9,
+            cache: CacheStats { hits: 5, misses: 1, evictions: 0, entries: 1, capacity: 4 },
+            online_time: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let det = report.deterministic();
+        assert_eq!(det.cache, CacheStats::default());
+        assert_eq!(det.rsl_consumed, 9);
+        assert_eq!(det.online_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn layer_failure_is_a_std_error() {
+        let failure = LayerFailure {
+            layer_index: 2,
+            reason: LayerFailureReason::TimelikeStarved,
+            merged_layers: 10,
+            renorm_failures: 1,
+            timelike_failures: 9,
+        };
+        // `?`-compatibility: the failure coerces into `Box<dyn Error>`.
+        let boxed: Box<dyn Error> = Box::new(failure);
+        assert!(boxed.to_string().contains("logical layer 2"));
+    }
+
+    #[test]
+    fn outcome_display_covers_both_forms() {
+        let report = ExecutionReport { rsl_consumed: 42, ..Default::default() };
+        assert!(ExecuteOutcome::Complete(report).to_string().contains("#RSL"));
+        let failure = LayerFailure {
+            layer_index: 0,
+            reason: LayerFailureReason::RenormalizationStarved,
+            merged_layers: 3,
+            renorm_failures: 3,
+            timelike_failures: 0,
+        };
+        let text = ExecuteOutcome::Incomplete { report, failure }.to_string();
+        assert!(text.contains("incomplete execution"));
+        assert!(text.contains("logical layer 0"));
     }
 }

@@ -1,0 +1,477 @@
+//! [`AsyncSession`]: the runtime-agnostic async front-end over a warm
+//! [`Session`].
+//!
+//! The synchronous session's `submit` is a channel handshake: the caller
+//! eventually parks on a [`JobHandle`](crate::JobHandle) and lane queues
+//! grow without bound. An embedding RPC server needs the opposite shape —
+//! non-blocking admission with explicit backpressure, and completion as a
+//! [`Future`](std::future::Future). `AsyncSession` provides both:
+//!
+//! * **Bounded admission.** At most `queue_depth` executions may be
+//!   admitted-and-incomplete at once. [`AsyncSession::try_submit`] refuses
+//!   with [`SubmitError::Busy`] when the window is full — the signal an RPC
+//!   layer turns into load-shedding — while [`AsyncSession::submit`] parks
+//!   until a slot frees. Admission is released by job *completion*, not by
+//!   future redemption, so an abandoned future never wedges the window.
+//! * **Futures, no runtime.** [`JobFuture`] is a plain
+//!   `std::future::Future` wired through hand-rolled `Waker` plumbing: the
+//!   lane thread completes a shared slot and wakes the registered waker.
+//!   It works under any executor, under the built-in
+//!   [`block_on`](super::block_on), or via the synchronous
+//!   [`JobFuture::wait`].
+//! * **Content-addressed compilation.** The circuit-accepting entry points
+//!   ([`AsyncSession::submit_circuit`], [`AsyncSession::sweep`]) resolve
+//!   programs through the underlying session's
+//!   [`ProgramCache`](super::ProgramCache), so a multi-seed sweep compiles
+//!   exactly once and every report carries the cache counters.
+//!
+//! Determinism is unchanged by the front-end: per `(config, circuit,
+//! seed)` an async execution's report is byte-identical (wall-clock and
+//! cache telemetry aside — compare with
+//! [`ExecutionReport::deterministic`](crate::ExecutionReport::deterministic))
+//! to the synchronous [`Session::execute_batch`] path, whatever the
+//! admission capacity or poll order. `tests/service_determinism.rs` pins
+//! this.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use oneperc_circuit::Circuit;
+
+use crate::compiler::{CompileError, CompiledProgram};
+use crate::config::CompilerConfig;
+use crate::report::CacheStats;
+use crate::session::{ExecutionRequest, Session, SessionBuilder};
+
+use super::future::{JobFuture, JobSlot, SubmitError};
+
+/// Counting semaphore bounding admitted-and-incomplete executions.
+///
+/// Hand-rolled on `Mutex` + `Condvar` (std has no semaphore): acquire on
+/// submission, release from the lane-side completion callback.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    capacity: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission window needs at least one slot");
+        Admission { capacity, in_flight: Mutex::new(0), freed: Condvar::new() }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        *self.in_flight.lock().expect("admission window poisoned")
+    }
+
+    /// Claims a slot if one is free.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
+        if *in_flight < self.capacity {
+            *in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parks until a slot frees, then claims it.
+    pub(crate) fn acquire(&self) {
+        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
+        while *in_flight >= self.capacity {
+            in_flight = self.freed.wait(in_flight).expect("admission window poisoned");
+        }
+        *in_flight += 1;
+    }
+
+    /// Returns a slot and wakes one parked submitter.
+    pub(crate) fn release(&self) {
+        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
+        debug_assert!(*in_flight > 0, "release without acquire");
+        *in_flight -= 1;
+        drop(in_flight);
+        self.freed.notify_one();
+    }
+}
+
+/// Configures an [`AsyncSession`] before its threads spawn.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct AsyncSessionBuilder {
+    inner: SessionBuilder,
+    queue_depth: usize,
+}
+
+/// Default admission-window depth: deep enough to keep a handful of lanes
+/// busy with queued work, shallow enough that backpressure arrives before
+/// queues hide seconds of latency.
+pub const DEFAULT_QUEUE_DEPTH: usize = 16;
+
+impl AsyncSessionBuilder {
+    /// Number of persistent execution lanes of the underlying session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.inner = self.inner.lanes(lanes);
+        self
+    }
+
+    /// Capacity of the compiled-program cache (see
+    /// [`SessionBuilder::program_cache`]).
+    pub fn program_cache(mut self, capacity: usize) -> Self {
+        self.inner = self.inner.program_cache(capacity);
+        self
+    }
+
+    /// Overrides the classical-memory model of the underlying session.
+    pub fn memory_model(mut self, model: crate::MemoryModel) -> Self {
+        self.inner = self.inner.memory_model(model);
+        self
+    }
+
+    /// Maximum admitted-and-incomplete executions before
+    /// [`AsyncSession::try_submit`] answers [`SubmitError::Busy`]
+    /// (default [`DEFAULT_QUEUE_DEPTH`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` is zero.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "admission window needs at least one slot");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Spawns the underlying session and wraps it in the async front-end.
+    pub fn build(self) -> AsyncSession {
+        AsyncSession {
+            session: self.inner.build(),
+            admission: Arc::new(Admission::new(self.queue_depth)),
+        }
+    }
+}
+
+/// The async front-end: a warm [`Session`] behind a bounded admission
+/// window, speaking [`JobFuture`]s. See the [module docs](self) for the
+/// architecture and determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use oneperc::service::{block_on, AsyncSession};
+/// use oneperc::CompilerConfig;
+/// use oneperc_circuit::benchmarks;
+///
+/// let service = AsyncSession::new(CompilerConfig::for_qubits(4, 0.9, 1));
+/// let circuit = benchmarks::qaoa(4, 1);
+/// // Compiles once (content-addressed), executes per seed.
+/// let futures = service.sweep(&circuit, &[1, 2, 3]).unwrap();
+/// for future in futures {
+///     assert!(block_on(future).is_complete());
+/// }
+/// assert_eq!(service.cache_stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct AsyncSession {
+    session: Session,
+    admission: Arc<Admission>,
+}
+
+impl AsyncSession {
+    /// Builds a single-lane async session with default depth and cache
+    /// capacity (see [`AsyncSession::builder`] for the knobs).
+    pub fn new(config: CompilerConfig) -> Self {
+        Self::builder(config).build()
+    }
+
+    /// Starts configuring an async session.
+    pub fn builder(config: CompilerConfig) -> AsyncSessionBuilder {
+        AsyncSessionBuilder { inner: Session::builder(config), queue_depth: DEFAULT_QUEUE_DEPTH }
+    }
+
+    /// The warm session underneath (compile, synchronous batch execution,
+    /// lane/pool introspection).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompilerConfig {
+        self.session.config()
+    }
+
+    /// Admission-window capacity.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.capacity()
+    }
+
+    /// Executions currently admitted and not yet complete.
+    pub fn in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+
+    /// Counters of the compiled-program cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.session.cache_stats()
+    }
+
+    /// Offline pass through the program cache (see
+    /// [`Session::compile_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn compile_cached(&self, circuit: &Circuit) -> Result<Arc<CompiledProgram>, CompileError> {
+        self.session.compile_cached(circuit)
+    }
+
+    /// Non-blocking admission: claims a window slot and dispatches the
+    /// request to a lane, or refuses immediately when `queue_depth`
+    /// executions are already in flight. The returned future resolves when
+    /// the lane completes the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Busy`] when the admission window is full.
+    pub fn try_submit(&self, request: ExecutionRequest) -> Result<JobFuture, SubmitError> {
+        if !self.admission.try_acquire() {
+            return Err(SubmitError::Busy { capacity: self.admission.capacity() });
+        }
+        Ok(self.dispatch_admitted(request, None))
+    }
+
+    /// Blocking admission: parks until a window slot frees, then dispatches
+    /// like [`AsyncSession::try_submit`].
+    pub fn submit(&self, request: ExecutionRequest) -> JobFuture {
+        self.admission.acquire();
+        self.dispatch_admitted(request, None)
+    }
+
+    /// [`AsyncSession::try_submit`] from a circuit: resolves the program
+    /// through the content-addressed cache (compiling only on a miss),
+    /// then admits the `(program, seed)` execution. The resulting report
+    /// carries the cache counters observed at lookup time.
+    ///
+    /// Admission stays non-blocking, but the cache lookup is not free on a
+    /// *miss* — the offline pass runs (and is retained) before the window
+    /// check, so a later retry of a refused submission hits. Latency-bound
+    /// callers can [`AsyncSession::compile_cached`] ahead of time and use
+    /// [`AsyncSession::try_submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Busy`] when the admission window is full and
+    /// [`SubmitError::Compile`] when the offline pass fails (nothing is
+    /// admitted in either case).
+    pub fn try_submit_circuit(
+        &self,
+        circuit: &Circuit,
+        seed: u64,
+    ) -> Result<JobFuture, SubmitError> {
+        let (compiled, stats) = self.resolve(circuit)?;
+        if !self.admission.try_acquire() {
+            return Err(SubmitError::Busy { capacity: self.admission.capacity() });
+        }
+        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stats)))
+    }
+
+    /// Blocking-admission twin of [`AsyncSession::try_submit_circuit`],
+    /// with the offline failure surfaced as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn submit_circuit(&self, circuit: &Circuit, seed: u64) -> Result<JobFuture, CompileError> {
+        let (compiled, stats) = self.resolve(circuit)?;
+        self.admission.acquire();
+        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stats)))
+    }
+
+    /// Compile-once-sweep-many, async: one cache lookup, then one admitted
+    /// execution per seed (parking whenever the window is full — with
+    /// `queue_depth` below the sweep width this is the intended steady
+    /// state: lanes drain the window while submission refills it). Futures
+    /// are returned in seed order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn sweep(&self, circuit: &Circuit, seeds: &[u64]) -> Result<Vec<JobFuture>, CompileError> {
+        let (compiled, stats) = self.resolve(circuit)?;
+        Ok(seeds
+            .iter()
+            .map(|&seed| {
+                self.admission.acquire();
+                self.dispatch_admitted(
+                    ExecutionRequest::new(Arc::clone(&compiled), seed),
+                    Some(stats),
+                )
+            })
+            .collect())
+    }
+
+    /// Cache lookup plus the counter snapshot to stamp on the reports.
+    fn resolve(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(Arc<CompiledProgram>, CacheStats), CompileError> {
+        let compiled = self.session.compile_cached(circuit)?;
+        Ok((compiled, self.session.cache_stats()))
+    }
+
+    /// Dispatches an already-admitted request; the lane-side callback fills
+    /// the future's slot (stamping cache telemetry when present) and
+    /// releases the admission ticket. Release happens *before* the wake so
+    /// a woken submitter never observes a stale full window.
+    fn dispatch_admitted(
+        &self,
+        request: ExecutionRequest,
+        stats: Option<CacheStats>,
+    ) -> JobFuture {
+        let slot = Arc::new(JobSlot::default());
+        let lane_slot = Arc::clone(&slot);
+        let admission = Arc::clone(&self.admission);
+        let seed = request.seed;
+        self.session.submit_with(
+            request,
+            Box::new(move |outcome| {
+                let outcome = match (outcome, stats) {
+                    (Ok(outcome), Some(stats)) => Ok(outcome.with_cache_stats(stats)),
+                    (outcome, _) => outcome,
+                };
+                admission.release();
+                lane_slot.complete(outcome);
+            }),
+        );
+        JobFuture::new(slot, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::block_on;
+    use oneperc_circuit::benchmarks;
+
+    fn small_config(p: f64, seed: u64) -> CompilerConfig {
+        CompilerConfig::for_sensitivity(36, 3, p, seed)
+    }
+
+    #[test]
+    fn admission_window_counts_and_blocks() {
+        let admission = Admission::new(2);
+        assert_eq!(admission.capacity(), 2);
+        assert!(admission.try_acquire());
+        assert!(admission.try_acquire());
+        assert_eq!(admission.in_flight(), 2);
+        assert!(!admission.try_acquire(), "full window refuses");
+        admission.release();
+        assert!(admission.try_acquire(), "released slot is reusable");
+        admission.release();
+        admission.release();
+        assert_eq!(admission.in_flight(), 0);
+    }
+
+    #[test]
+    fn blocking_acquire_waits_for_release() {
+        let admission = Arc::new(Admission::new(1));
+        admission.acquire();
+        let contender = {
+            let admission = Arc::clone(&admission);
+            std::thread::spawn(move || {
+                admission.acquire(); // parks until the release below
+                admission.release();
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        admission.release();
+        contender.join().expect("contender acquired after release");
+        assert_eq!(admission.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_queue_depth_panics() {
+        let _ = AsyncSession::builder(small_config(0.9, 1)).queue_depth(0);
+    }
+
+    #[test]
+    fn async_submission_resolves_like_sync_execution() {
+        let config = small_config(0.85, 3);
+        let service = AsyncSession::new(config);
+        let circuit = benchmarks::qaoa(4, 2);
+        let compiled = service.compile_cached(&circuit).unwrap();
+
+        let future = service
+            .try_submit(ExecutionRequest::new(Arc::clone(&compiled), 7))
+            .expect("fresh window admits");
+        let outcome = block_on(future);
+        let sync = service.session().execute_shared(compiled, 7);
+        assert_eq!(outcome.report().deterministic(), sync.report().deterministic());
+        assert_eq!(service.in_flight(), 0, "completion released admission");
+    }
+
+    #[test]
+    fn circuit_submissions_share_one_compile() {
+        let service = AsyncSession::builder(small_config(0.85, 1)).lanes(2).build();
+        let circuit = benchmarks::qaoa(4, 2);
+        let futures: Vec<_> = (1..=6u64)
+            .map(|seed| service.submit_circuit(&circuit, seed).unwrap())
+            .collect();
+        for future in futures {
+            let outcome = block_on(future);
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.report().cache.misses, 1, "one compile for the batch");
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 5);
+    }
+
+    #[test]
+    fn futures_can_be_redeemed_in_any_order() {
+        let service = AsyncSession::builder(small_config(0.85, 2)).lanes(2).build();
+        let circuit = benchmarks::qft(4);
+        let mut futures = service.sweep(&circuit, &[4, 5, 6]).unwrap();
+        futures.reverse();
+        let mut seeds: Vec<u64> = Vec::new();
+        for future in futures {
+            seeds.push(future.seed());
+            assert!(block_on(future).is_complete());
+        }
+        assert_eq!(seeds, vec![6, 5, 4]);
+    }
+
+    #[test]
+    fn dropping_a_future_does_not_wedge_the_window() {
+        let service = AsyncSession::builder(small_config(0.85, 4)).queue_depth(1).build();
+        let circuit = benchmarks::qaoa(4, 2);
+        let compiled = service.compile_cached(&circuit).unwrap();
+        drop(service.submit(ExecutionRequest::new(Arc::clone(&compiled), 1)));
+        // The abandoned job still completes and releases its slot, so a
+        // blocking submit admits without external help.
+        let future = service.submit(ExecutionRequest::new(compiled, 2));
+        assert!(block_on(future).is_complete());
+    }
+
+    #[test]
+    fn mapping_failure_surfaces_through_submit_circuit() {
+        // An over-wide circuit on a tiny virtual hardware cannot map; both
+        // circuit-accepting entry points must report that as an error (the
+        // RPC shape: untrusted circuits never panic the serving thread).
+        let service = AsyncSession::new(CompilerConfig::for_sensitivity(36, 1, 0.85, 1));
+        let wide = benchmarks::qft(9);
+        let err = service.submit_circuit(&wide, 1);
+        assert!(matches!(err, Err(CompileError::Mapping(_))));
+        let err = service.try_submit_circuit(&wide, 1);
+        assert!(matches!(err, Err(super::SubmitError::Compile(CompileError::Mapping(_)))));
+        assert_eq!(service.in_flight(), 0, "failed compiles admit nothing");
+    }
+}

@@ -1,0 +1,294 @@
+//! Content-addressed LRU cache of compiled programs.
+//!
+//! The offline pass is a pure function of `(circuit, configuration)` —
+//! only the online pass consumes randomness — so a service sweeping many
+//! seeds over one circuit should compile exactly once. [`ProgramCache`]
+//! makes that automatic: programs are keyed by the combination of the
+//! circuit's [structural hash](oneperc_circuit::Circuit::structural_hash)
+//! and the configuration's [fingerprint](crate::CompilerConfig::fingerprint)
+//! (both stable 64-bit hashes, so keys are reproducible across processes),
+//! stored as `Arc<CompiledProgram>` so a hit is one atomic increment, and
+//! evicted least-recently-used once the configurable capacity fills.
+//!
+//! Lookups are **single-flight**: `get_or_try_insert_with` holds the cache
+//! lock across a miss's compile, so concurrent submitters of the same
+//! circuit wait for one compilation instead of racing to duplicate it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use oneperc_circuit::{Circuit, StableHasher};
+
+use crate::compiler::CompiledProgram;
+use crate::config::CompilerConfig;
+use crate::report::CacheStats;
+
+/// The content address of a compiled program: circuit structure × compiler
+/// configuration (seed excluded — see
+/// [`CompilerConfig::fingerprint`](crate::CompilerConfig::fingerprint)).
+pub fn program_key(config: &CompilerConfig, circuit: &Circuit) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(circuit.structural_hash());
+    h.write_u64(config.fingerprint());
+    h.finish()
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    program: Arc<CompiledProgram>,
+    /// Logical timestamp of the last lookup that touched this entry.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u64, CacheEntry>,
+    /// Monotone lookup counter driving the LRU order.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe, content-addressed cache of
+/// [`CompiledProgram`]s.
+///
+/// Owned by every [`Session`](crate::Session) (capacity set through
+/// [`SessionBuilder::program_cache`](crate::SessionBuilder::program_cache));
+/// the cached entry points — [`Session::compile_cached`](crate::Session::compile_cached),
+/// [`Session::sweep`](crate::Session::sweep),
+/// [`AsyncSession::submit_circuit`](crate::service::AsyncSession::submit_circuit)
+/// — all go through it. Capacity `0` disables caching: every lookup
+/// compiles, nothing is retained (misses are still counted so the
+/// disabled state is observable).
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ProgramCache {
+    /// Creates a cache retaining at most `capacity` programs.
+    pub fn new(capacity: usize) -> Self {
+        ProgramCache { capacity, state: Mutex::new(CacheState::default()) }
+    }
+
+    /// Maximum resident programs (`0` = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Programs currently resident.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("program cache poisoned").entries.len()
+    }
+
+    /// Returns `true` when no program is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("program cache poisoned");
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            entries: state.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every resident program (counters are preserved — they describe
+    /// lifetime traffic, not current residency).
+    pub fn clear(&self) {
+        self.state.lock().expect("program cache poisoned").entries.clear();
+    }
+
+    /// Looks up `key`, compiling via `compile` on a miss and retaining the
+    /// result (evicting the least-recently-used entry when full). Returns
+    /// the shared program and whether this lookup was a hit.
+    ///
+    /// The lock is held across `compile`, making concurrent lookups of the
+    /// same key single-flight: one submitter compiles, the rest wait and
+    /// hit. A failed compile inserts nothing and counts as a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever `compile` returns; the cache is unchanged apart
+    /// from the miss counter.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: u64,
+        compile: impl FnOnce() -> Result<CompiledProgram, E>,
+    ) -> Result<(Arc<CompiledProgram>, bool), E> {
+        let mut state = self.state.lock().expect("program cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.last_used = tick;
+            let program = Arc::clone(&entry.program);
+            state.hits += 1;
+            return Ok((program, true));
+        }
+        state.misses += 1;
+        let program = Arc::new(compile()?);
+        if self.capacity > 0 {
+            if state.entries.len() >= self.capacity {
+                // O(entries) LRU scan — capacities are small (a service
+                // holds a handful of distinct programs hot at a time).
+                if let Some(&lru) = state
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k)
+                {
+                    state.entries.remove(&lru);
+                    state.evictions += 1;
+                }
+            }
+            state
+                .entries
+                .insert(key, CacheEntry { program: Arc::clone(&program), last_used: tick });
+        }
+        Ok((program, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompilerConfig;
+    use oneperc_circuit::benchmarks;
+
+    fn config() -> CompilerConfig {
+        CompilerConfig::for_sensitivity(36, 3, 0.85, 1)
+    }
+
+    fn compile(config: &CompilerConfig, circuit: &Circuit) -> CompiledProgram {
+        crate::compiler::run_offline_pass(config, circuit).expect("offline pass succeeds")
+    }
+
+    #[test]
+    fn hit_returns_the_same_shared_program() {
+        let cfg = config();
+        let circuit = benchmarks::qaoa(4, 2);
+        let cache = ProgramCache::new(4);
+        let key = program_key(&cfg, &circuit);
+        let (first, hit1) = cache
+            .get_or_try_insert_with(key, || Ok::<_, ()>(compile(&cfg, &circuit)))
+            .unwrap();
+        let (second, hit2) = cache
+            .get_or_try_insert_with(key, || -> Result<_, ()> { panic!("hit must not recompile") })
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the identical allocation");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_capacity() {
+        let cfg = config();
+        let a = benchmarks::qaoa(4, 2);
+        let b = benchmarks::qft(4);
+        let cache = ProgramCache::new(1);
+        let key_a = program_key(&cfg, &a);
+        let key_b = program_key(&cfg, &b);
+        assert_ne!(key_a, key_b);
+
+        let ok = |circuit: &Circuit| Ok::<_, ()>(compile(&cfg, circuit));
+        cache.get_or_try_insert_with(key_a, || ok(&a)).unwrap(); // miss, resident: A
+        cache.get_or_try_insert_with(key_b, || ok(&b)).unwrap(); // miss, evicts A
+        cache.get_or_try_insert_with(key_a, || ok(&a)).unwrap(); // miss again, evicts B
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 3, 2));
+        assert_eq!(stats.entries, 1);
+        // The survivor is A: looking it up now hits.
+        let (_, hit) = cache.get_or_try_insert_with(key_a, || ok(&a)).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn lru_order_tracks_recency_not_insertion() {
+        let cfg = config();
+        let a = benchmarks::qaoa(4, 2);
+        let b = benchmarks::qft(4);
+        let c = benchmarks::rca(4);
+        let cache = ProgramCache::new(2);
+        let ok = |circuit: &Circuit| Ok::<_, ()>(compile(&cfg, circuit));
+        let (ka, kb, kc) =
+            (program_key(&cfg, &a), program_key(&cfg, &b), program_key(&cfg, &c));
+        cache.get_or_try_insert_with(ka, || ok(&a)).unwrap();
+        cache.get_or_try_insert_with(kb, || ok(&b)).unwrap();
+        // Touch A so B becomes the LRU entry, then insert C.
+        cache.get_or_try_insert_with(ka, || ok(&a)).unwrap();
+        cache.get_or_try_insert_with(kc, || ok(&c)).unwrap();
+        let (_, a_hit) = cache.get_or_try_insert_with(ka, || ok(&a)).unwrap();
+        assert!(a_hit, "recently touched entry survived");
+        let (_, b_hit) = cache.get_or_try_insert_with(kb, || ok(&b)).unwrap();
+        assert!(!b_hit, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cfg = config();
+        let circuit = benchmarks::qaoa(4, 2);
+        let cache = ProgramCache::new(0);
+        let key = program_key(&cfg, &circuit);
+        for _ in 0..3 {
+            let (_, hit) = cache
+                .get_or_try_insert_with(key, || Ok::<_, ()>(compile(&cfg, &circuit)))
+                .unwrap();
+            assert!(!hit);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.capacity, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn failed_compiles_insert_nothing() {
+        let cache = ProgramCache::new(4);
+        let err: Result<_, &str> = cache.get_or_try_insert_with(7, || Err("mapping failed"));
+        assert_eq!(err.unwrap_err(), "mapping failed");
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+    }
+
+    #[test]
+    fn seed_does_not_split_keys_but_knobs_do() {
+        let circuit = benchmarks::qaoa(4, 2);
+        let base = config();
+        assert_eq!(program_key(&base, &circuit), program_key(&base.with_seed(99), &circuit));
+        assert_ne!(
+            program_key(&base, &circuit),
+            program_key(&base.with_refresh_period(Some(7)), &circuit)
+        );
+        assert_ne!(
+            program_key(&base, &circuit),
+            program_key(&base, &benchmarks::qaoa(4, 3))
+        );
+    }
+
+    #[test]
+    fn clear_preserves_lifetime_counters() {
+        let cfg = config();
+        let circuit = benchmarks::qaoa(4, 2);
+        let cache = ProgramCache::new(4);
+        let key = program_key(&cfg, &circuit);
+        cache
+            .get_or_try_insert_with(key, || Ok::<_, ()>(compile(&cfg, &circuit)))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! [`JobFuture`]: a pending execution as a `std::future::Future`, plus a
+//! minimal thread-parking executor ([`block_on`]).
+//!
+//! The wiring is hand-rolled on std primitives only (consistent with the
+//! workspace's no-crates.io shim policy): a lane thread completes the
+//! shared slot and wakes whatever `Waker` the last poll registered; a
+//! synchronous caller can instead park on the built-in condvar via
+//! [`JobFuture::wait`]. No executor is assumed — the future works under
+//! [`block_on`], under any external runtime, or polled by hand.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::compiler::CompileError;
+use crate::report::ExecuteOutcome;
+
+/// Why a submission was refused; see
+/// [`AsyncSession::try_submit`](super::AsyncSession::try_submit).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The bounded admission window is full: `capacity` executions are
+    /// admitted and not yet complete. Retry after redeeming (or dropping)
+    /// an outstanding future, or use the blocking
+    /// [`AsyncSession::submit`](super::AsyncSession::submit).
+    Busy {
+        /// The admission capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The offline pass failed before anything was admitted (only the
+    /// circuit-accepting entry points produce this).
+    Compile(CompileError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy { capacity } => write!(
+                f,
+                "admission window full: {capacity} executions in flight; \
+                 retry after one completes"
+            ),
+            SubmitError::Compile(e) => write!(f, "submission failed to compile: {e}"),
+        }
+    }
+}
+
+// Like `CompileError`, the cause is inlined in `Display`; `source()` stays
+// `None` so error-chain reporters do not print it twice.
+impl std::error::Error for SubmitError {}
+
+impl From<CompileError> for SubmitError {
+    fn from(e: CompileError) -> Self {
+        SubmitError::Compile(e)
+    }
+}
+
+/// The slot a lane thread fills and a poller drains.
+#[derive(Debug, Default)]
+struct JobState {
+    outcome: Option<Result<ExecuteOutcome, String>>,
+    /// Waker of the most recent poll, if the job was still pending then.
+    waker: Option<Waker>,
+}
+
+/// Completion slot shared between the lane (producer) and the future
+/// (consumer).
+#[derive(Debug, Default)]
+pub(crate) struct JobSlot {
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    /// Fills the slot and wakes both kinds of waiters (registered `Waker`
+    /// and condvar parkers). Called exactly once, from the lane thread.
+    pub(crate) fn complete(&self, outcome: Result<ExecuteOutcome, String>) {
+        let waker = {
+            let mut state = self.state.lock().expect("job slot poisoned");
+            debug_assert!(state.outcome.is_none(), "a job completes exactly once");
+            state.outcome = Some(outcome);
+            self.done.notify_all();
+            state.waker.take()
+        };
+        // Wake outside the lock: the woken task may poll immediately.
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// A pending [`AsyncSession`](super::AsyncSession) execution.
+///
+/// Implements [`Future`] — `.await` it under any executor (or the built-in
+/// [`block_on`]) — and offers the synchronous [`JobFuture::wait`] for
+/// callers without one. Dropping the future does not cancel the execution;
+/// the admitted job runs to completion and its admission slot is released
+/// either way.
+///
+/// # Panics
+///
+/// Polling (or waiting on) a job whose execution panicked re-raises the
+/// relayed panic message, mirroring
+/// [`JobHandle::wait`](crate::JobHandle::wait).
+#[derive(Debug)]
+#[must_use = "a submitted job does its work regardless, but only polling the future observes it"]
+pub struct JobFuture {
+    slot: Arc<JobSlot>,
+    seed: u64,
+}
+
+impl JobFuture {
+    pub(crate) fn new(slot: Arc<JobSlot>, seed: u64) -> Self {
+        JobFuture { slot, seed }
+    }
+
+    /// The seed of the submitted request.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns `true` once the outcome is ready (a subsequent poll or
+    /// [`JobFuture::wait`] will not block).
+    pub fn is_ready(&self) -> bool {
+        self.slot.state.lock().expect("job slot poisoned").outcome.is_some()
+    }
+
+    /// Synchronous redemption: parks the calling thread until the lane
+    /// completes the job. The executor-free twin of `.await`.
+    pub fn wait(self) -> ExecuteOutcome {
+        let mut state = self.slot.state.lock().expect("job slot poisoned");
+        while state.outcome.is_none() {
+            state = self.slot.done.wait(state).expect("job slot poisoned");
+        }
+        resolve(state.outcome.take().expect("checked above"))
+    }
+}
+
+fn resolve(outcome: Result<ExecuteOutcome, String>) -> ExecuteOutcome {
+    match outcome {
+        Ok(outcome) => outcome,
+        Err(message) => panic!("async session execution panicked: {message}"),
+    }
+}
+
+impl Future for JobFuture {
+    type Output = ExecuteOutcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.slot.state.lock().expect("job slot poisoned");
+        if let Some(outcome) = state.outcome.take() {
+            return Poll::Ready(resolve(outcome));
+        }
+        // Keep exactly one registered waker: replace a stale one, skip the
+        // clone when the current task re-polls.
+        match &state.waker {
+            Some(waker) if waker.will_wake(cx.waker()) => {}
+            _ => state.waker = Some(cx.waker().clone()),
+        }
+        Poll::Pending
+    }
+}
+
+/// Wakes a parked thread; the entire executor behind [`block_on`].
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives any future to completion on the calling thread: poll, park until
+/// woken, repeat. A deliberately minimal hand-rolled executor — enough to
+/// consume [`JobFuture`]s (or `async` blocks combining them) without an
+/// async runtime dependency.
+///
+/// # Example
+///
+/// ```
+/// use oneperc::service::block_on;
+///
+/// assert_eq!(block_on(async { 2 + 2 }), 4);
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = std::pin::pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            // A wake between the poll and this park turns the park into a
+            // no-op (parking consumes the token), so no wakeup is lost.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn dummy_outcome() -> ExecuteOutcome {
+        ExecuteOutcome::Complete(crate::report::ExecutionReport {
+            rsl_consumed: 42,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn block_on_drives_a_plain_future() {
+        assert_eq!(block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn future_resolves_after_cross_thread_completion() {
+        let slot = Arc::new(JobSlot::default());
+        let future = JobFuture::new(Arc::clone(&slot), 5);
+        assert!(!future.is_ready());
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.complete(Ok(dummy_outcome()));
+        });
+        let outcome = block_on(future);
+        assert_eq!(outcome.report().rsl_consumed, 42);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn already_completed_future_is_ready_immediately() {
+        let slot = Arc::new(JobSlot::default());
+        slot.complete(Ok(dummy_outcome()));
+        let future = JobFuture::new(slot, 9);
+        assert!(future.is_ready());
+        assert_eq!(future.seed(), 9);
+        assert_eq!(block_on(future).report().rsl_consumed, 42);
+    }
+
+    #[test]
+    fn wait_parks_until_completion() {
+        let slot = Arc::new(JobSlot::default());
+        let future = JobFuture::new(Arc::clone(&slot), 1);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.complete(Ok(dummy_outcome()));
+        });
+        assert_eq!(future.wait().report().rsl_consumed, 42);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn panicked_execution_is_relayed_through_poll() {
+        let slot = Arc::new(JobSlot::default());
+        slot.complete(Err("boom".to_string()));
+        let future = JobFuture::new(slot, 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| block_on(future)))
+            .expect_err("relayed panic");
+        let message = oneperc_percolation::panic_message(err);
+        assert!(message.contains("async session execution panicked"));
+        assert!(message.contains("boom"));
+    }
+
+    #[test]
+    fn submit_error_formats_and_boxes() {
+        let err = SubmitError::Busy { capacity: 3 };
+        assert!(err.to_string().contains("3 executions in flight"));
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("admission window full"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The OnePerc service layer: async admission and content-addressed
+//! compilation over warm [`Session`](crate::Session)s.
+//!
+//! The paper splits compilation into a deterministic **offline pass**
+//! (circuit → program graph → FlexLattice IR → instructions) and a
+//! randomness-consuming **online pass** (stochastic fusions → percolation →
+//! renormalization). A service sweeping many seeds therefore has two
+//! structural redundancies the raw session API leaves on the table:
+//!
+//! 1. **Repeated compilation.** The offline artifact is a pure function of
+//!    `(circuit, configuration)` — seed excluded — yet every call that
+//!    starts from a circuit recompiles it. [`ProgramCache`] removes this: a
+//!    bounded LRU keyed by the circuit's
+//!    [structural hash](oneperc_circuit::Circuit::structural_hash) combined
+//!    with the configuration's
+//!    [fingerprint](crate::CompilerConfig::fingerprint), both stable 64-bit
+//!    hashes. Compile-once-sweep-many becomes automatic for
+//!    [`Session::sweep`](crate::Session::sweep) and every circuit-accepting
+//!    entry point here; hit/miss/eviction counters surface through
+//!    [`CacheStats`](crate::CacheStats) on the
+//!    [`ExecutionReport`](crate::ExecutionReport).
+//! 2. **Blocking admission.** `Session::submit` hands jobs to unbounded
+//!    lane queues and redeems them by parking a thread. [`AsyncSession`]
+//!    replaces that with a bounded admission window —
+//!    [`try_submit`](AsyncSession::try_submit) refuses with
+//!    [`SubmitError::Busy`] instead of queueing without limit — and returns
+//!    [`JobFuture`]s: plain `std::future::Future`s wired through
+//!    hand-rolled `Waker` plumbing (std only, no runtime dependency),
+//!    consumable by any executor, by the built-in [`block_on`], or
+//!    synchronously via [`JobFuture::wait`].
+//!
+//! Determinism remains contractual end to end: per `(config, circuit,
+//! seed)` the async path's reports are byte-identical — wall-clock and
+//! cache telemetry aside, i.e. under
+//! [`ExecutionReport::deterministic`](crate::ExecutionReport::deterministic)
+//! — to the synchronous batch path's, whatever the admission capacity,
+//! cache state or poll order.
+//!
+//! # Example
+//!
+//! ```
+//! use oneperc::service::{block_on, AsyncSession};
+//! use oneperc::CompilerConfig;
+//! use oneperc_circuit::benchmarks;
+//!
+//! let service = AsyncSession::builder(CompilerConfig::for_qubits(4, 0.9, 1))
+//!     .lanes(2)
+//!     .queue_depth(8)
+//!     .build();
+//! let circuit = benchmarks::qaoa(4, 1);
+//!
+//! // One compile, four executions, futures redeemed in any order.
+//! let futures = service.sweep(&circuit, &[1, 2, 3, 4]).unwrap();
+//! for future in futures.into_iter().rev() {
+//!     assert!(block_on(future).is_complete());
+//! }
+//! let stats = service.cache_stats();
+//! assert_eq!(stats.misses, 1);
+//! ```
+
+pub(crate) mod async_session;
+pub(crate) mod cache;
+pub(crate) mod future;
+
+pub use async_session::{AsyncSession, AsyncSessionBuilder, DEFAULT_QUEUE_DEPTH};
+pub use cache::{program_key, ProgramCache};
+pub use future::{block_on, JobFuture, SubmitError};

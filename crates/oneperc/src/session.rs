@@ -54,7 +54,8 @@ use crate::compiler::{
 };
 use crate::config::CompilerConfig;
 use crate::memory::MemoryModel;
-use crate::report::{ExecuteOutcome, ExecutionReport};
+use crate::report::{CacheStats, ExecuteOutcome, ExecutionReport};
+use crate::service::cache::{program_key, ProgramCache};
 
 /// One unit of work for a session: execute a compiled program with a seed.
 ///
@@ -107,11 +108,39 @@ impl JobHandle {
     }
 }
 
+/// How a lane delivers a finished job: the synchronous handle path parks a
+/// channel receiver, the async path runs a completion callback (which fills
+/// a [`JobFuture`](crate::service::JobFuture) slot and releases its
+/// admission ticket) right on the lane thread.
+pub(crate) enum Completion {
+    Channel(Sender<Result<ExecuteOutcome, String>>),
+    Callback(Box<dyn FnOnce(Result<ExecuteOutcome, String>) + Send>),
+}
+
+impl Completion {
+    fn deliver(self, outcome: Result<ExecuteOutcome, String>) {
+        match self {
+            // A dropped handle just means the caller lost interest.
+            Completion::Channel(reply) => drop(reply.send(outcome)),
+            Completion::Callback(callback) => callback(outcome),
+        }
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Channel(_) => f.write_str("Completion::Channel"),
+            Completion::Callback(_) => f.write_str("Completion::Callback"),
+        }
+    }
+}
+
 /// Message from the session facade to a lane thread.
 struct LaneRequest {
     compiled: Arc<CompiledProgram>,
     seed: u64,
-    reply: Sender<Result<ExecuteOutcome, String>>,
+    completion: Completion,
 }
 
 /// One persistent execution lane: a worker thread owning a warm engine.
@@ -161,8 +190,7 @@ impl Lane {
                             Err(panic_message(payload))
                         }
                     };
-                    // A dropped handle just means the caller lost interest.
-                    let _ = request.reply.send(reply);
+                    request.completion.deliver(reply);
                 }
             })
             .expect("spawn session lane thread");
@@ -186,7 +214,13 @@ pub struct SessionBuilder {
     config: CompilerConfig,
     lanes: usize,
     memory_model: MemoryModel,
+    program_cache: usize,
 }
+
+/// Default capacity of a session's compiled-program cache. Programs are a
+/// few MiB at the evaluation's sizes, and a service rarely keeps more than
+/// a handful of distinct `(circuit, config)` pairs hot at once.
+pub const DEFAULT_PROGRAM_CACHE_CAPACITY: usize = 16;
 
 impl SessionBuilder {
     /// Number of persistent execution lanes (warm engines). More lanes run
@@ -208,6 +242,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Capacity of the content-addressed compiled-program cache serving
+    /// [`Session::compile_cached`], [`Session::sweep`] and the async
+    /// front-end (default [`DEFAULT_PROGRAM_CACHE_CAPACITY`]). `0` disables
+    /// caching: every cached entry point compiles afresh.
+    pub fn program_cache(mut self, capacity: usize) -> Self {
+        self.program_cache = capacity;
+        self
+    }
+
     /// Spawns the session: the shared worker pool (when
     /// `config.renorm_workers > 0`) and one warm engine per lane.
     pub fn build(self) -> Session {
@@ -222,6 +265,7 @@ impl SessionBuilder {
         Session {
             config: self.config,
             memory_model: self.memory_model,
+            cache: ProgramCache::new(self.program_cache),
             lanes,
             next_lane: AtomicUsize::new(0),
             jobs_submitted: AtomicU64::new(0),
@@ -245,6 +289,10 @@ impl SessionBuilder {
 pub struct Session {
     config: CompilerConfig,
     memory_model: MemoryModel,
+    /// Content-addressed compiled-program cache behind the cached entry
+    /// points ([`Session::compile_cached`], [`Session::sweep`], the async
+    /// front-end).
+    cache: ProgramCache,
     /// Declared before `pool`: lanes (and their pool clients) must wind
     /// down before the shared pool they submit to.
     lanes: Vec<Lane>,
@@ -265,7 +313,12 @@ impl Session {
 
     /// Starts configuring a session.
     pub fn builder(config: CompilerConfig) -> SessionBuilder {
-        SessionBuilder { config, lanes: 1, memory_model: MemoryModel::default() }
+        SessionBuilder {
+            config,
+            lanes: 1,
+            memory_model: MemoryModel::default(),
+            program_cache: DEFAULT_PROGRAM_CACHE_CAPACITY,
+        }
     }
 
     /// The configuration in use.
@@ -313,18 +366,35 @@ impl Session {
     /// [`Session::execute_batch`]; use it directly to overlap submission
     /// with other work or to interleave programs.
     pub fn submit(&self, request: ExecutionRequest) -> JobHandle {
+        let (reply, reply_rx) = channel();
+        let seed = request.seed;
+        self.dispatch(request, Completion::Channel(reply));
+        JobHandle { reply_rx, seed }
+    }
+
+    /// The callback twin of [`Session::submit`]: the lane runs `completion`
+    /// (on the lane thread) when the job finishes instead of parking a
+    /// channel. This is the dispatch primitive under the async front-end —
+    /// the callback fills a `JobFuture` slot and releases its admission
+    /// ticket.
+    pub(crate) fn submit_with(
+        &self,
+        request: ExecutionRequest,
+        completion: Box<dyn FnOnce(Result<ExecuteOutcome, String>) + Send>,
+    ) {
+        self.dispatch(request, Completion::Callback(completion));
+    }
+
+    fn dispatch(&self, request: ExecutionRequest, completion: Completion) {
         let lane_index =
             self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
         self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        let (reply, reply_rx) = channel();
-        let seed = request.seed;
         self.lanes[lane_index]
             .request_tx
             .as_ref()
             .expect("session is live")
-            .send(LaneRequest { compiled: request.compiled, seed, reply })
+            .send(LaneRequest { compiled: request.compiled, seed: request.seed, completion })
             .expect("session lane hung up");
-        JobHandle { reply_rx, seed }
     }
 
     /// Online pass on the warm session: executes a compiled program with
@@ -361,15 +431,80 @@ impl Session {
     /// sequential run — regardless of batch size, lane count, worker count
     /// or completion order.
     pub fn execute_batch(&self, compiled: &CompiledProgram, seeds: &[u64]) -> Vec<ExecuteOutcome> {
-        let shared = Arc::new(compiled.clone());
+        self.execute_batch_shared(Arc::new(compiled.clone()), seeds)
+    }
+
+    /// [`Session::execute_batch`] without the upfront program clone.
+    pub fn execute_batch_shared(
+        &self,
+        compiled: Arc<CompiledProgram>,
+        seeds: &[u64],
+    ) -> Vec<ExecuteOutcome> {
         let handles: Vec<JobHandle> = seeds
             .iter()
-            .map(|&seed| self.submit(ExecutionRequest::new(Arc::clone(&shared), seed)))
+            .map(|&seed| self.submit(ExecutionRequest::new(Arc::clone(&compiled), seed)))
             .collect();
         handles.into_iter().map(JobHandle::wait).collect()
     }
 
+    /// Offline pass through the session's content-addressed program cache:
+    /// returns the cached artifact when this `(circuit, config)` pair — by
+    /// [structural hash](oneperc_circuit::Circuit::structural_hash) and
+    /// [fingerprint](CompilerConfig::fingerprint), seed excluded — was
+    /// compiled before, and compiles (then retains, evicting LRU) on a
+    /// miss. Concurrent lookups of the same key are single-flight: one
+    /// compiles, the rest wait and share the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails
+    /// (nothing is retained).
+    pub fn compile_cached(&self, circuit: &Circuit) -> Result<Arc<CompiledProgram>, CompileError> {
+        let key = program_key(&self.config, circuit);
+        let (program, _) =
+            self.cache.get_or_try_insert_with(key, || run_offline_pass(&self.config, circuit))?;
+        Ok(program)
+    }
+
+    /// Counters of the compiled-program cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The compiled-program cache itself (capacity inspection, manual
+    /// `clear`).
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Compile-once-sweep-many in one call: resolves the circuit through
+    /// the program cache ([`Session::compile_cached`]), runs one execution
+    /// per seed through the warm lanes, and stamps every report with the
+    /// cache counters ([`ExecutionReport::cache`](crate::ExecutionReport))
+    /// observed at compile time. Sweeping the same circuit again skips the
+    /// offline pass entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails.
+    pub fn sweep(
+        &self,
+        circuit: &Circuit,
+        seeds: &[u64],
+    ) -> Result<Vec<ExecuteOutcome>, CompileError> {
+        let compiled = self.compile_cached(circuit)?;
+        let stats = self.cache.stats();
+        Ok(self
+            .execute_batch_shared(compiled, seeds)
+            .into_iter()
+            .map(|outcome| outcome.with_cache_stats(stats))
+            .collect())
+    }
+
     /// Convenience: compile once, then sweep seeds through the result.
+    ///
+    /// Since the program cache landed this routes through
+    /// [`Session::sweep`]; the spelling remains for existing callers.
     ///
     /// # Errors
     ///
@@ -379,8 +514,7 @@ impl Session {
         circuit: &Circuit,
         seeds: &[u64],
     ) -> Result<Vec<ExecuteOutcome>, CompileError> {
-        let compiled = self.compile(circuit)?;
-        Ok(self.execute_batch(&compiled, seeds))
+        self.sweep(circuit, seeds)
     }
 }
 

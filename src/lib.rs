@@ -16,7 +16,8 @@
 //! * [`mapper`] — the offline mapping pass.
 //! * [`oneq`] — the OneQ baseline with repeat-until-success execution.
 //! * [`compiler`] — the OnePerc compiler service (sessions, batched
-//!   multi-seed execution) and its metrics.
+//!   multi-seed execution, the async front-end and content-addressed
+//!   compile cache under `compiler::service`) and its metrics.
 //!
 //! # Example
 //!
