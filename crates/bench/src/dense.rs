@@ -1,0 +1,505 @@
+//! The pre-bit-packed, `Vec<bool>` layer representation plus a reference
+//! layer generator, preserved as the A/B baseline for the PR-5 word
+//! refactor (next to the hash-lattice baseline in [`crate::baseline`]).
+//!
+//! [`DenseBoolLayer`] stores the four per-site planes exactly as
+//! `PhysicalLayer` did before PR 5: one byte per site. The
+//! [`DenseReferenceEngine`] replays the fusion strategy of
+//! `FusionEngine::generate_layer_into` — the same `FusionSampler` calls in
+//! the same order, including the word-batched in-plane draws and the
+//! end-of-phase flush — but writes through per-site boolean stores. It
+//! exists for two purposes:
+//!
+//! * the `layer_equivalence` property tests assert the bit-packed engine
+//!   produces **identical** layers site for site (and counter for counter)
+//!   across lattice sizes, merging factors, probability sweeps and
+//!   `reset_blank` reuse;
+//! * the `bench_pr5` binary measures the words-vs-bytes layer-generation
+//!   ratio recorded in `BENCH_PR5.json`. Its "bytes" contestant is
+//!   [`DenseScalarEngine`], the *verbatim pre-PR-5 generator* — per-site
+//!   boolean planes **and** one scalar per-attempt `sample()` draw (one
+//!   RNG word plus an f64 compare per attempt) — so the ratio captures
+//!   everything PR 5 replaced, bit-sliced draw batching included.
+//!
+//! Do not "optimize" this module — matching the old representation is the
+//! point.
+
+use oneperc_hardware::{FusionSampler, HardwareConfig, PhysicalLayer};
+
+/// One random physical layer in the dense one-`bool`-per-site
+/// representation (the pre-PR-5 `PhysicalLayer` storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBoolLayer {
+    /// Sites along the x axis.
+    pub width: usize,
+    /// Sites along the y axis.
+    pub height: usize,
+    site_present: Vec<bool>,
+    bond_east: Vec<bool>,
+    bond_north: Vec<bool>,
+    temporal_port: Vec<bool>,
+    /// Raw RSLs consumed to produce this merged layer.
+    pub raw_rsl_consumed: usize,
+    /// Fusions attempted while producing this layer.
+    pub fusions_attempted: u64,
+    /// Fusions that succeeded while producing this layer.
+    pub fusions_succeeded: u64,
+}
+
+impl DenseBoolLayer {
+    /// Creates an empty layer (all sites present, no bonds, all ports
+    /// available).
+    pub fn blank(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "layer dimensions must be positive");
+        DenseBoolLayer {
+            width,
+            height,
+            site_present: vec![true; width * height],
+            bond_east: vec![false; width * height],
+            bond_north: vec![false; width * height],
+            temporal_port: vec![true; width * height],
+            raw_rsl_consumed: 1,
+            fusions_attempted: 0,
+            fusions_succeeded: 0,
+        }
+    }
+
+    /// Resets to the blank state of the given dimensions, reusing the
+    /// allocations (the dense twin of `PhysicalLayer::reset_blank`).
+    pub fn reset_blank(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "layer dimensions must be positive");
+        let n = width * height;
+        self.width = width;
+        self.height = height;
+        self.site_present.clear();
+        self.site_present.resize(n, true);
+        self.bond_east.clear();
+        self.bond_east.resize(n, false);
+        self.bond_north.clear();
+        self.bond_north.resize(n, false);
+        self.temporal_port.clear();
+        self.temporal_port.resize(n, true);
+        self.raw_rsl_consumed = 1;
+        self.fusions_attempted = 0;
+        self.fusions_succeeded = 0;
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// Whether the site at `(x, y)` holds a usable resource state.
+    pub fn site_present(&self, x: usize, y: usize) -> bool {
+        self.site_present[self.idx(x, y)]
+    }
+
+    /// Whether the bond from `(x, y)` to `(x + 1, y)` is present.
+    pub fn bond_east(&self, x: usize, y: usize) -> bool {
+        x + 1 < self.width && self.bond_east[self.idx(x, y)]
+    }
+
+    /// Whether the bond from `(x, y)` to `(x, y + 1)` is present.
+    pub fn bond_north(&self, x: usize, y: usize) -> bool {
+        y + 1 < self.height && self.bond_north[self.idx(x, y)]
+    }
+
+    /// Whether the site at `(x, y)` retains a time-like fusion photon.
+    pub fn temporal_port(&self, x: usize, y: usize) -> bool {
+        self.temporal_port[self.idx(x, y)]
+    }
+
+    /// Number of present bonds, counted the naive byte-walk way.
+    pub fn bond_count(&self) -> usize {
+        let mut count = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.bond_east(x, y) {
+                    count += 1;
+                }
+                if self.bond_north(x, y) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of present sites, counted the naive byte-walk way.
+    pub fn present_site_count(&self) -> usize {
+        self.site_present.iter().filter(|&&b| b).count()
+    }
+
+    /// Compares this dense layer against a bit-packed layer site for site
+    /// (all four planes) and counter for counter, returning the first
+    /// mismatch as a message.
+    pub fn mismatch(&self, packed: &PhysicalLayer) -> Option<String> {
+        if self.width != packed.width || self.height != packed.height {
+            return Some(format!(
+                "dimensions differ: dense {}x{}, packed {}x{}",
+                self.width, self.height, packed.width, packed.height
+            ));
+        }
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let checks = [
+                    ("site", self.site_present(x, y), packed.site_present(x, y)),
+                    ("east", self.bond_east(x, y), packed.bond_east(x, y)),
+                    ("north", self.bond_north(x, y), packed.bond_north(x, y)),
+                    ("port", self.temporal_port(x, y), packed.temporal_port(x, y)),
+                ];
+                for (plane, dense, bits) in checks {
+                    if dense != bits {
+                        return Some(format!(
+                            "{plane} plane differs at ({x}, {y}): dense {dense}, packed {bits}"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.raw_rsl_consumed != packed.raw_rsl_consumed {
+            return Some(format!(
+                "raw_rsl_consumed differs: dense {}, packed {}",
+                self.raw_rsl_consumed, packed.raw_rsl_consumed
+            ));
+        }
+        if self.fusions_attempted != packed.fusions_attempted
+            || self.fusions_succeeded != packed.fusions_succeeded
+        {
+            return Some(format!(
+                "fusion counters differ: dense {}/{}, packed {}/{}",
+                self.fusions_attempted,
+                self.fusions_succeeded,
+                packed.fusions_attempted,
+                packed.fusions_succeeded
+            ));
+        }
+        None
+    }
+}
+
+/// Reference layer generator: the fusion strategy of
+/// `FusionEngine::generate_layer_into`, transcribed onto the dense
+/// representation. Draw-for-draw identical sampler usage — merging phase
+/// and retries on the per-attempt stream, in-plane bonds on the
+/// word-batched stream, one `flush_batch` at the end of the bond phase —
+/// so a given seed must yield exactly the layer the bit-packed engine
+/// yields.
+#[derive(Debug, Clone)]
+pub struct DenseReferenceEngine {
+    config: HardwareConfig,
+    sampler: FusionSampler,
+    raw_rsl_consumed: u64,
+    site_leaves: Vec<usize>,
+    inplane_budget: Vec<usize>,
+}
+
+impl DenseReferenceEngine {
+    /// Creates a reference engine for the given configuration and seed
+    /// (mirrors `FusionEngine::new`).
+    pub fn new(config: HardwareConfig, seed: u64) -> Self {
+        DenseReferenceEngine {
+            config,
+            sampler: FusionSampler::new(config.effective_fusion_prob(), seed),
+            raw_rsl_consumed: 0,
+            site_leaves: Vec::new(),
+            inplane_budget: Vec::new(),
+        }
+    }
+
+    /// Total raw RSLs consumed so far.
+    pub fn raw_rsl_consumed(&self) -> u64 {
+        self.raw_rsl_consumed
+    }
+
+    /// Accumulated fusion-attempt statistics.
+    pub fn fusion_stats(&self) -> oneperc_hardware::FusionStats {
+        self.sampler.stats()
+    }
+
+    /// Executes the fusion strategy for one effective layer into `layer`.
+    pub fn generate_layer_into(&mut self, layer: &mut DenseBoolLayer) {
+        let cfg = self.config;
+        let n = cfg.rsl_size;
+        let m = cfg.merging_factor();
+        let base_degree = cfg.resource_state_degree();
+        let stats_before = self.sampler.stats();
+
+        layer.reset_blank(n, n);
+        layer.raw_rsl_consumed = m;
+        self.raw_rsl_consumed += m as u64;
+
+        // Phase 1: root-leaf merging on the per-attempt stream.
+        self.site_leaves.clear();
+        for _ in 0..(n * n) {
+            let mut cluster = base_degree;
+            for _ in 0..(m - 1) {
+                let mut incoming = base_degree;
+                loop {
+                    if cluster == 0 || incoming == 0 {
+                        break;
+                    }
+                    if self.sampler.sample().is_success() {
+                        cluster = cluster - 1 + incoming;
+                        break;
+                    }
+                    cluster -= 1;
+                    incoming -= 1;
+                }
+            }
+            self.site_leaves.push(cluster);
+        }
+
+        // Temporal-port reservation and presence, one boolean store each.
+        self.inplane_budget.clear();
+        for (i, &leaves) in self.site_leaves.iter().enumerate() {
+            let forward = leaves >= 1;
+            layer.temporal_port[i] = forward;
+            layer.site_present[i] = leaves >= 2;
+            self.inplane_budget.push(leaves - usize::from(forward));
+        }
+
+        // Phase 2: in-plane bonds on the word-batched stream, stored one
+        // boolean at a time.
+        let idx = |x: usize, y: usize| y * n + x;
+        let remaining_bonds = |x: usize, y: usize| -> usize {
+            let mut c = 0;
+            if x + 1 < n {
+                c += 1;
+            }
+            if y + 1 < n {
+                c += 1;
+            }
+            c
+        };
+        for y in 0..n {
+            for x in 0..n {
+                for east in [true, false] {
+                    let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
+                    if bx >= n || by >= n {
+                        continue;
+                    }
+                    let a = idx(x, y);
+                    let b = idx(bx, by);
+                    if !layer.site_present[a] || !layer.site_present[b] {
+                        continue;
+                    }
+                    if self.inplane_budget[a] == 0 || self.inplane_budget[b] == 0 {
+                        continue;
+                    }
+                    self.inplane_budget[a] -= 1;
+                    self.inplane_budget[b] -= 1;
+                    let mut ok = self.sampler.sample_batched().is_success();
+                    if !ok {
+                        let spare_a = self.inplane_budget[a] > remaining_bonds(x, y);
+                        let spare_b = self.inplane_budget[b] > remaining_bonds(bx, by);
+                        if spare_a && spare_b {
+                            self.inplane_budget[a] -= 1;
+                            self.inplane_budget[b] -= 1;
+                            ok = self.sampler.sample_batched().is_success();
+                        }
+                    }
+                    if ok {
+                        if east {
+                            layer.bond_east[a] = true;
+                        } else {
+                            layer.bond_north[a] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.sampler.flush_batch();
+
+        let stats_after = self.sampler.stats();
+        layer.fusions_attempted = stats_after.attempted - stats_before.attempted;
+        layer.fusions_succeeded = stats_after.succeeded - stats_before.succeeded;
+    }
+}
+
+/// The *verbatim pre-PR-5 layer generator*: dense boolean planes and one
+/// scalar per-attempt [`FusionSampler::sample`] draw per fusion, exactly
+/// as `FusionEngine::generate_layer_into` worked before the word refactor
+/// (including the in-plane presence checks the budget test has since
+/// subsumed). Its stochastic stream therefore differs from the batched
+/// engines — it is the timing baseline for `bench_pr5`, not an
+/// equivalence reference.
+#[derive(Debug, Clone)]
+pub struct DenseScalarEngine {
+    config: HardwareConfig,
+    sampler: FusionSampler,
+    site_leaves: Vec<usize>,
+    inplane_budget: Vec<usize>,
+}
+
+impl DenseScalarEngine {
+    /// Creates a pre-PR-5-style engine for the given configuration and
+    /// seed.
+    pub fn new(config: HardwareConfig, seed: u64) -> Self {
+        DenseScalarEngine {
+            config,
+            sampler: FusionSampler::new(config.effective_fusion_prob(), seed),
+            site_leaves: Vec::new(),
+            inplane_budget: Vec::new(),
+        }
+    }
+
+    /// Accumulated fusion-attempt statistics.
+    pub fn fusion_stats(&self) -> oneperc_hardware::FusionStats {
+        self.sampler.stats()
+    }
+
+    /// Executes the pre-PR-5 fusion strategy for one effective layer.
+    pub fn generate_layer_into(&mut self, layer: &mut DenseBoolLayer) {
+        let cfg = self.config;
+        let n = cfg.rsl_size;
+        let m = cfg.merging_factor();
+        let base_degree = cfg.resource_state_degree();
+        let stats_before = self.sampler.stats();
+
+        layer.reset_blank(n, n);
+        layer.raw_rsl_consumed = m;
+
+        self.site_leaves.clear();
+        for _ in 0..(n * n) {
+            let mut cluster = base_degree;
+            for _ in 0..(m - 1) {
+                let mut incoming = base_degree;
+                loop {
+                    if cluster == 0 || incoming == 0 {
+                        break;
+                    }
+                    if self.sampler.sample().is_success() {
+                        cluster = cluster - 1 + incoming;
+                        break;
+                    }
+                    cluster -= 1;
+                    incoming -= 1;
+                }
+            }
+            self.site_leaves.push(cluster);
+        }
+
+        self.inplane_budget.clear();
+        for (i, &leaves) in self.site_leaves.iter().enumerate() {
+            let mut remaining = leaves;
+            let forward = remaining >= 1;
+            if forward {
+                remaining -= 1;
+            }
+            layer.temporal_port[i] = forward;
+            layer.site_present[i] = leaves >= 2;
+            self.inplane_budget.push(remaining);
+        }
+
+        let idx = |x: usize, y: usize| y * n + x;
+        let remaining_bonds = |x: usize, y: usize| -> usize {
+            let mut c = 0;
+            if x + 1 < n {
+                c += 1;
+            }
+            if y + 1 < n {
+                c += 1;
+            }
+            c
+        };
+        for y in 0..n {
+            for x in 0..n {
+                for east in [true, false] {
+                    let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
+                    if bx >= n || by >= n {
+                        continue;
+                    }
+                    let a = idx(x, y);
+                    let b = idx(bx, by);
+                    if !layer.site_present[a] || !layer.site_present[b] {
+                        continue;
+                    }
+                    if self.inplane_budget[a] == 0 || self.inplane_budget[b] == 0 {
+                        continue;
+                    }
+                    self.inplane_budget[a] -= 1;
+                    self.inplane_budget[b] -= 1;
+                    let mut ok = self.sampler.sample().is_success();
+                    if !ok {
+                        let spare_a = self.inplane_budget[a] > remaining_bonds(x, y);
+                        let spare_b = self.inplane_budget[b] > remaining_bonds(bx, by);
+                        if spare_a && spare_b {
+                            self.inplane_budget[a] -= 1;
+                            self.inplane_budget[b] -= 1;
+                            ok = self.sampler.sample().is_success();
+                        }
+                    }
+                    if ok {
+                        if east {
+                            layer.bond_east[a] = true;
+                        } else {
+                            layer.bond_north[a] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats_after = self.sampler.stats();
+        layer.fusions_attempted = stats_after.attempted - stats_before.attempted;
+        layer.fusions_succeeded = stats_after.succeeded - stats_before.succeeded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_blank_matches_packed_blank() {
+        let dense = DenseBoolLayer::blank(5, 3);
+        let packed = PhysicalLayer::blank(5, 3);
+        assert!(dense.mismatch(&packed).is_none());
+        assert_eq!(dense.bond_count(), 0);
+        assert_eq!(dense.present_site_count(), 15);
+    }
+
+    #[test]
+    fn mismatch_reports_differing_plane() {
+        let dense = DenseBoolLayer::blank(4, 4);
+        let mut packed = PhysicalLayer::blank(4, 4);
+        packed.set_bond_east(1, 1, true);
+        let msg = dense.mismatch(&packed).expect("must differ");
+        assert!(msg.contains("east"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn scalar_engine_matches_batched_engines_statistically() {
+        // The scalar pre-PR-5 stream differs draw for draw from the batched
+        // one, but the physics must agree: comparable bond densities at the
+        // same probability.
+        let cfg = HardwareConfig::new(40, 7, 0.75);
+        let mut scalar = DenseScalarEngine::new(cfg, 3);
+        let mut batched = DenseReferenceEngine::new(cfg, 3);
+        let mut a = DenseBoolLayer::blank(1, 1);
+        let mut b = DenseBoolLayer::blank(1, 1);
+        let (mut bonds_a, mut bonds_b) = (0usize, 0usize);
+        for _ in 0..8 {
+            scalar.generate_layer_into(&mut a);
+            batched.generate_layer_into(&mut b);
+            bonds_a += a.bond_count();
+            bonds_b += b.bond_count();
+        }
+        let (da, db) = (bonds_a as f64, bonds_b as f64);
+        assert!((da - db).abs() / da < 0.05, "bond densities diverge: {da} vs {db}");
+    }
+
+    #[test]
+    fn reference_engine_is_deterministic_per_seed() {
+        let cfg = HardwareConfig::new(10, 4, 0.75);
+        let mut a = DenseReferenceEngine::new(cfg, 9);
+        let mut b = DenseReferenceEngine::new(cfg, 9);
+        let mut la = DenseBoolLayer::blank(1, 1);
+        let mut lb = DenseBoolLayer::blank(1, 1);
+        a.generate_layer_into(&mut la);
+        b.generate_layer_into(&mut lb);
+        assert_eq!(la, lb);
+        assert_eq!(a.fusion_stats(), b.fusion_stats());
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod dense;
 
 use std::fs;
 use std::path::PathBuf;

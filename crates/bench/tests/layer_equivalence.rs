@@ -1,0 +1,107 @@
+//! PR-5 equivalence harness: the bit-packed `PhysicalLayer` generation
+//! path must be site-for-site identical to the dense `Vec<bool>` reference
+//! implementation across lattice sizes (including word-boundary-hostile
+//! ones), merging factors, probability sweeps, and `reset_blank` buffer
+//! reuse.
+//!
+//! This is the pin that lets the word-parallel hot path evolve: any
+//! indexing, trailing-mask or draw-ordering bug in the packed
+//! representation shows up as a coordinate-addressed mismatch here.
+
+use oneperc_bench::dense::{DenseBoolLayer, DenseReferenceEngine};
+use oneperc_hardware::{FusionEngine, HardwareConfig, PhysicalLayer};
+
+/// Lattice sides straddling the 64-bit word geometry: sub-word, exact
+/// power-of-two, and a side whose square (1089) is word-unaligned.
+const SIDES: [usize; 5] = [1, 2, 7, 16, 33];
+
+/// Resource-state sizes covering merging factors 3, 2 and 1.
+const DEGREES: [usize; 3] = [4, 5, 7];
+
+/// Fusion probabilities: dyadic (exact short bit-sliced expansion),
+/// non-dyadic (full-depth expansion), and the certain edge case.
+const PROBS: [f64; 5] = [0.5, 0.66, 0.75, 0.9, 1.0];
+
+fn assert_equivalent(dense: &DenseBoolLayer, packed: &PhysicalLayer, context: &str) {
+    if let Some(msg) = dense.mismatch(packed) {
+        panic!("{context}: {msg}");
+    }
+    // The popcount counters must agree with the naive byte walks.
+    assert_eq!(dense.bond_count(), packed.bond_count(), "{context}: bond_count");
+    assert_eq!(
+        dense.present_site_count(),
+        packed.present_site_count(),
+        "{context}: present_site_count"
+    );
+}
+
+#[test]
+fn packed_generation_matches_dense_reference_across_configs() {
+    for &side in &SIDES {
+        for &degree in &DEGREES {
+            for &p in &PROBS {
+                for seed in [1u64, 42] {
+                    let cfg = HardwareConfig::new(side, degree, p);
+                    let mut packed_engine = FusionEngine::new(cfg, seed);
+                    let mut dense_engine = DenseReferenceEngine::new(cfg, seed);
+                    let mut packed = PhysicalLayer::blank(1, 1);
+                    let mut dense = DenseBoolLayer::blank(1, 1);
+                    for layer_no in 0..2 {
+                        packed_engine.generate_layer_into(&mut packed);
+                        dense_engine.generate_layer_into(&mut dense);
+                        assert_equivalent(
+                            &dense,
+                            &packed,
+                            &format!("L={side} d={degree} p={p} seed={seed} layer={layer_no}"),
+                        );
+                    }
+                    assert_eq!(
+                        packed_engine.fusion_stats(),
+                        dense_engine.fusion_stats(),
+                        "L={side} d={degree} p={p} seed={seed}: cumulative stats"
+                    );
+                    assert_eq!(
+                        packed_engine.raw_rsl_consumed(),
+                        dense_engine.raw_rsl_consumed(),
+                        "L={side} d={degree} p={p} seed={seed}: raw RSLs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_survives_reset_blank_reuse_across_geometries() {
+    // One packed buffer and one dense buffer are reused across every
+    // configuration in sequence, so each generation inherits the previous
+    // geometry's allocations (shrinking and regrowing through word
+    // boundaries) and must still match a reference generated the same way.
+    let mut packed = PhysicalLayer::blank(1, 1);
+    let mut dense = DenseBoolLayer::blank(1, 1);
+    for (round, &side) in SIDES.iter().chain(SIDES.iter().rev()).enumerate() {
+        let cfg = HardwareConfig::new(side, 4, 0.75);
+        let seed = 7 + round as u64;
+        let mut packed_engine = FusionEngine::new(cfg, seed);
+        let mut dense_engine = DenseReferenceEngine::new(cfg, seed);
+        packed_engine.generate_layer_into(&mut packed);
+        dense_engine.generate_layer_into(&mut dense);
+        assert_equivalent(&dense, &packed, &format!("round {round} L={side}"));
+    }
+}
+
+#[test]
+fn fresh_and_reused_packed_buffers_agree() {
+    // generate_layer (fresh allocation) and generate_layer_into (reused
+    // buffer) walk the same stream: the layers must be equal even when the
+    // reused buffer previously held a larger, fully connected lattice.
+    let cfg = HardwareConfig::new(33, 7, 0.75);
+    let mut a = FusionEngine::new(cfg, 5);
+    let mut b = FusionEngine::new(cfg, 5);
+    let mut reused = PhysicalLayer::fully_connected(70, 70);
+    for _ in 0..3 {
+        let fresh = a.generate_layer();
+        b.generate_layer_into(&mut reused);
+        assert_eq!(fresh, reused);
+    }
+}

@@ -45,7 +45,9 @@ impl DisjointSet {
     /// loop body, so the compiler emits vector adds on a stepped index
     /// register instead of scalar `extend` iterations) — this is the fill
     /// the joining-interval connectivity check of the modular
-    /// renormalizer pays once per strip scan.
+    /// renormalizer pays once per strip scan. Since the bit-packed layer
+    /// planes (PR 5) the strip scans run a site-bitmap precheck first, so
+    /// this reset is only paid for strips that can actually connect.
     pub fn reset(&mut self, n: usize) {
         // `resize` zero-fills only the grown tail (a one-time cost as the
         // structure reaches its steady-state size); every slot is then
@@ -92,6 +94,7 @@ impl DisjointSet {
     /// # Panics
     ///
     /// Panics when `x` is out of range.
+    #[inline]
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
         while self.parent[root] != root {
@@ -113,6 +116,7 @@ impl DisjointSet {
     /// # Panics
     ///
     /// Panics when `a` or `b` is out of range.
+    #[inline]
     pub fn union(&mut self, a: usize, b: usize) -> bool {
         let ra = self.find(a);
         let rb = self.find(b);
@@ -136,6 +140,7 @@ impl DisjointSet {
     /// # Panics
     ///
     /// Panics when `a` or `b` is out of range.
+    #[inline]
     pub fn same_set(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
     }

@@ -186,17 +186,36 @@ impl FusionEngine {
         // port, so a single reservation per site suffices — the paper's
         // strategy likewise keeps the redundant degrees for retries rather
         // than parking them.
+        //
+        // The presence/port planes are written word-parallel: 64 sites of
+        // derived bits are accumulated in registers and stored as one `u64`
+        // each, instead of 64 boolean stores per plane.
         self.inplane_budget.clear();
+        let total = n * n;
+        let mut wi = 0usize;
+        let mut site_word = 0u64;
+        let mut port_word = 0u64;
         for (i, &leaves) in self.site_leaves.iter().enumerate() {
-            let mut remaining = leaves;
-            let forward = remaining >= 1;
+            let bit = 1u64 << (i % 64);
+            let forward = leaves >= 1;
             if forward {
-                remaining -= 1;
+                port_word |= bit;
             }
-            let (x, y) = (i % n, i / n);
-            layer.set_temporal_port(x, y, forward);
-            layer.set_site_present(x, y, leaves >= 2);
-            self.inplane_budget.push(remaining);
+            if leaves >= 2 {
+                site_word |= bit;
+            }
+            self.inplane_budget.push(leaves - usize::from(forward));
+            if i % 64 == 63 {
+                layer.store_site_word(wi, site_word);
+                layer.store_port_word(wi, port_word);
+                wi += 1;
+                site_word = 0;
+                port_word = 0;
+            }
+        }
+        if !total.is_multiple_of(64) {
+            layer.store_site_word(wi, site_word);
+            layer.store_port_word(wi, port_word);
         }
         // Split borrows: the bond loop below mutates the budget while
         // drawing from the sampler.
@@ -206,6 +225,14 @@ impl FusionEngine {
         // each endpoint; failed bonds are retried when both endpoints still
         // hold redundant leaves beyond what their remaining planned bonds
         // need.
+        //
+        // Outcomes come from the sampler's word-batched bit-sliced stream
+        // (64 Bernoulli draws per refill, consumed one bit per attempt so
+        // the data-dependent budget/retry logic and the attempt accounting
+        // are untouched); decided bonds are OR-ed straight into the packed
+        // words. (Register-accumulating 64 decisions before storing was
+        // measured slower here: the word-boundary branch and the extra
+        // live registers cost more than L1-hit read-modify-writes.)
         let idx = |x: usize, y: usize| y * n + x;
         let remaining_bonds = |x: usize, y: usize| -> usize {
             // Bonds not yet attempted for this site given the sweep order
@@ -223,22 +250,24 @@ impl FusionEngine {
         };
         for y in 0..n {
             for x in 0..n {
+                let a = idx(x, y);
                 for east in [true, false] {
                     let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
                     if bx >= n || by >= n {
                         continue;
                     }
-                    let a = idx(x, y);
                     let b = idx(bx, by);
-                    if !layer.site_present(x, y) || !layer.site_present(bx, by) {
-                        continue;
-                    }
+                    // Site presence (`leaves >= 2`) is equivalent to a
+                    // positive initial in-plane budget (`leaves - 1 >= 1`),
+                    // so the budget test below subsumes the presence test
+                    // the byte-walk implementation performed first — no
+                    // per-bond bitmap reads on this path.
                     if inplane_budget[a] == 0 || inplane_budget[b] == 0 {
                         continue;
                     }
                     inplane_budget[a] -= 1;
                     inplane_budget[b] -= 1;
-                    let mut ok = sampler.sample().is_success();
+                    let mut ok = sampler.sample_batched().is_success();
                     if !ok {
                         // Collective retry with redundant degrees.
                         let spare_a = inplane_budget[a] > remaining_bonds(x, y);
@@ -246,19 +275,24 @@ impl FusionEngine {
                         if spare_a && spare_b {
                             inplane_budget[a] -= 1;
                             inplane_budget[b] -= 1;
-                            ok = sampler.sample().is_success();
+                            ok = sampler.sample_batched().is_success();
                         }
                     }
                     if ok {
+                        let bit = 1u64 << (a % 64);
                         if east {
-                            layer.set_bond_east(x, y, true);
+                            layer.or_bond_east_word(a / 64, bit);
                         } else {
-                            layer.set_bond_north(x, y, true);
+                            layer.or_bond_north_word(a / 64, bit);
                         }
                     }
                 }
             }
         }
+        // End of the batched phase: discard leftover pre-drawn bits so the
+        // merging phase of the next layer (and any time-like fusion) reads
+        // the per-attempt stream from a deterministic state.
+        sampler.flush_batch();
 
         let stats_after = sampler.stats();
         layer.fusions_attempted = stats_after.attempted - stats_before.attempted;

@@ -1,6 +1,30 @@
 //! The site-lattice representation of one random physical graph state layer.
+//!
+//! # Word layout
+//!
+//! Since PR 5 the four per-site planes (site presence, east bonds, north
+//! bonds, temporal ports) are stored as [`Bitmap`]s — `u64` words holding 64
+//! sites each — instead of `Vec<bool>`s, which makes the layer sampler and
+//! the percolation strip scans memory-bandwidth-bound. The convention,
+//! shared by every consumer of the word-granular accessors:
+//!
+//! * flat site index `i = y * width + x` (row-major, same as the
+//!   coordinate accessors and [`PhysicalLayer::site_index`]);
+//! * bit `i` lives at bit position `i % 64` (**LSB-first**) of word
+//!   `i / 64`, i.e. `words()[i / 64] >> (i % 64) & 1`;
+//! * the trailing word keeps every bit at positions `>= width * height`
+//!   **zero** (the canonical trailing mask, see
+//!   [`crate::bitmap::trailing_mask`]), so bitmap equality, popcounts and
+//!   whole-word scans need no per-call masking;
+//! * the east-bond plane never holds a bit in the last column
+//!   (`x == width - 1`) and the north-bond plane never in the last row —
+//!   the same invariant the `Vec<bool>` representation maintained through
+//!   its panicking setters, now also relied on by popcount
+//!   [`PhysicalLayer::bond_count`].
 
 use graphstate::{CsrSnapshot, DisjointSet, GraphState};
+
+use crate::bitmap::Bitmap;
 
 /// One (merged) resource-state layer after the fusion strategy has run: a
 /// random subgraph of the `width × height` square lattice.
@@ -18,7 +42,8 @@ use graphstate::{CsrSnapshot, DisjointSet, GraphState};
 /// Equality compares the full site/bond/port state plus the accounting
 /// fields — the byte-identity check used by the pipelined-stream
 /// determinism suite to prove that layers generated on a dedicated
-/// pipeline thread match in-thread generation exactly.
+/// pipeline thread match in-thread generation exactly. With the bit-packed
+/// planes this holds word for word thanks to the canonical trailing mask.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalLayer {
     /// Sites along the x axis.
@@ -26,13 +51,13 @@ pub struct PhysicalLayer {
     /// Sites along the y axis.
     pub height: usize,
     /// Whether each site holds a usable (merged) resource state.
-    site_present: Vec<bool>,
+    site_present: Bitmap,
     /// Bond between `(x, y)` and `(x + 1, y)`.
-    bond_east: Vec<bool>,
+    bond_east: Bitmap,
     /// Bond between `(x, y)` and `(x, y + 1)`.
-    bond_north: Vec<bool>,
+    bond_north: Bitmap,
     /// Whether each site retains a photon for a time-like fusion.
-    temporal_port: Vec<bool>,
+    temporal_port: Bitmap,
     /// Raw RSLs consumed to produce this merged layer.
     pub raw_rsl_consumed: usize,
     /// Fusions attempted while producing this layer.
@@ -50,13 +75,14 @@ impl PhysicalLayer {
     /// Panics when either dimension is zero.
     pub fn blank(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "layer dimensions must be positive");
+        let n = width * height;
         PhysicalLayer {
             width,
             height,
-            site_present: vec![true; width * height],
-            bond_east: vec![false; width * height],
-            bond_north: vec![false; width * height],
-            temporal_port: vec![true; width * height],
+            site_present: Bitmap::with_len(n, true),
+            bond_east: Bitmap::with_len(n, false),
+            bond_north: Bitmap::with_len(n, false),
+            temporal_port: Bitmap::with_len(n, true),
             raw_rsl_consumed: 1,
             fusions_attempted: 0,
             fusions_succeeded: 0,
@@ -65,17 +91,21 @@ impl PhysicalLayer {
 
     /// A fully connected lattice (every site present, every bond present) —
     /// what the strategy would produce with a deterministic fusion.
+    ///
+    /// Built word-parallel: both bond planes are filled whole words at a
+    /// time (the trailing word masked to the lattice size), then the
+    /// never-stored bits — the last column of the east plane, the last row
+    /// of the north plane — are cleared.
     pub fn fully_connected(width: usize, height: usize) -> Self {
         let mut layer = Self::blank(width, height);
+        let n = width * height;
+        layer.bond_east.reset(n, true);
         for y in 0..height {
-            for x in 0..width {
-                if x + 1 < width {
-                    layer.set_bond_east(x, y, true);
-                }
-                if y + 1 < height {
-                    layer.set_bond_north(x, y, true);
-                }
-            }
+            layer.bond_east.set(y * width + width - 1, false);
+        }
+        layer.bond_north.reset(n, true);
+        for x in 0..width {
+            layer.bond_north.set((height - 1) * width + x, false);
         }
         layer
     }
@@ -94,14 +124,10 @@ impl PhysicalLayer {
         let n = width * height;
         self.width = width;
         self.height = height;
-        self.site_present.clear();
-        self.site_present.resize(n, true);
-        self.bond_east.clear();
-        self.bond_east.resize(n, false);
-        self.bond_north.clear();
-        self.bond_north.resize(n, false);
-        self.temporal_port.clear();
-        self.temporal_port.resize(n, true);
+        self.site_present.reset(n, true);
+        self.bond_east.reset(n, false);
+        self.bond_north.reset(n, false);
+        self.temporal_port.reset(n, true);
         self.raw_rsl_consumed = 1;
         self.fusions_attempted = 0;
         self.fusions_succeeded = 0;
@@ -118,7 +144,7 @@ impl PhysicalLayer {
     /// [`PhysicalLayer::site_present`] for the percolation hot path.
     #[inline]
     pub fn site_present_at(&self, i: usize) -> bool {
-        self.site_present[i]
+        self.site_present.get(i)
     }
 
     /// Whether the bond from flat site `i` to its east neighbor `i + 1` is
@@ -126,7 +152,7 @@ impl PhysicalLayer {
     /// setter rejects them), so the raw read needs no column check.
     #[inline]
     pub fn bond_east_at(&self, i: usize) -> bool {
-        self.bond_east[i]
+        self.bond_east.get(i)
     }
 
     /// Whether the bond from flat site `i` to its north neighbor
@@ -134,7 +160,7 @@ impl PhysicalLayer {
     /// bond, so the raw read needs no row check.
     #[inline]
     pub fn bond_north_at(&self, i: usize) -> bool {
-        self.bond_north[i]
+        self.bond_north.get(i)
     }
 
     /// Number of sites in the layer.
@@ -142,25 +168,35 @@ impl PhysicalLayer {
         self.width * self.height
     }
 
+    /// Number of *present* sites, as a popcount over the packed site words.
+    pub fn present_site_count(&self) -> usize {
+        self.site_present.count_ones()
+    }
+
+    /// Number of sites with an available temporal port (popcount).
+    pub fn temporal_port_count(&self) -> usize {
+        self.temporal_port.count_ones()
+    }
+
     /// Whether the site at `(x, y)` holds a usable resource state.
     pub fn site_present(&self, x: usize, y: usize) -> bool {
-        self.site_present[self.idx(x, y)]
+        self.site_present.get(self.idx(x, y))
     }
 
     /// Marks the presence of the site at `(x, y)`.
     pub fn set_site_present(&mut self, x: usize, y: usize, present: bool) {
         let i = self.idx(x, y);
-        self.site_present[i] = present;
+        self.site_present.set(i, present);
     }
 
     /// Whether the bond from `(x, y)` to `(x + 1, y)` is present.
     pub fn bond_east(&self, x: usize, y: usize) -> bool {
-        x + 1 < self.width && self.bond_east[self.idx(x, y)]
+        x + 1 < self.width && self.bond_east.get(self.idx(x, y))
     }
 
     /// Whether the bond from `(x, y)` to `(x, y + 1)` is present.
     pub fn bond_north(&self, x: usize, y: usize) -> bool {
-        y + 1 < self.height && self.bond_north[self.idx(x, y)]
+        y + 1 < self.height && self.bond_north.get(self.idx(x, y))
     }
 
     /// Sets the bond from `(x, y)` to `(x + 1, y)`.
@@ -171,7 +207,7 @@ impl PhysicalLayer {
     pub fn set_bond_east(&mut self, x: usize, y: usize, present: bool) {
         assert!(x + 1 < self.width, "east bond leaves the lattice");
         let i = self.idx(x, y);
-        self.bond_east[i] = present;
+        self.bond_east.set(i, present);
     }
 
     /// Sets the bond from `(x, y)` to `(x, y + 1)`.
@@ -182,18 +218,90 @@ impl PhysicalLayer {
     pub fn set_bond_north(&mut self, x: usize, y: usize, present: bool) {
         assert!(y + 1 < self.height, "north bond leaves the lattice");
         let i = self.idx(x, y);
-        self.bond_north[i] = present;
+        self.bond_north.set(i, present);
     }
 
     /// Whether the site at `(x, y)` retains a photon for a time-like fusion.
     pub fn temporal_port(&self, x: usize, y: usize) -> bool {
-        self.temporal_port[self.idx(x, y)]
+        self.temporal_port.get(self.idx(x, y))
     }
 
     /// Sets the temporal-port availability of the site at `(x, y)`.
     pub fn set_temporal_port(&mut self, x: usize, y: usize, available: bool) {
         let i = self.idx(x, y);
-        self.temporal_port[i] = available;
+        self.temporal_port.set(i, available);
+    }
+
+    /// The packed site-presence words (flat site `i` at bit `i % 64` of
+    /// word `i / 64`; see the module docs for the full convention).
+    pub fn site_words(&self) -> &[u64] {
+        self.site_present.words()
+    }
+
+    /// The packed east-bond words. The last column of the lattice never
+    /// holds a bit.
+    pub fn bond_east_words(&self) -> &[u64] {
+        self.bond_east.words()
+    }
+
+    /// The packed north-bond words. The last row of the lattice never holds
+    /// a bit.
+    pub fn bond_north_words(&self) -> &[u64] {
+        self.bond_north.words()
+    }
+
+    /// The packed temporal-port words.
+    pub fn temporal_port_words(&self) -> &[u64] {
+        self.temporal_port.words()
+    }
+
+    /// The site-presence plane as a [`Bitmap`] (read-only), for word-scan
+    /// consumers such as the renormalizer's band seeding and the modular
+    /// joiner's strip precheck.
+    pub fn site_bits(&self) -> &Bitmap {
+        &self.site_present
+    }
+
+    /// The east-bond plane as a [`Bitmap`] (read-only).
+    pub fn bond_east_bits(&self) -> &Bitmap {
+        &self.bond_east
+    }
+
+    /// The north-bond plane as a [`Bitmap`] (read-only).
+    pub fn bond_north_bits(&self) -> &Bitmap {
+        &self.bond_north
+    }
+
+    /// Iterates the flat indices of present sites in `lo..hi` (word scan).
+    pub fn present_in_range(&self, lo: usize, hi: usize) -> crate::bitmap::SetBits<'_> {
+        self.site_present.iter_set_in(lo, hi)
+    }
+
+    /// Stores 64 site-presence bits at word index `wi` (layer generator
+    /// fast path).
+    #[inline]
+    pub(crate) fn store_site_word(&mut self, wi: usize, bits: u64) {
+        self.site_present.store_word(wi, bits);
+    }
+
+    /// Stores 64 temporal-port bits at word index `wi`.
+    #[inline]
+    pub(crate) fn store_port_word(&mut self, wi: usize, bits: u64) {
+        self.temporal_port.store_word(wi, bits);
+    }
+
+    /// ORs accumulated east-bond bits into word `wi`. The caller must not
+    /// set last-column bits.
+    #[inline]
+    pub(crate) fn or_bond_east_word(&mut self, wi: usize, bits: u64) {
+        self.bond_east.or_word(wi, bits);
+    }
+
+    /// ORs accumulated north-bond bits into word `wi`. The caller must not
+    /// set last-row bits.
+    #[inline]
+    pub(crate) fn or_bond_north_word(&mut self, wi: usize, bits: u64) {
+        self.bond_north.or_word(wi, bits);
     }
 
     /// Returns `true` when two adjacent sites are connected by a present
@@ -217,20 +325,11 @@ impl PhysicalLayer {
         }
     }
 
-    /// Number of present bonds in the layer.
+    /// Number of present bonds in the layer, as a popcount over the packed
+    /// bond words (exact because the planes never store last-column /
+    /// last-row bits and the trailing words are canonically masked).
     pub fn bond_count(&self) -> usize {
-        let mut count = 0;
-        for y in 0..self.height {
-            for x in 0..self.width {
-                if self.bond_east(x, y) {
-                    count += 1;
-                }
-                if self.bond_north(x, y) {
-                    count += 1;
-                }
-            }
-        }
-        count
+        self.bond_east.count_ones() + self.bond_north.count_ones()
     }
 
     /// Union-find structure over the sites connecting every present bond;
@@ -265,14 +364,10 @@ impl PhysicalLayer {
         let mut dsu = self.connectivity();
         let mut counts = vec![0usize; self.site_count()];
         let mut best = 0;
-        for y in 0..self.height {
-            for x in 0..self.width {
-                if self.site_present(x, y) {
-                    let root = dsu.find(self.idx(x, y));
-                    counts[root] += 1;
-                    best = best.max(counts[root]);
-                }
-            }
+        for i in self.site_present.iter_set_in(0, self.site_count()) {
+            let root = dsu.find(i);
+            counts[root] += 1;
+            best = best.max(counts[root]);
         }
         best
     }
@@ -322,18 +417,18 @@ impl PhysicalLayer {
         let mut targets = Vec::with_capacity(2 * self.bond_count());
         offsets.push(0u32);
         for i in 0..n {
-            if self.site_present[i] {
+            if self.site_present.get(i) {
                 let (x, y) = (i % w, i / w);
-                if y > 0 && self.site_present[i - w] && self.bond_north[i - w] {
+                if y > 0 && self.site_present.get(i - w) && self.bond_north.get(i - w) {
                     targets.push((i - w) as u32);
                 }
-                if x > 0 && self.site_present[i - 1] && self.bond_east[i - 1] {
+                if x > 0 && self.site_present.get(i - 1) && self.bond_east.get(i - 1) {
                     targets.push((i - 1) as u32);
                 }
-                if x + 1 < w && self.site_present[i + 1] && self.bond_east[i] {
+                if x + 1 < w && self.site_present.get(i + 1) && self.bond_east.get(i) {
                     targets.push((i + 1) as u32);
                 }
-                if y + 1 < self.height && self.site_present[i + w] && self.bond_north[i] {
+                if y + 1 < self.height && self.site_present.get(i + w) && self.bond_north.get(i) {
                     targets.push((i + w) as u32);
                 }
             }
@@ -452,6 +547,27 @@ mod tests {
         let via_graph = layer.to_graph().snapshot_csr();
         assert_eq!(direct, via_graph);
         assert_eq!(direct.largest_component_size(), layer.largest_component_size());
+    }
+
+    #[test]
+    fn word_accessors_match_bit_reads() {
+        let mut layer = PhysicalLayer::blank(13, 7);
+        layer.set_site_present(4, 3, false);
+        layer.set_bond_east(7, 5, true);
+        layer.set_bond_north(12, 2, true);
+        layer.set_temporal_port(0, 6, false);
+        let n = layer.site_count();
+        for i in 0..n {
+            let read = |words: &[u64]| (words[i / 64] >> (i % 64)) & 1 == 1;
+            assert_eq!(read(layer.site_words()), layer.site_present_at(i), "site {i}");
+            assert_eq!(read(layer.bond_east_words()), layer.bond_east_at(i), "east {i}");
+            assert_eq!(read(layer.bond_north_words()), layer.bond_north_at(i), "north {i}");
+            assert_eq!(
+                read(layer.temporal_port_words()),
+                layer.temporal_port(i % 13, i / 13),
+                "port {i}"
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 mod config;
 mod delay;
 mod engine;
@@ -44,6 +45,7 @@ pub mod exact;
 mod layer;
 mod sampler;
 
+pub use bitmap::Bitmap;
 pub use config::HardwareConfig;
 pub use delay::DelayLine;
 pub use engine::{FusionEngine, FusionStrategy};

@@ -2,7 +2,7 @@
 
 use graphstate::FusionOutcome;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Counters for the `#fusion` metric of the evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +56,16 @@ pub struct FusionSampler {
     success_prob: f64,
     rng: StdRng,
     stats: FusionStats,
+    /// Binary expansion of `success_prob` for the word-batched draw path,
+    /// packed **deepest digit first** (bit `j` holds fractional digit
+    /// `block_depth - j`), truncated to 64 digits. Zero depth means the
+    /// probability is exactly 1.
+    block_digits: u64,
+    block_depth: u32,
+    /// Pre-drawn batched outcomes not yet consumed (next outcome at the
+    /// LSB).
+    batch: u64,
+    batch_len: u32,
 }
 
 impl FusionSampler {
@@ -70,10 +80,40 @@ impl FusionSampler {
             success_prob > 0.0 && success_prob <= 1.0,
             "fusion success probability must be in (0, 1]"
         );
+        // Binary expansion of the probability, MSB (weight 1/2) first.
+        // Every f64 in (0, 1) is a dyadic rational, so for practical fusion
+        // probabilities (0.75, 0.5, ...) the expansion terminates after a
+        // few digits; the 64-digit truncation bounds the bias below 2^-64
+        // for the rest (finer than the 2^-53 resolution of the scalar
+        // `gen_bool` path).
+        let mut msb_first = [false; 64];
+        let mut depth = 0u32;
+        if success_prob < 1.0 {
+            let mut frac = success_prob;
+            while frac > 0.0 && depth < 64 {
+                frac *= 2.0;
+                let bit = frac >= 1.0;
+                if bit {
+                    frac -= 1.0;
+                }
+                msb_first[depth as usize] = bit;
+                depth += 1;
+            }
+        }
+        let mut block_digits = 0u64;
+        for j in 0..depth {
+            if msb_first[(depth - 1 - j) as usize] {
+                block_digits |= 1 << j;
+            }
+        }
         FusionSampler {
             success_prob,
             rng: StdRng::seed_from_u64(seed),
             stats: FusionStats::default(),
+            block_digits,
+            block_depth: depth,
+            batch: 0,
+            batch_len: 0,
         }
     }
 
@@ -83,6 +123,7 @@ impl FusionSampler {
     }
 
     /// Samples one heralded fusion outcome.
+    #[inline]
     pub fn sample(&mut self) -> FusionOutcome {
         self.stats.attempted += 1;
         if self.rng.gen_bool(self.success_prob) {
@@ -103,6 +144,66 @@ impl FusionSampler {
             }
         }
         FusionOutcome::Failure
+    }
+
+    /// Draws 64 independent Bernoulli(`success_prob`) outcome bits in one
+    /// word-parallel batch via bit-slicing: one fresh random word per
+    /// binary digit of the probability, combined with an AND/OR ladder from
+    /// the deepest digit up, so 64 outcomes cost `depth` RNG words instead
+    /// of 64 (2 for the practical p = 0.75). Bit `j` of the result is the
+    /// `j`-th outcome.
+    fn draw_block(&mut self) -> u64 {
+        if self.block_depth == 0 {
+            // Probability exactly 1: every outcome succeeds, no RNG draw.
+            return u64::MAX;
+        }
+        let mut acc = 0u64;
+        for j in 0..self.block_depth {
+            let r = self.rng.next_u64();
+            acc = if (self.block_digits >> j) & 1 == 1 { r | acc } else { r & acc };
+        }
+        acc
+    }
+
+    /// Samples one heralded fusion outcome from the word-batched stream.
+    ///
+    /// Outcomes are pre-drawn 64 at a time with bit-sliced Bernoulli words
+    /// (see the private `draw_block` for the construction) and consumed
+    /// one bit per call, so attempt accounting stays exact under
+    /// data-dependent control flow (an attempt is only counted — and a
+    /// buffered bit only consumed — when the caller actually samples). The
+    /// layer generator's in-plane bond phase runs on this stream; the
+    /// merging-phase retry loop and time-like fusions stay on the
+    /// per-attempt [`FusionSampler::sample`] stream.
+    ///
+    /// Callers that interleave batched and per-attempt draws must call
+    /// [`FusionSampler::flush_batch`] at the end of each batched phase so
+    /// the underlying RNG stream stays a deterministic function of the
+    /// sampled sequence.
+    #[inline]
+    pub fn sample_batched(&mut self) -> FusionOutcome {
+        if self.batch_len == 0 {
+            self.batch = self.draw_block();
+            self.batch_len = 64;
+        }
+        let success = self.batch & 1 == 1;
+        self.batch >>= 1;
+        self.batch_len -= 1;
+        self.stats.attempted += 1;
+        if success {
+            self.stats.succeeded += 1;
+            FusionOutcome::Success
+        } else {
+            FusionOutcome::Failure
+        }
+    }
+
+    /// Discards any pre-drawn batched outcomes. Called at the end of a
+    /// batched sampling phase (deterministically, independent of data) so
+    /// subsequent per-attempt draws never observe leftover batch state.
+    pub fn flush_batch(&mut self) {
+        self.batch = 0;
+        self.batch_len = 0;
     }
 
     /// Accumulated attempt statistics.
@@ -177,5 +278,60 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn zero_probability_rejected() {
         let _ = FusionSampler::new(0.0, 1);
+    }
+
+    #[test]
+    fn batched_rate_close_to_configured() {
+        // Dyadic (2-digit) and non-dyadic (full-depth) probabilities both
+        // come out of the bit-sliced block construction at the right rate.
+        for &p in &[0.75f64, 0.66, 0.5, 0.9] {
+            let mut s = FusionSampler::new(p, 11);
+            let hits = (0..100_000).filter(|_| s.sample_batched().is_success()).count();
+            let rate = hits as f64 / 100_000.0;
+            assert!((rate - p).abs() < 0.01, "p {p}: rate {rate}");
+            assert_eq!(s.stats().attempted, 100_000);
+        }
+    }
+
+    #[test]
+    fn batched_accounting_is_per_consumed_outcome() {
+        let mut s = FusionSampler::new(0.75, 3);
+        for _ in 0..5 {
+            let _ = s.sample_batched();
+        }
+        // Only the five consumed outcomes count, not the 64-outcome block
+        // drawn behind them.
+        assert_eq!(s.stats().attempted, 5);
+        s.flush_batch();
+        assert_eq!(s.stats().attempted, 5, "flush discards bits, not stats");
+    }
+
+    #[test]
+    fn batched_certain_probability_always_succeeds() {
+        let mut s = FusionSampler::new(1.0, 8);
+        assert!((0..200).all(|_| s.sample_batched().is_success()));
+    }
+
+    #[test]
+    fn flushed_batches_keep_the_stream_deterministic() {
+        // Two samplers consuming the same (batched-phase, per-attempt)
+        // pattern see identical streams, regardless of how many bits each
+        // batched phase left unconsumed before its flush.
+        let run = |seed: u64| {
+            let mut s = FusionSampler::new(0.75, seed);
+            let mut outcomes = Vec::new();
+            for phase in 0..4 {
+                for _ in 0..(7 + phase * 13) {
+                    outcomes.push(s.sample_batched());
+                }
+                s.flush_batch();
+                for _ in 0..3 {
+                    outcomes.push(s.sample());
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 }

@@ -1,0 +1,161 @@
+//! Edge-geometry coverage for the bit-packed `PhysicalLayer`: dimensions
+//! hostile to the 64-sites-per-word layout (non-multiples of 64, single
+//! rows/columns, 1×1), trailing-word masking, popcount counters against
+//! naive per-site recounts, and `reset_blank` reuse across shrinking and
+//! regrowing geometries.
+
+use oneperc_hardware::bitmap::trailing_mask;
+use oneperc_hardware::{FusionEngine, HardwareConfig, PhysicalLayer};
+
+/// Naive recount of every counter straight through the per-site accessors.
+fn naive_counts(layer: &PhysicalLayer) -> (usize, usize, usize) {
+    let mut bonds = 0;
+    let mut present = 0;
+    let mut ports = 0;
+    for y in 0..layer.height {
+        for x in 0..layer.width {
+            if layer.bond_east(x, y) {
+                bonds += 1;
+            }
+            if layer.bond_north(x, y) {
+                bonds += 1;
+            }
+            if layer.site_present(x, y) {
+                present += 1;
+            }
+            if layer.temporal_port(x, y) {
+                ports += 1;
+            }
+        }
+    }
+    (bonds, present, ports)
+}
+
+fn assert_popcounts_match_naive(layer: &PhysicalLayer, context: &str) {
+    let (bonds, present, ports) = naive_counts(layer);
+    assert_eq!(layer.bond_count(), bonds, "{context}: bond_count");
+    assert_eq!(layer.present_site_count(), present, "{context}: present_site_count");
+    assert_eq!(layer.temporal_port_count(), ports, "{context}: temporal_port_count");
+}
+
+#[test]
+fn one_by_one_lattice() {
+    let layer = PhysicalLayer::blank(1, 1);
+    assert_eq!(layer.site_count(), 1);
+    assert_eq!(layer.bond_count(), 0);
+    assert!(layer.site_present(0, 0));
+    let full = PhysicalLayer::fully_connected(1, 1);
+    assert_eq!(full.bond_count(), 0, "1x1 has no bonds to connect");
+    assert_eq!(full.largest_component_size(), 1);
+    assert_popcounts_match_naive(&full, "1x1");
+}
+
+#[test]
+fn single_row_and_single_column_lattices() {
+    // 1×N: only north bonds exist; N×1: only east bonds. Both cross word
+    // boundaries at N = 130.
+    let row = PhysicalLayer::fully_connected(130, 1);
+    assert_eq!(row.bond_count(), 129);
+    assert_eq!(row.largest_component_size(), 130);
+    assert_popcounts_match_naive(&row, "130x1");
+
+    let col = PhysicalLayer::fully_connected(1, 130);
+    assert_eq!(col.bond_count(), 129);
+    assert_eq!(col.largest_component_size(), 130);
+    assert_popcounts_match_naive(&col, "1x130");
+}
+
+#[test]
+fn word_boundary_hostile_dimensions() {
+    // Site counts 63, 64, 65, 4095, 4096, 4097 relative to the word size.
+    for (w, h) in [(63, 1), (64, 1), (65, 1), (63, 65), (64, 64), (13, 7), (33, 33)] {
+        let full = PhysicalLayer::fully_connected(w, h);
+        assert_eq!(
+            full.bond_count(),
+            h * (w - 1) + w * (h - 1),
+            "{w}x{h}: fully connected bond count"
+        );
+        assert_eq!(full.largest_component_size(), w * h, "{w}x{h}: one component");
+        assert_popcounts_match_naive(&full, &format!("{w}x{h}"));
+    }
+}
+
+#[test]
+fn fully_connected_masks_trailing_word() {
+    // The bond planes are built by whole-word fills; the bits past
+    // width*height in the trailing word (and the never-stored last-column /
+    // last-row bits) must come out clear, or popcounts and word scans
+    // overcount.
+    for (w, h) in [(5, 5), (13, 5), (33, 2), (63, 3), (65, 1)] {
+        let layer = PhysicalLayer::fully_connected(w, h);
+        let n = w * h;
+        for words in [layer.site_words(), layer.bond_east_words(), layer.bond_north_words()] {
+            assert_eq!(words.len(), n.div_ceil(64), "{w}x{h}: word count");
+            let last = *words.last().unwrap();
+            assert_eq!(last & !trailing_mask(n), 0, "{w}x{h}: trailing garbage");
+        }
+        // Last column stores no east bond, last row no north bond.
+        for y in 0..h {
+            let i = y * w + (w - 1);
+            assert_eq!(
+                (layer.bond_east_words()[i / 64] >> (i % 64)) & 1,
+                0,
+                "{w}x{h}: east bond stored in last column"
+            );
+        }
+        for x in 0..w {
+            let i = (h - 1) * w + x;
+            assert_eq!(
+                (layer.bond_north_words()[i / 64] >> (i % 64)) & 1,
+                0,
+                "{w}x{h}: north bond stored in last row"
+            );
+        }
+    }
+}
+
+#[test]
+fn popcounts_match_naive_counts_on_random_layers() {
+    for (side, seed) in [(7usize, 3u64), (33, 5), (40, 11), (65, 17)] {
+        let mut engine = FusionEngine::new(HardwareConfig::new(side, 4, 0.72), seed);
+        let layer = engine.generate_layer();
+        assert_popcounts_match_naive(&layer, &format!("random {side}x{side} seed {seed}"));
+    }
+}
+
+#[test]
+fn reset_blank_shrinks_and_regrows_through_word_boundaries() {
+    let mut layer = PhysicalLayer::fully_connected(65, 65);
+    // Shrink below one word, regrow past several, shrink to a single site.
+    for (w, h) in [(3, 2), (130, 1), (1, 1), (64, 64), (7, 7), (65, 63)] {
+        layer.reset_blank(w, h);
+        assert_eq!(layer.width, w);
+        assert_eq!(layer.height, h);
+        assert_eq!(layer.bond_count(), 0, "{w}x{h}: bonds survived reset");
+        assert_eq!(layer.present_site_count(), w * h, "{w}x{h}: all sites present");
+        assert_eq!(layer.temporal_port_count(), w * h, "{w}x{h}: all ports available");
+        assert_eq!(layer.raw_rsl_consumed, 1);
+        assert_eq!(layer.fusions_attempted, 0);
+        // Mutate so the next round's reset has stale state to clear.
+        if w > 1 {
+            layer.set_bond_east(0, 0, true);
+        }
+        layer.set_site_present(w - 1, h - 1, false);
+    }
+}
+
+#[test]
+fn word_accessor_layout_is_lsb_first_row_major() {
+    // Pin the documented convention explicitly: flat index i = y*w + x at
+    // bit i % 64 of word i / 64.
+    let mut layer = PhysicalLayer::blank(10, 8);
+    layer.set_site_present(3, 0, false); // flat 3
+    layer.set_site_present(4, 6, false); // flat 64
+    assert_eq!(layer.site_words()[0] & (1 << 3), 0);
+    assert_eq!(layer.site_words()[1] & 1, 0);
+    assert_eq!(layer.site_words()[0].count_ones(), 63);
+    let mut present: Vec<usize> = layer.present_in_range(0, 80).collect();
+    assert_eq!(present.len(), 78);
+    present.retain(|&i| !(0..80).contains(&i));
+    assert!(present.is_empty());
+}

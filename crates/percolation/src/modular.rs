@@ -245,8 +245,11 @@ impl ModularRenormalizer {
     /// coarse column. We check connectivity of the interval strip between
     /// the two facing module edges with a union-find restricted to the
     /// strip (plus one site of each module edge), which mirrors the paper's
-    /// connected-path joining. The union-find comes from the host scratch
-    /// pool and is reset — not reallocated — per join.
+    /// connected-path joining. A word-scan precheck over the packed site
+    /// bitmap rejects strips with an empty column/row between the endpoints
+    /// before any union-find work; surviving strips feed the word-parallel
+    /// [`DisjointSet::reset`] path, and the union-find comes from the host
+    /// scratch pool and is reset — not reallocated — per join.
     fn join(
         &mut self,
         layer: &PhysicalLayer,
@@ -402,16 +405,68 @@ impl ModularRenormalizer {
             return false;
         }
 
-        // Union-find connectivity over the strip.
-        let w = sx_hi.min(layer.width - 1) - sx_lo + 1;
-        let h = sy_hi.min(layer.height - 1) - sy_lo + 1;
+        let x_hi_c = sx_hi.min(layer.width - 1);
+        let y_hi_c = sy_hi.min(layer.height - 1);
+        let lw = layer.width;
+
+        // Word-scan precheck on the packed site plane: a 4-connected
+        // crossing path visits every column (horizontal join) / every row
+        // (vertical join) between its endpoints, so a strip missing all
+        // present sites in one of them cannot connect. Checking that is a
+        // handful of `u64` OR/compare steps over the site words — far
+        // cheaper than seeding the union-find — and skips the whole scan
+        // for hopeless lanes.
+        let bits = layer.site_bits();
+        if horizontal {
+            let (span_lo, span_hi) = (start.0.min(goal.0), start.0.max(goal.0));
+            let mut x0 = span_lo;
+            while x0 <= span_hi {
+                let x1 = (x0 + 64).min(span_hi + 1);
+                let full = if x1 - x0 == 64 { u64::MAX } else { (1u64 << (x1 - x0)) - 1 };
+                let mut cover = 0u64;
+                for y in sy_lo..=y_hi_c {
+                    cover |= bits.range_word(y * lw + x0, y * lw + x1);
+                    if cover == full {
+                        break;
+                    }
+                }
+                if cover != full {
+                    return false;
+                }
+                x0 = x1;
+            }
+        } else {
+            let (span_lo, span_hi) = (start.1.min(goal.1), start.1.max(goal.1));
+            for y in span_lo..=span_hi {
+                let row = y * lw;
+                // The strip width (node_size + 1) can exceed one word, so
+                // scan it in 64-bit chunks until a present site shows up.
+                let mut any = false;
+                let mut x0 = sx_lo;
+                while x0 <= x_hi_c {
+                    let x1 = (x0 + 64).min(x_hi_c + 1);
+                    if bits.range_word(row + x0, row + x1) != 0 {
+                        any = true;
+                        break;
+                    }
+                    x0 = x1;
+                }
+                if !any {
+                    return false;
+                }
+            }
+        }
+
+        // Union-find connectivity over the strip, scanning only the present
+        // sites of each strip row straight off the packed site words.
+        let w = x_hi_c - sx_lo + 1;
+        let h = y_hi_c - sy_lo + 1;
         let local = |x: usize, y: usize| (y - sy_lo) * w + (x - sx_lo);
         dsu.reset(w * h);
         for y in sy_lo..sy_lo + h {
-            for x in sx_lo..sx_lo + w {
-                if !allowed(x, y) {
-                    continue;
-                }
+            let row = y * lw;
+            for i in layer.present_in_range(row + sx_lo, row + sx_lo + w) {
+                let x = i - row;
                 if x + 1 < layer.width && allowed(x + 1, y) && layer.bond_east(x, y) {
                     dsu.union(local(x, y), local(x + 1, y));
                 }
@@ -586,6 +641,26 @@ mod tests {
         // The modular result cannot beat the non-modular total but should
         // stay within the same order of magnitude.
         assert!(modular.joined_nodes as f64 >= 0.2 * non_modular.node_count() as f64);
+    }
+
+    #[test]
+    fn wide_node_size_strips_join_without_panicking() {
+        // node_size >= 64 makes the joining strip wider than one storage
+        // word in the vertical direction; the site-bitmap precheck must
+        // chunk its row scans (regression: PR-5 review caught an unchunked
+        // range_word panicking at 'bit range wider than one word').
+        let layer = PhysicalLayer::fully_connected(154, 154);
+        let cfg = ModularConfig::new(2, 5, 65).sequential();
+        let outcome = ModularRenormalizer::new(cfg).run(&layer);
+        assert!(outcome.joins_attempted > 0, "wide strips must be checked");
+        assert_eq!(outcome.joins_attempted, outcome.joins_found);
+        assert_eq!(outcome.module_nodes, outcome.joined_nodes);
+
+        // A blank layer through the same wide-strip geometry exercises the
+        // no-present-site early-out of the chunked precheck.
+        let blank = PhysicalLayer::blank(154, 154);
+        let nothing = ModularRenormalizer::new(cfg).run(&blank);
+        assert_eq!(nothing.joined_nodes, 0);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! [`ScratchPool`](crate::ScratchPool), and path-intersection tests are
 //! stamp lookups instead of hash-set probes. The BFS itself doubles as the
 //! connectivity check (an exhausted frontier *is* the proof that the band
-//! does not percolate), so no per-band union-find is built.
+//! does not percolate), so no per-band union-find is built. Since the
+//! PR-5 bit-packed layer, frontier seeding scans the packed site words
+//! (64 sites per step; see the word-layout convention in
+//! `oneperc_hardware::layer`) instead of one boolean per site.
 
 use oneperc_hardware::PhysicalLayer;
 
@@ -293,13 +296,14 @@ impl Renormalizer {
         let epoch = self.scratch.begin_search();
 
         // Seed the frontier with every present start-edge site of the band.
+        // A vertical band's start edge is one contiguous row segment, so the
+        // present sites come straight off the packed site words (64 sites
+        // per scan step); a horizontal band's start edge is a column
+        // (stride-`w` reads), which stays per-site.
         if vertical {
             let row = y_lo * w;
-            for x in x_lo..x_hi {
-                let i = (row + x) as u32;
-                if layer.site_present_at(i as usize) {
-                    self.scratch.visit(i, NO_SITE, epoch);
-                }
+            for i in layer.present_in_range(row + x_lo, row + x_hi) {
+                self.scratch.visit(i as u32, NO_SITE, epoch);
             }
         } else {
             for y in y_lo..y_hi {
