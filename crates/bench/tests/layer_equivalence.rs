@@ -1,19 +1,27 @@
-//! PR-5 equivalence harness: the bit-packed `PhysicalLayer` generation
-//! path must be site-for-site identical to the dense `Vec<bool>` reference
-//! implementation across lattice sizes (including word-boundary-hostile
-//! ones), merging factors, probability sweeps, and `reset_blank` buffer
-//! reuse.
+//! Equivalence harness for the word-parallel hot paths: the bit-packed
+//! `PhysicalLayer` generation must be site-for-site identical to the dense
+//! `Vec<bool>` reference, and (since PR 6) the word-frontier BFS
+//! renormalizer and span-scan modular joiner must be outcome-identical to
+//! the preserved scalar implementations — across lattice sizes (including
+//! word-boundary-hostile ones), merging factors, probability sweeps,
+//! degenerate one-site bands, and `reset_blank` buffer reuse.
 //!
 //! This is the pin that lets the word-parallel hot path evolve: any
 //! indexing, trailing-mask or draw-ordering bug in the packed
-//! representation shows up as a coordinate-addressed mismatch here.
+//! representation shows up as a coordinate-addressed mismatch here, and
+//! any frontier-expansion or tie-break divergence in the renormalizer
+//! shows up as the first differing node or path.
 
-use oneperc_bench::dense::{DenseBoolLayer, DenseReferenceEngine};
+use oneperc_bench::dense::{
+    scalar_modular_outcome, DenseBoolLayer, DenseReferenceEngine, ScalarRenormalizer,
+};
 use oneperc_hardware::{FusionEngine, HardwareConfig, PhysicalLayer};
+use oneperc_percolation::{ModularConfig, ModularRenormalizer, Renormalizer};
 
 /// Lattice sides straddling the 64-bit word geometry: sub-word, exact
-/// power-of-two, and a side whose square (1089) is word-unaligned.
-const SIDES: [usize; 5] = [1, 2, 7, 16, 33];
+/// power-of-two, a side whose square (1089) is word-unaligned, an exact
+/// one-word row, and a row that spills a single column into a second word.
+const SIDES: [usize; 7] = [1, 2, 7, 16, 33, 64, 65];
 
 /// Resource-state sizes covering merging factors 3, 2 and 1.
 const DEGREES: [usize; 3] = [4, 5, 7];
@@ -87,6 +95,116 @@ fn equivalence_survives_reset_blank_reuse_across_geometries() {
         packed_engine.generate_layer_into(&mut packed);
         dense_engine.generate_layer_into(&mut dense);
         assert_equivalent(&dense, &packed, &format!("round {round} L={side}"));
+    }
+}
+
+/// Fusion probabilities straddling the percolation threshold of the
+/// renormalized lattice: the BFS suite wants layers where bands both do
+/// and do not percolate, so near-critical values exercise the found /
+/// not-found boundary instead of the trivially-connected regime.
+const CRITICAL_PROBS: [f64; 3] = [0.62, 0.7, 0.75];
+
+/// Band widths for the BFS suite: the degenerate one-site band (single
+/// column for vertical searches, single row for horizontal ones), a
+/// width that tiles the small sides unevenly, and the production size.
+const NODE_SIZES: [usize; 3] = [1, 3, 6];
+
+#[test]
+fn word_frontier_bfs_matches_scalar_reference_across_configs() {
+    // The word-parallel renormalizer (bitmap reachability gate + packed
+    // extraction BFS, including the single-word fast path) must produce
+    // exactly the lattice of the preserved scalar BFS: same nodes, same
+    // paths site for site, for every side / merging factor / probability
+    // / band width combination. Scratch pools are reused across all
+    // configurations, as a streaming caller would.
+    let mut word = Renormalizer::new();
+    let mut scalar = ScalarRenormalizer::new();
+    for &side in &SIDES {
+        for &degree in &DEGREES {
+            for &p in &CRITICAL_PROBS {
+                let cfg = HardwareConfig::new(side, degree, p);
+                let mut engine = FusionEngine::new(cfg, 2024);
+                for layer_no in 0..2 {
+                    let layer = engine.generate_layer();
+                    for &node_size in &NODE_SIZES {
+                        if node_size > side {
+                            continue;
+                        }
+                        let w = word.renormalize(&layer, node_size);
+                        let s = scalar.renormalize(&layer, node_size);
+                        if let Some(msg) = s.mismatch(&w) {
+                            panic!(
+                                "L={side} d={degree} p={p} layer={layer_no} \
+                                 node_size={node_size}: {msg}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn word_frontier_region_bfs_matches_scalar_reference_off_origin() {
+    // Regions whose origin is not word-aligned shift every band against
+    // the 64-bit grid, so the band-local plane construction (sub-word
+    // extraction, trailing masks, cross-word carries at L=65) is
+    // exercised at offsets the whole-layer test never sees.
+    let mut word = Renormalizer::new();
+    let mut scalar = ScalarRenormalizer::new();
+    for &side in &[16usize, 33, 64, 65] {
+        for &degree in &DEGREES {
+            let cfg = HardwareConfig::new(side, degree, 0.7);
+            let mut engine = FusionEngine::new(cfg, 7);
+            let layer = engine.generate_layer();
+            for &(ox, oy) in &[(1usize, 0usize), (5, 3), (7, 7)] {
+                let w = side - ox - 1;
+                let h = side - oy - 2;
+                for &node_size in &[1usize, 4] {
+                    if node_size > w.min(h) {
+                        continue;
+                    }
+                    let got = word.renormalize_region(&layer, (ox, oy), w, h, node_size);
+                    let want = scalar.renormalize_region(&layer, (ox, oy), w, h, node_size);
+                    if let Some(msg) = want.mismatch(&got) {
+                        panic!(
+                            "L={side} d={degree} origin=({ox},{oy}) {w}x{h} \
+                             node_size={node_size}: {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn modular_pipeline_matches_scalar_reference() {
+    // Full modular runs: word-frontier module BFS plus the span-scan
+    // `join_across` against the scalar BFS plus the per-pair union scan.
+    // Every module lattice, every joining verdict and every counter must
+    // agree, across merging factors, near-critical probabilities and
+    // module grids — including node size 1, where joining bands degrade
+    // to single rows/columns.
+    let mut scalar = ScalarRenormalizer::new();
+    for &side in &[33usize, 64, 65] {
+        for &degree in &DEGREES {
+            for &p in &CRITICAL_PROBS {
+                let cfg = HardwareConfig::new(side, degree, p);
+                let mut engine = FusionEngine::new(cfg, 99);
+                let layer = engine.generate_layer();
+                for &(g, r, node) in &[(2usize, 7usize, 6usize), (2, 7, 1), (3, 4, 3)] {
+                    let mcfg = ModularConfig::new(g, r, node).sequential();
+                    let mut word = ModularRenormalizer::new(mcfg);
+                    let got = word.run(&layer);
+                    let want = scalar_modular_outcome(&layer, &mcfg, &mut scalar);
+                    if let Some(msg) = want.mismatch(&got) {
+                        panic!("L={side} d={degree} p={p} g={g} r={r} node={node}: {msg}");
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -183,6 +183,34 @@ impl Bitmap {
         out
     }
 
+    /// Extracts the 64 bits starting at `lo` as a `u64` with bit `lo` at
+    /// position 0, zero-padding past the end of the bitmap.
+    ///
+    /// This is the row-granular companion of [`Bitmap::range_word`] for
+    /// callers that read full words at a fixed offset per row (the
+    /// percolation band scans): no width argument, no range masking, and
+    /// when `lo` is word-aligned — the common case for row starts — the
+    /// extraction is a single load instead of `range_word`'s double shift.
+    /// Callers that need a *partial* trailing word keep using `range_word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > len`.
+    #[inline]
+    pub fn word_at(&self, lo: usize) -> u64 {
+        assert!(lo <= self.len, "bit offset {lo} out of range (len {})", self.len);
+        let wi = word_index(lo);
+        let shift = bit_index(lo);
+        let mut out = self.words.get(wi).copied().unwrap_or(0);
+        if shift > 0 {
+            out >>= shift;
+            if let Some(&next) = self.words.get(wi + 1) {
+                out |= next << (WORD_BITS as u32 - shift);
+            }
+        }
+        out
+    }
+
     /// Iterates the indices of set bits in `lo..hi` in increasing order,
     /// scanning whole words and peeling set bits with `trailing_zeros`
     /// instead of testing every position.
@@ -305,6 +333,53 @@ mod tests {
             let slow: Vec<usize> = (lo..hi).filter(|&i| bits.get(i)).collect();
             assert_eq!(fast, slow, "range {lo}..{hi}");
         }
+    }
+
+    /// Naive reference: bit `j` of the result is bit `lo + j` of the
+    /// bitmap, missing bits zero.
+    fn naive_word(bits: &Bitmap, lo: usize, width: usize) -> u64 {
+        let mut out = 0u64;
+        for j in 0..width {
+            if lo + j < bits.len() && bits.get(lo + j) {
+                out |= 1u64 << j;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn word_at_matches_naive_bit_loop() {
+        let mut bits = Bitmap::with_len(200, false);
+        for i in (0..200).filter(|i| i % 5 == 1 || i % 64 >= 61) {
+            bits.set(i, true);
+        }
+        // Aligned starts (single-load path), unaligned straddles, offsets
+        // near and at the end (zero-padding path).
+        for lo in [0usize, 64, 128, 1, 7, 63, 65, 100, 137, 190, 199, 200] {
+            assert_eq!(bits.word_at(lo), naive_word(&bits, lo, 64), "lo {lo}");
+        }
+        // Every offset, exhaustively.
+        for lo in 0..=bits.len() {
+            assert_eq!(bits.word_at(lo), naive_word(&bits, lo, 64), "lo {lo}");
+        }
+    }
+
+    #[test]
+    fn range_word_matches_naive_bit_loop() {
+        let mut bits = Bitmap::with_len(150, false);
+        for i in (0..150).filter(|i| i % 3 == 0) {
+            bits.set(i, true);
+        }
+        for (lo, hi) in [(0, 64), (0, 13), (60, 70), (64, 128), (100, 150), (149, 150), (10, 10)] {
+            assert_eq!(bits.range_word(lo, hi), naive_word(&bits, lo, hi - lo), "{lo}..{hi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_at_past_len_panics() {
+        let bits = Bitmap::with_len(10, false);
+        let _ = bits.word_at(11);
     }
 
     #[test]

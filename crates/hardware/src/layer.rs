@@ -21,6 +21,31 @@
 //!   the same invariant the `Vec<bool>` representation maintained through
 //!   its panicking setters, now also relied on by popcount
 //!   [`PhysicalLayer::bond_count`].
+//!
+//! # Word-frontier consumers (PR 6)
+//!
+//! The percolation crate's renormalizer builds *band-local* planes from
+//! these bitmaps: per band row it reads 64 bits at an arbitrary flat
+//! offset through [`PhysicalLayer::site_row_word`] /
+//! [`PhysicalLayer::bond_east_row_word`] /
+//! [`PhysicalLayer::bond_north_row_word`] (backed by
+//! [`Bitmap::word_at`]), masks them to the band width and runs its BFS
+//! reachability fixpoint on the results. Two derived invariants those
+//! consumers rely on:
+//!
+//! * an *east-connectivity* word is `present & east & (present >> 1)`
+//!   (all three taken at the same flat offset): bit `x` set means sites
+//!   `x` and `x + 1` are both present and bonded, so a maximal run of
+//!   set bits is exactly one horizontally connected span — this is what
+//!   lets the modular joiner union a whole span with a single
+//!   `DisjointSet::union_range` instead of one union per bond;
+//! * a *vertical-bond* word is `north & present & present-of-row-above`,
+//!   whose set bits are the only places a frontier can cross rows.
+//!
+//! Because the row-word accessors read in flat-index order, bits past the
+//! row end belong to the next row; every band consumer masks with the
+//! band width before using a word, and the invariant words above inherit
+//! that requirement.
 
 use graphstate::{CsrSnapshot, DisjointSet, GraphState};
 
@@ -275,6 +300,33 @@ impl PhysicalLayer {
     /// Iterates the flat indices of present sites in `lo..hi` (word scan).
     pub fn present_in_range(&self, lo: usize, hi: usize) -> crate::bitmap::SetBits<'_> {
         self.site_present.iter_set_in(lo, hi)
+    }
+
+    /// 64 site-presence bits starting at `(x0, y)`: bit `j` is the site at
+    /// `(x0 + j, y)` **in flat-index order**, which runs into row `y + 1`
+    /// when `x0 + j` passes the row end — callers mask to their row width.
+    /// Single-load when the flat offset is word-aligned (see
+    /// [`Bitmap::word_at`]); the band scans of the percolation crates read
+    /// every row through these instead of `range_word`'s double shift.
+    #[inline]
+    pub fn site_row_word(&self, y: usize, x0: usize) -> u64 {
+        self.site_present.word_at(y * self.width + x0)
+    }
+
+    /// 64 east-bond bits starting at `(x0, y)` (bit `j`: bond from
+    /// `(x0 + j, y)` to its east neighbor); same flat-order caveat as
+    /// [`PhysicalLayer::site_row_word`].
+    #[inline]
+    pub fn bond_east_row_word(&self, y: usize, x0: usize) -> u64 {
+        self.bond_east.word_at(y * self.width + x0)
+    }
+
+    /// 64 north-bond bits starting at `(x0, y)` (bit `j`: bond from
+    /// `(x0 + j, y)` to `(x0 + j, y + 1)`); same flat-order caveat as
+    /// [`PhysicalLayer::site_row_word`].
+    #[inline]
+    pub fn bond_north_row_word(&self, y: usize, x0: usize) -> u64 {
+        self.bond_north.word_at(y * self.width + x0)
     }
 
     /// Stores 64 site-presence bits at word index `wi` (layer generator
@@ -567,6 +619,32 @@ mod tests {
                 layer.temporal_port(i % 13, i / 13),
                 "port {i}"
             );
+        }
+    }
+
+    #[test]
+    fn row_word_accessors_match_bit_reads() {
+        let mut layer = PhysicalLayer::blank(13, 7);
+        layer.set_site_present(4, 3, false);
+        layer.set_site_present(12, 6, false);
+        layer.set_bond_east(7, 5, true);
+        layer.set_bond_east(0, 0, true);
+        layer.set_bond_north(12, 2, true);
+        let n = layer.site_count();
+        for y in 0..7 {
+            for x0 in 0..13 {
+                let base = y * 13 + x0;
+                for j in 0..64usize {
+                    let i = base + j;
+                    let expect = |bit: bool| if i < n { bit } else { false };
+                    let site = expect(i < n && layer.site_present_at(i));
+                    let east = expect(i < n && layer.bond_east_at(i));
+                    let north = expect(i < n && layer.bond_north_at(i));
+                    assert_eq!((layer.site_row_word(y, x0) >> j) & 1 == 1, site, "site {y},{x0}+{j}");
+                    assert_eq!((layer.bond_east_row_word(y, x0) >> j) & 1 == 1, east, "east {y},{x0}+{j}");
+                    assert_eq!((layer.bond_north_row_word(y, x0) >> j) & 1 == 1, north, "north {y},{x0}+{j}");
+                }
+            }
         }
     }
 

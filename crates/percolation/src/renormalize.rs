@@ -12,16 +12,36 @@
 //! All state is dense: sites are flat `u32` indices (`y * width + x`), the
 //! band-restricted BFS runs over epoch-stamped scratch arrays from a
 //! [`ScratchPool`](crate::ScratchPool), and path-intersection tests are
-//! stamp lookups instead of hash-set probes. The BFS itself doubles as the
-//! connectivity check (an exhausted frontier *is* the proof that the band
-//! does not percolate), so no per-band union-find is built. Since the
-//! PR-5 bit-packed layer, frontier seeding scans the packed site words
-//! (64 sites per step; see the word-layout convention in
-//! `oneperc_hardware::layer`) instead of one boolean per site.
+//! stamp lookups instead of hash-set probes. Since the PR-5 bit-packed
+//! layer, frontier seeding scans the packed site words (64 sites per step;
+//! see the word-layout convention in `oneperc_hardware::layer`) instead of
+//! one boolean per site.
+//!
+//! # Word-parallel reachability gate (PR 6)
+//!
+//! Each band search runs in two stages. A **word-parallel reachability
+//! fixpoint** first answers *whether* the band percolates, on row-aligned
+//! `u64` bitmaps held in the scratch pool: the band's present sites,
+//! east-run connectivity and both-present vertical bonds are loaded as
+//! `ceil(band_width / 64)` words per band row, east/west propagation
+//! within a row is a Kogge–Stone run fill over the connectivity words, and
+//! north/south propagation is a whole-row AND against the vertical bond
+//! plane. The fixpoint exits as soon as the end edge lights up; running
+//! dry without lighting it is the proof that the band does not percolate,
+//! and the per-site stage is skipped entirely.
+//!
+//! Only when the gate passes does the **scalar parent-tracking BFS** run,
+//! solely to extract the path: its neighbor order (east, west, north,
+//! south) is the tie-break that pins every extracted path bit-for-bit to
+//! the historical implementation, which word-level frontier expansion
+//! cannot reproduce. The BFS queue carries `(flat index, x, y)` packed
+//! into one `u64` (see `scratch::pack_site`), so the hot dequeue path
+//! never divides by the layer width, and all site/bond tests read the
+//! packed planes' raw words directly.
 
 use oneperc_hardware::PhysicalLayer;
 
-use crate::scratch::{ScratchPool, NO_SITE};
+use crate::scratch::{pack_site, ScratchPool, NO_SITE};
 
 /// The outcome of renormalizing one RSL.
 ///
@@ -209,6 +229,10 @@ impl Renormalizer {
             ox + width <= layer.width && oy + height <= layer.height,
             "region exceeds the layer"
         );
+        assert!(
+            layer.width <= 1 << 16 && layer.height <= 1 << 16,
+            "layer side exceeds the packed-queue coordinate range"
+        );
         let k_cols = width / node_size;
         let k_rows = height / node_size;
         let k = k_cols.min(k_rows);
@@ -282,88 +306,442 @@ impl Renormalizer {
         }
     }
 
-    /// Searches one band-restricted crossing path with a flat-grid BFS. For
-    /// a vertical band the path runs from the top row to the bottom row of
-    /// the region; for a horizontal band from the left column to the right
-    /// column. Returns the path as flat site indices, or `None` when the
-    /// band does not percolate (detected by frontier exhaustion — BFS is
-    /// its own connectivity check).
+    /// Searches one band-restricted crossing path. For a vertical band the
+    /// path runs from the top row to the bottom row of the region; for a
+    /// horizontal band from the left column to the right column. Returns
+    /// the path as flat site indices, or `None` when the band does not
+    /// percolate.
+    ///
+    /// The word-parallel reachability fixpoint decides percolation first;
+    /// the per-site parent-tracking BFS runs only when a path is known to
+    /// exist, purely to extract it (see the module docs).
     fn search_path(&mut self, layer: &PhysicalLayer, band: Band) -> Option<Vec<u32>> {
+        debug_assert!(band.x_hi <= layer.width && band.y_hi <= layer.height);
+        if !self.band_percolates(layer, &band) {
+            return None;
+        }
+        self.extract_path(layer, band)
+    }
+
+    /// Word-parallel reachability fixpoint over one band: answers whether
+    /// any present start-edge site connects to the end edge, on row-aligned
+    /// `u64` bitmaps and without touching the per-site scratch. Returns as
+    /// soon as the end edge lights up; a fixpoint that runs dry without
+    /// lighting it is the proof the band does not percolate.
+    fn band_percolates(&mut self, layer: &PhysicalLayer, band: &Band) -> bool {
+        let Band { x_lo, x_hi, y_lo, y_hi, vertical } = *band;
+        let bw = x_hi - x_lo;
+        let bh = y_hi - y_lo;
+        if bw == 0 || bh == 0 {
+            return false;
+        }
+        let nc = bw.div_ceil(64);
         let w = layer.width;
-        let Band { x_lo, x_hi, y_lo, y_hi, vertical } = band;
-        debug_assert!(x_hi <= layer.width && y_hi <= layer.height);
+        let n = nc * bh;
 
-        let epoch = self.scratch.begin_search();
+        let scratch = &mut self.scratch;
+        // Every `band_pres` / `band_conn` word and every `band_vert` row but
+        // the last are overwritten below, so those planes only grow; the
+        // frontier needs a true clear, and `band_vert`'s last row (no bond
+        // leaves the band) is zeroed explicitly.
+        if scratch.band_pres.len() < n {
+            scratch.band_pres.resize(n, 0);
+            scratch.band_conn.resize(n, 0);
+            scratch.band_vert.resize(n, 0);
+        }
+        scratch.band_vert[(bh - 1) * nc..n].fill(0);
+        scratch.band_reach.clear();
+        scratch.band_reach.resize(n, 0);
 
-        // Seed the frontier with every present start-edge site of the band.
-        // A vertical band's start edge is one contiguous row segment, so the
-        // present sites come straight off the packed site words (64 sites
-        // per scan step); a horizontal band's start edge is a column
-        // (stride-`w` reads), which stays per-site.
-        if vertical {
-            let row = y_lo * w;
-            for i in layer.present_in_range(row + x_lo, row + x_hi) {
-                self.scratch.visit(i as u32, NO_SITE, epoch);
+        let site = layer.site_bits();
+        let be = layer.bond_east_bits();
+        let bn = layer.bond_north_bits();
+
+        // Single pass per band row: the present plane masked to the band
+        // width, then the east-run connectivity of the same row (bit x =
+        // sites x and x+1 present and east-bonded; chunk seams inject the
+        // next chunk's bit 0 at position 63 so runs crossing a word
+        // boundary stay connected — the band mask on `band_pres` already
+        // zeroes any east bond leaving the band), then the both-present
+        // vertical bonds from the row above, whose two present rows are now
+        // loaded.
+        for r in 0..bh {
+            let base = (y_lo + r) * w + x_lo;
+            for c in 0..nc {
+                let take = (bw - c * 64).min(64);
+                let m = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+                scratch.band_pres[r * nc + c] = site.word_at(base + c * 64) & m;
             }
-        } else {
-            for y in y_lo..y_hi {
-                let i = (y * w + x_lo) as u32;
-                if layer.site_present_at(i as usize) {
-                    self.scratch.visit(i, NO_SITE, epoch);
+            for c in 0..nc {
+                let i = r * nc + c;
+                let p = scratch.band_pres[i];
+                let seam = if c + 1 < nc { scratch.band_pres[i + 1] & 1 } else { 0 };
+                let p_east = (p >> 1) | (seam << 63);
+                scratch.band_conn[i] = p & p_east & be.word_at(base + c * 64);
+            }
+            if r > 0 {
+                let above = (y_lo + r - 1) * w + x_lo;
+                for c in 0..nc {
+                    let j = (r - 1) * nc + c;
+                    scratch.band_vert[j] =
+                        scratch.band_pres[j] & scratch.band_pres[j + nc] & bn.word_at(above + c * 64);
                 }
             }
         }
 
-        let mut head = 0usize;
-        while let Some(idx) = self.scratch.queue_get(head) {
-            head += 1;
-            let iu = idx as usize;
-            let y = iu / w;
-            let x = iu - y * w;
+        let end_bit = 1u64 << ((bw - 1) & 63);
+        let end_lit = |reach: &[u64], r: usize| -> bool {
+            if vertical {
+                r == bh - 1 && reach[r * nc..(r + 1) * nc].iter().any(|&m| m != 0)
+            } else {
+                reach[r * nc + (nc - 1)] & end_bit != 0
+            }
+        };
 
-            let at_end = if vertical { y == y_hi - 1 } else { x == x_hi - 1 };
-            if at_end {
-                // Reconstruct from the predecessor chain.
-                let mut path = vec![idx];
-                let mut cur = idx;
-                loop {
-                    let p = self.scratch.predecessor(cur);
-                    if p == NO_SITE {
-                        break;
+        // Seed the start edge and fill the seeded rows to their horizontal
+        // closure. A vertical band starts from every present top-row site;
+        // a horizontal band from the present left-column sites.
+        if vertical {
+            for c in 0..nc {
+                scratch.band_reach[c] = scratch.band_pres[c];
+            }
+            fill_row(&mut scratch.band_reach[..nc], &scratch.band_conn[..nc]);
+            if end_lit(&scratch.band_reach, 0) {
+                return true;
+            }
+        } else {
+            for r in 0..bh {
+                let s = scratch.band_pres[r * nc] & 1;
+                if s != 0 {
+                    scratch.band_reach[r * nc] = s;
+                    fill_row(
+                        &mut scratch.band_reach[r * nc..(r + 1) * nc],
+                        &scratch.band_conn[r * nc..(r + 1) * nc],
+                    );
+                    if end_lit(&scratch.band_reach, r) {
+                        return true;
                     }
-                    path.push(p);
-                    cur = p;
                 }
-                path.reverse();
-                return Some(path);
+            }
+        }
+
+        // Alternate down/up sweeps to the fixpoint: each sweep pushes the
+        // frontier through the vertical bond plane one row at a time and
+        // re-closes the receiving row horizontally. Reachability is
+        // monotone, so the loop terminates; for percolating bands the end
+        // edge usually lights within the first down sweep.
+        loop {
+            let mut changed = false;
+            for r in 0..bh.saturating_sub(1) {
+                let mut dirty = false;
+                for c in 0..nc {
+                    let add = scratch.band_reach[r * nc + c]
+                        & scratch.band_vert[r * nc + c]
+                        & !scratch.band_reach[(r + 1) * nc + c];
+                    if add != 0 {
+                        scratch.band_reach[(r + 1) * nc + c] |= add;
+                        dirty = true;
+                    }
+                }
+                if dirty {
+                    fill_row(
+                        &mut scratch.band_reach[(r + 1) * nc..(r + 2) * nc],
+                        &scratch.band_conn[(r + 1) * nc..(r + 2) * nc],
+                    );
+                    changed = true;
+                    if end_lit(&scratch.band_reach, r + 1) {
+                        return true;
+                    }
+                }
+            }
+            for r in (1..bh).rev() {
+                let mut dirty = false;
+                for c in 0..nc {
+                    let add = scratch.band_reach[r * nc + c]
+                        & scratch.band_vert[(r - 1) * nc + c]
+                        & !scratch.band_reach[(r - 1) * nc + c];
+                    if add != 0 {
+                        scratch.band_reach[(r - 1) * nc + c] |= add;
+                        dirty = true;
+                    }
+                }
+                if dirty {
+                    fill_row(
+                        &mut scratch.band_reach[(r - 1) * nc..r * nc],
+                        &scratch.band_conn[(r - 1) * nc..r * nc],
+                    );
+                    changed = true;
+                    if end_lit(&scratch.band_reach, r - 1) {
+                        return true;
+                    }
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+
+    /// Per-site parent-tracking BFS extracting the crossing path of a band
+    /// the reachability gate has already proven to percolate. The traversal
+    /// is identical to the historical implementation — same seeds in the
+    /// same order, same east/west/north/south neighbor order, end test at
+    /// dequeue — so every extracted path is bit-for-bit unchanged. Only the
+    /// bookkeeping is faster: discoverability reads come from the gate's
+    /// band-local connectivity planes (one bit instead of a bond test plus
+    /// a presence test on `width × height` arrays), the visited set is a
+    /// band-local bitmap, and queue entries carry their band coordinates
+    /// packed so the dequeue path never divides by the layer width.
+    fn extract_path(&mut self, layer: &PhysicalLayer, band: Band) -> Option<Vec<u32>> {
+        let w = layer.width;
+        let Band { x_lo, x_hi, y_lo, y_hi, vertical } = band;
+        let bw = x_hi - x_lo;
+        let bh = y_hi - y_lo;
+        let nc = bw.div_ceil(64);
+        // One slot per possible band coordinate, so a row's offset is a
+        // single multiply by `stride` and no entry ever aliases.
+        let stride = nc * 64;
+        /// Predecessor sentinel marking a seed; `pack_site` cannot produce
+        /// it because flat indices stay below `u32::MAX`.
+        const SEED: u64 = u64::MAX;
+
+        let scratch = &mut self.scratch;
+        scratch.band_visited.clear();
+        // Band row `r`'s visited word lives at row `r + 1`: the leading and
+        // trailing zero rows let the branchless fast path read the visited
+        // words of the rows above and below unconditionally (the matching
+        // vertical bond words are zero at the band bounds, masking the
+        // padding reads out of the result).
+        scratch.band_visited.resize(nc * (bh + 2), 0);
+        if scratch.band_prev.len() < stride * bh {
+            scratch.band_prev.resize(stride * bh, 0);
+        }
+        // The queue is a grow-only buffer indexed by a `tail` cursor, never
+        // cleared: every band site is enqueued at most once, so one slot
+        // per band coordinate suffices, the hot enqueue is a plain indexed
+        // store, and the zero-fill is paid once per pool growth instead of
+        // once per band. Slots past `tail` are stale from earlier bands and
+        // never read.
+        if scratch.queue.len() < stride * bh {
+            scratch.queue.resize(stride * bh, 0);
+        }
+        let mut tail = 0usize;
+
+        // Seed the frontier with every present start-edge site of the band,
+        // in ascending order, straight off the band-local present plane. A
+        // vertical band's start edge is its top row; a horizontal band's is
+        // its left column.
+        if vertical {
+            for c in 0..nc {
+                let mut m = scratch.band_pres[c];
+                scratch.band_visited[nc + c] = m;
+                let base = (y_lo * w + x_lo + c * 64) as u32;
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    let bx = c * 64 + b as usize;
+                    scratch.band_prev[bx] = SEED;
+                    scratch.queue[tail] = pack_site(base + b, bx, 0);
+                    tail += 1;
+                    m &= m - 1;
+                }
+            }
+        } else {
+            for r in 0..bh {
+                if scratch.band_pres[r * nc] & 1 != 0 {
+                    scratch.band_visited[(r + 1) * nc] |= 1;
+                    scratch.band_prev[r * stride] = SEED;
+                    scratch.queue[tail] = pack_site(((y_lo + r) * w + x_lo) as u32, 0, r);
+                    tail += 1;
+                }
+            }
+        }
+
+        /// Walks the packed predecessor chain back to a seed; every entry
+        /// carries its global flat index for the output and its band
+        /// coordinates for indexing the chain.
+        fn reconstruct(band_prev: &[u64], stride: usize, end: u64) -> Vec<u32> {
+            let slot =
+                |e: u64| ((e >> 48) as usize) * stride + ((e >> 32) as u16 as usize);
+            // Walk the chain twice — once to size the path, once to fill it
+            // back to front — so the output vector is allocated exactly once
+            // at its final length.
+            let mut len = 1usize;
+            let mut cur = end;
+            loop {
+                let p = band_prev[slot(cur)];
+                if p == SEED {
+                    break;
+                }
+                len += 1;
+                cur = p;
+            }
+            let mut path = vec![0u32; len];
+            let mut cur = end;
+            for i in (0..len).rev() {
+                path[i] = cur as u32;
+                cur = band_prev[slot(cur)];
+            }
+            path
+        }
+
+        // Neighbor order (east, west, north, south) matches the original
+        // implementation so BFS tie-breaking — and therefore every extracted
+        // path — is bit-identical. The connectivity planes already encode
+        // bond presence, both endpoints' site presence and the band mask, so
+        // each direction is one bit: bit `bw - 1` of `band_conn` and the
+        // whole last row of `band_vert` are zero, which is the east/north
+        // band bound.
+        if nc == 1 {
+            // Single-word rows: build a branchless 4-bit mask of
+            // discoverable neighbors (bond present AND target unvisited),
+            // ordered east, west, north, south in its low bits, then visit
+            // its set bits. Per-bond branches on random percolation data are
+            // ~50% mispredicted; the mask trades them for straight-line ALU
+            // work plus one well-predicted loop whose trip count is the
+            // number of *discoveries* (amortised one per site) rather than
+            // the number of bond tests (four per site).
+            //
+            // Each direction's packed queue entry differs from the parent's
+            // by a constant, and no field ever borrows past its boundary
+            // (west/south discoveries imply `bx >= 1` / `br >= 1`, and flat
+            // indices stay inside the layer), so the neighbor entry is one
+            // wrapping add against a per-direction delta instead of a
+            // re-pack.
+            let deltas: [u64; 4] = [
+                1 | 1 << 32,                          // east: idx + 1, bx + 1
+                (1u64 | 1 << 32).wrapping_neg(),      // west: idx - 1, bx - 1
+                w as u64 | 1 << 48,                   // north: idx + w, br + 1
+                (w as u64 | 1 << 48).wrapping_neg(),  // south: idx - w, br - 1
+            ];
+            // Degenerate bands — one row for a vertical crossing, one
+            // column for a horizontal one — seed directly on the end edge;
+            // the historical BFS dequeues the first seed and returns it as
+            // a single-site path. (The other thin shape, e.g. a one-column
+            // vertical band, is *not* degenerate: its path still has to
+            // descend the column, so it takes the regular loop below.)
+            if if vertical { bh == 1 } else { bw == 1 } {
+                return (tail > 0).then(|| vec![scratch.queue[0] as u32]);
+            }
+            // Non-degenerate bands never seed on the end edge, so the first
+            // end site *discovered* is also the first dequeued (the queue is
+            // FIFO) and the predecessor chain is already final at discovery.
+            // Returning right there extracts the identical path while
+            // skipping the expansion of everything queued behind the end —
+            // typically the whole final BFS wavefront.
+            // Interleave each row's three connectivity words (east runs,
+            // vertical bonds down, vertical bonds up — pre-zeroed for row
+            // zero) into one padded quadruple, so the hot loop fetches them
+            // with a single bounds check from a single cache line instead
+            // of three checked loads from three arrays.
+            let ScratchPool { queue, band_conn, band_vert, band_visited, band_prev, band_cv, .. } =
+                scratch;
+            band_cv.clear();
+            band_cv.resize(4 * bh, 0);
+            for r in 0..bh {
+                band_cv[4 * r] = band_conn[r];
+                band_cv[4 * r + 1] = band_vert[r];
+                if r > 0 {
+                    band_cv[4 * r + 2] = band_vert[r - 1];
+                }
+            }
+            let mut head = 0usize;
+            while head < tail {
+                let packed = queue[head];
+                head += 1;
+                let bx = (packed >> 32) as u16 as u32;
+                let br = (packed >> 48) as usize;
+
+                let Some(&[conn, vert, vert_up, _]) = band_cv[4 * br..].first_chunk() else {
+                    unreachable!("queue entries stay inside the band");
+                };
+                // `band_vert` row `bh - 1` is all zeros, so `vd` (the
+                // visited row below, only meaningful when the north bond
+                // bit is set) may read the trailing padding row; the south
+                // direction likewise reads the leading padding row and a
+                // zero `vert_up` word for `br == 0`.
+                let Some(&[vu, vis, vd]) = band_visited[br..].first_chunk() else {
+                    unreachable!("visited rows are padded on both sides");
+                };
+                // East bond is `conn` bit `bx`, west bond is bit `bx - 1`
+                // (shifted up first so `bx == 0` reads a hardwired zero);
+                // the same shifts fetch the target sites' visited bits.
+                let east = (conn >> bx) & !(vis >> 1 >> bx);
+                let west = (conn << 1 >> bx) & !(vis << 1 >> bx);
+                let north = (vert >> bx) & !(vd >> bx);
+                let south = (vert_up >> bx) & !(vu >> bx);
+                let mut m =
+                    east & 1 | (west & 1) << 1 | (north & 1) << 2 | (south & 1) << 3;
+                while m != 0 {
+                    let d = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let entry = packed.wrapping_add(deltas[d]);
+                    let nbx = (entry >> 32) as u16 as usize;
+                    let nbr = (entry >> 48) as usize;
+                    band_prev[nbr * stride + nbx] = packed;
+                    let at_end = if vertical { nbr == bh - 1 } else { nbx == bw - 1 };
+                    if at_end {
+                        return Some(reconstruct(band_prev, stride, entry));
+                    }
+                    // The mask already excluded visited targets, and the up
+                    // to four targets of one parent are distinct, so this
+                    // never double-visits.
+                    band_visited[nbr + 1] |= 1 << nbx;
+                    queue[tail] = entry;
+                    tail += 1;
+                }
+            }
+            return None;
+        }
+
+        /// Discovers a neighbor if it was not visited yet: marks it, records
+        /// the packed parent entry and enqueues it.
+        #[inline]
+        fn try_visit(
+            scratch: &mut ScratchPool,
+            tail: &mut usize,
+            packed: u64,
+            from: u64,
+            nc: usize,
+            stride: usize,
+        ) {
+            let bx = (packed >> 32) as u16 as usize;
+            let br = (packed >> 48) as usize;
+            let wi = (br + 1) * nc + (bx >> 6);
+            let bit = 1u64 << (bx & 63);
+            if scratch.band_visited[wi] & bit == 0 {
+                scratch.band_visited[wi] |= bit;
+                scratch.band_prev[br * stride + bx] = from;
+                scratch.queue[*tail] = packed;
+                *tail += 1;
+            }
+        }
+
+        let mut head = 0usize;
+        while head < tail {
+            let packed = scratch.queue[head];
+            head += 1;
+            let bx = (packed >> 32) as u16 as usize;
+            let br = (packed >> 48) as usize;
+
+            let at_end = if vertical { br == bh - 1 } else { bx == bw - 1 };
+            if at_end {
+                return Some(reconstruct(&scratch.band_prev, stride, packed));
             }
 
-            // Neighbor order (east, west, north, south) matches the
-            // original hash-based implementation so BFS tie-breaking — and
-            // therefore every extracted path — is bit-identical.
-            if x + 1 < x_hi && layer.bond_east_at(iu) {
-                let n = idx + 1;
-                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
-                    self.scratch.visit(n, idx, epoch);
-                }
+            let idx = packed as u32;
+            let row = br * nc;
+            let (wc, wb) = (bx >> 6, bx & 63);
+            if scratch.band_conn[row + wc] >> wb & 1 != 0 {
+                try_visit(scratch, &mut tail, pack_site(idx + 1, bx + 1, br), packed, nc, stride);
             }
-            if x > x_lo && layer.bond_east_at(iu - 1) {
-                let n = idx - 1;
-                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
-                    self.scratch.visit(n, idx, epoch);
-                }
+            if bx > 0 && scratch.band_conn[row + ((bx - 1) >> 6)] >> ((bx - 1) & 63) & 1 != 0 {
+                try_visit(scratch, &mut tail, pack_site(idx - 1, bx - 1, br), packed, nc, stride);
             }
-            if y + 1 < y_hi && layer.bond_north_at(iu) {
-                let n = idx + w as u32;
-                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
-                    self.scratch.visit(n, idx, epoch);
-                }
+            if scratch.band_vert[row + wc] >> wb & 1 != 0 {
+                try_visit(scratch, &mut tail, pack_site(idx + w as u32, bx, br + 1), packed, nc, stride);
             }
-            if y > y_lo && layer.bond_north_at(iu - w) {
-                let n = idx - w as u32;
-                if !self.scratch.is_visited(n, epoch) && layer.site_present_at(n as usize) {
-                    self.scratch.visit(n, idx, epoch);
-                }
+            if br > 0 && scratch.band_vert[row - nc + wc] >> wb & 1 != 0 {
+                try_visit(scratch, &mut tail, pack_site(idx - w as u32, bx, br - 1), packed, nc, stride);
             }
         }
         None
@@ -373,6 +751,59 @@ impl Renormalizer {
     /// joiner that want to share the union-find).
     pub(crate) fn scratch_mut(&mut self) -> &mut ScratchPool {
         &mut self.scratch
+    }
+
+}
+
+/// Closes a 64-bit row chunk of the reachability frontier under its
+/// east-connectivity word: every run of `conn` bits (bit `x` = edge
+/// between sites `x` and `x+1`) containing a set `s` bit becomes fully
+/// set. Kogge–Stone doubling: `e` holds the spans of length `k` (all `k`
+/// edges starting at the bit present), so one `k`-shift per direction per
+/// step closes runs of any length in log₂ 64 steps.
+#[inline]
+fn close_word(mut s: u64, conn: u64) -> u64 {
+    if conn == 0 || s == 0 {
+        return s;
+    }
+    let mut e = conn;
+    let mut k = 1u32;
+    while k < 64 {
+        s |= (s & e) << k;
+        s |= (s >> k) & e;
+        e &= e >> k;
+        if e == 0 {
+            break;
+        }
+        k <<= 1;
+    }
+    s
+}
+
+/// Fills one band row of the reachability frontier to its horizontal
+/// closure. `reach` and `conn` are the row's chunk words; a left-to-right
+/// pass closes each chunk and carries reachability east across chunk seams
+/// (seam edges live at bit 63 of the west chunk's connectivity word), then
+/// a right-to-left pass carries it west. Connectivity along a row is a
+/// union of intervals, so one pass per direction reaches the closure.
+#[inline]
+fn fill_row(reach: &mut [u64], conn: &[u64]) {
+    let nc = reach.len();
+    if nc == 1 {
+        reach[0] = close_word(reach[0], conn[0]);
+        return;
+    }
+    let mut carry = 0u64;
+    for c in 0..nc {
+        let s = close_word(reach[c] | carry, conn[c]);
+        carry = (s >> 63) & (conn[c] >> 63);
+        reach[c] = s;
+    }
+    for c in (0..nc - 1).rev() {
+        let west = (reach[c + 1] & conn[c] >> 63 & 1) << 63;
+        if west != 0 && reach[c] & (1 << 63) == 0 {
+            reach[c] = close_word(reach[c] | west, conn[c]);
+        }
     }
 }
 

@@ -7,15 +7,32 @@
 //! union-find — lives in a [`ScratchPool`] sized once per layer geometry
 //! and reused for every subsequent band, module and RSL.
 //!
-//! Visited/membership arrays are *epoch-stamped*: instead of clearing
-//! `width × height` entries per band search, the pool bumps a generation
-//! counter and treats any stale stamp as "unvisited". A full clear only
-//! happens on the (practically unreachable) epoch wrap.
+//! Membership arrays are *epoch-stamped*: instead of clearing
+//! `width × height` entries per intersection pass, the pool bumps a
+//! generation counter and treats any stale stamp as "unmarked". A full
+//! clear only happens on the (practically unreachable) epoch wrap.
+//!
+//! BFS state is *band-local* since PR 6: the frontier, visited set and
+//! bond-connectivity planes are row-aligned `u64` bitmaps covering only
+//! the band being searched (`ceil(band_width / 64)` words per band row),
+//! so a whole search touches a few cache lines instead of striding
+//! through `width × height` per-site arrays.
 
 use graphstate::DisjointSet;
 
 /// Sentinel flat index meaning "no site" / "no predecessor".
 pub(crate) const NO_SITE: u32 = u32::MAX;
+
+/// Packs a BFS queue entry: the flat site index in bits `0..32`, its `x`
+/// coordinate in `32..48` and its `y` coordinate in `48..64`. Carrying the
+/// coordinates through the queue removes the `idx / width` division from
+/// the hot dequeue path; [`crate::Renormalizer`] asserts that both layer
+/// sides fit the 16-bit coordinate fields.
+#[inline]
+pub(crate) fn pack_site(i: u32, x: usize, y: usize) -> u64 {
+    debug_assert!(x <= 0xFFFF && y <= 0xFFFF, "coordinates exceed the packed range");
+    i as u64 | ((x as u64) << 32) | ((y as u64) << 48)
+}
 
 /// Reusable working memory shared by all flat-grid searches.
 ///
@@ -23,21 +40,39 @@ pub(crate) const NO_SITE: u32 = u32::MAX;
 /// largest layer it has seen and stays there.
 #[derive(Debug, Clone, Default)]
 pub struct ScratchPool {
-    /// Epoch stamp per flat site: `visited[i] == epoch` means visited in
-    /// the current search.
-    visited: Vec<u32>,
-    /// BFS predecessor per flat site (valid only where `visited` is
-    /// current).
-    prev: Vec<u32>,
-    /// BFS queue (head index instead of pop-front so the buffer is reused).
-    queue: Vec<u32>,
+    /// BFS queue of [`pack_site`] entries (head index instead of pop-front
+    /// so the buffer is reused).
+    pub(crate) queue: Vec<u64>,
     /// Epoch stamp per flat site marking membership of the current vertical
     /// path during intersection tests.
     mark: Vec<u32>,
-    epoch: u32,
     mark_epoch: u32,
     /// Resettable union-find for joining-interval connectivity checks.
     pub(crate) dsu: DisjointSet,
+    /// Band-local row bitmaps for the word-parallel reachability fixpoint
+    /// (`nc` words per band row, resized per search): present sites masked
+    /// to the band, east-run connectivity, both-present vertical bonds and
+    /// the reachability frontier.
+    pub(crate) band_pres: Vec<u64>,
+    /// East-connectivity plane of the current band (see `band_pres`).
+    pub(crate) band_conn: Vec<u64>,
+    /// Vertical-bond plane of the current band (see `band_pres`).
+    pub(crate) band_vert: Vec<u64>,
+    /// Reachability frontier of the current band (see `band_pres`).
+    pub(crate) band_reach: Vec<u64>,
+    /// Visited bitmap of the path-extraction BFS, band-local like
+    /// `band_pres`.
+    pub(crate) band_visited: Vec<u64>,
+    /// Interleaved `[east-conn, vert, vert-of-row-above, pad]` quadruple per
+    /// band row for the single-word extraction fast path: one bounds check
+    /// and one cache line fetch all three connectivity words of a site's
+    /// row.
+    pub(crate) band_cv: Vec<u64>,
+    /// Packed predecessor entry per band-local site (`nc * 64` slots per
+    /// band row so the row offset is a shift-free multiply); only entries
+    /// of visited sites are ever read, so the buffer is grown but never
+    /// cleared.
+    pub(crate) band_prev: Vec<u64>,
 }
 
 impl ScratchPool {
@@ -48,24 +83,9 @@ impl ScratchPool {
 
     /// Ensures capacity for `n` flat sites.
     pub(crate) fn ensure(&mut self, n: usize) {
-        if self.visited.len() < n {
-            self.visited.resize(n, 0);
-            self.prev.resize(n, NO_SITE);
+        if self.mark.len() < n {
             self.mark.resize(n, 0);
         }
-    }
-
-    /// Starts a new BFS generation and returns its epoch stamp.
-    pub(crate) fn begin_search(&mut self) -> u32 {
-        self.epoch = match self.epoch.checked_add(1) {
-            Some(e) => e,
-            None => {
-                self.visited.fill(0);
-                1
-            }
-        };
-        self.queue.clear();
-        self.epoch
     }
 
     /// Starts a new membership generation (path intersection tests) and
@@ -79,29 +99,6 @@ impl ScratchPool {
             }
         };
         self.mark_epoch
-    }
-
-    #[inline]
-    pub(crate) fn is_visited(&self, i: u32, epoch: u32) -> bool {
-        self.visited[i as usize] == epoch
-    }
-
-    /// Marks `i` visited with predecessor `from` and enqueues it.
-    #[inline]
-    pub(crate) fn visit(&mut self, i: u32, from: u32, epoch: u32) {
-        self.visited[i as usize] = epoch;
-        self.prev[i as usize] = from;
-        self.queue.push(i);
-    }
-
-    #[inline]
-    pub(crate) fn queue_get(&self, head: usize) -> Option<u32> {
-        self.queue.get(head).copied()
-    }
-
-    #[inline]
-    pub(crate) fn predecessor(&self, i: u32) -> u32 {
-        self.prev[i as usize]
     }
 
     #[inline]
@@ -120,99 +117,57 @@ mod tests {
     use super::*;
 
     #[test]
-    fn epochs_invalidate_without_clearing() {
+    fn pack_site_round_trips_all_fields() {
+        let packed = pack_site(1234, 56, 78);
+        assert_eq!(packed as u32, 1234);
+        assert_eq!((packed >> 32) as u16 as usize, 56);
+        assert_eq!((packed >> 48) as usize, 78);
+        // Extremes of the coordinate fields.
+        let hi = pack_site(u32::MAX - 1, 0xFFFF, 0xFFFF);
+        assert_eq!(hi as u32, u32::MAX - 1);
+        assert_eq!((hi >> 32) as u16 as usize, 0xFFFF);
+        assert_eq!((hi >> 48) as usize, 0xFFFF);
+    }
+
+    #[test]
+    fn mark_epochs_invalidate_without_clearing() {
         let mut pool = ScratchPool::new();
         pool.ensure(16);
-        let e1 = pool.begin_search();
-        pool.visit(3, NO_SITE, e1);
-        assert!(pool.is_visited(3, e1));
-        let e2 = pool.begin_search();
-        assert!(!pool.is_visited(3, e2), "stale stamp must read unvisited");
-        assert_eq!(pool.queue_get(0), None, "queue resets per search");
-    }
-
-    #[test]
-    fn marks_are_independent_of_visits() {
-        let mut pool = ScratchPool::new();
-        pool.ensure(8);
         let m1 = pool.begin_mark();
         pool.set_mark(5, m1);
-        let e = pool.begin_search();
         assert!(pool.is_marked(5, m1));
-        assert!(!pool.is_visited(5, e));
         let m2 = pool.begin_mark();
-        assert!(!pool.is_marked(5, m2));
+        assert!(!pool.is_marked(5, m2), "stale mark must read unmarked");
     }
 
     #[test]
-    fn growing_preserves_current_epoch_semantics() {
+    fn growing_preserves_current_mark_epoch() {
         let mut pool = ScratchPool::new();
         pool.ensure(4);
-        let e = pool.begin_search();
-        pool.visit(1, NO_SITE, e);
+        let m = pool.begin_mark();
+        pool.set_mark(1, m);
         pool.ensure(64);
-        assert!(pool.is_visited(1, e));
-        assert!(!pool.is_visited(60, e), "new entries start unvisited");
+        assert!(pool.is_marked(1, m));
+        assert!(!pool.is_marked(60, m), "new entries start unmarked");
     }
 
     #[test]
-    fn search_epoch_wraparound_clears_stale_stamps() {
+    fn mark_epoch_wraparound_clears_stale_stamps() {
         let mut pool = ScratchPool::new();
         pool.ensure(8);
-        // Park the counter two steps from overflow and leave stamps behind
-        // at every epoch up to the wrap.
-        pool.epoch = u32::MAX - 2;
-        let e1 = pool.begin_search(); // MAX - 1
-        pool.visit(3, NO_SITE, e1);
-        let e2 = pool.begin_search(); // MAX
-        pool.visit(5, NO_SITE, e2);
-        assert_eq!(e2, u32::MAX);
-        assert!(!pool.is_visited(3, e2), "previous epoch invisible at MAX");
+        pool.mark_epoch = u32::MAX - 1;
+        let m1 = pool.begin_mark(); // MAX
+        pool.set_mark(3, m1);
+        assert_eq!(m1, u32::MAX);
         // The wrap itself: the pool must fall back to a full clear so no
         // site stamped with a pre-wrap epoch can alias a post-wrap one.
-        let e3 = pool.begin_search();
-        assert_eq!(e3, 1, "epoch restarts after the wrap");
+        let m2 = pool.begin_mark();
+        assert_eq!(m2, 1, "epoch restarts after the wrap");
         for i in 0..8u32 {
-            assert!(!pool.is_visited(i, e3), "site {i} leaked across the wrap");
+            assert!(!pool.is_marked(i, m2), "site {i} leaked across the wrap");
         }
-        pool.visit(2, NO_SITE, e3);
-        assert!(pool.is_visited(2, e3));
-    }
-
-    #[test]
-    fn mark_epoch_wraparound_is_independent_of_search_epoch() {
-        let mut pool = ScratchPool::new();
-        pool.ensure(8);
-        pool.mark_epoch = u32::MAX;
-        let e = pool.begin_search();
-        pool.visit(1, NO_SITE, e);
-        let m = pool.begin_mark(); // wraps to 1
-        assert_eq!(m, 1);
-        for i in 0..8u32 {
-            assert!(!pool.is_marked(i, m), "mark {i} leaked across the wrap");
-        }
-        // The search epoch and its stamps are untouched by the mark wrap.
-        assert!(pool.is_visited(1, e));
-    }
-
-    #[test]
-    fn thousands_of_searches_never_leak_visits() {
-        // Cross-layer reuse: one search per "layer" for thousands of
-        // layers, without any intervening reset. Every search must start
-        // from a blank view of the grid.
-        let n = 16usize;
-        let mut pool = ScratchPool::new();
-        pool.ensure(n);
-        for layer in 0..5000u32 {
-            let e = pool.begin_search();
-            for i in 0..n as u32 {
-                assert!(!pool.is_visited(i, e), "layer {layer}: site {i} pre-visited");
-            }
-            // Visit a layer-dependent subset so stale stamps differ between
-            // consecutive layers.
-            pool.visit(layer % n as u32, NO_SITE, e);
-            pool.visit((layer * 7 + 3) % n as u32, layer % n as u32, e);
-        }
+        pool.set_mark(2, m2);
+        assert!(pool.is_marked(2, m2));
     }
 
     #[test]
