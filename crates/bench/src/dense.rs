@@ -197,9 +197,10 @@ impl DenseBoolLayer {
 /// `FusionEngine::generate_layer_into`, transcribed onto the dense
 /// representation. Draw-for-draw identical sampler usage — merging phase
 /// and retries on the per-attempt stream, in-plane bonds on the
-/// word-batched stream, one `flush_batch` at the end of the bond phase —
-/// so a given seed must yield exactly the layer the bit-packed engine
-/// yields.
+/// word-batched stream (including the whole-row first-attempt words of
+/// the never-exhausting fast path), one `flush_batch` at the end of the
+/// bond phase — so a given seed must yield exactly the layer the
+/// bit-packed engine yields.
 #[derive(Debug, Clone)]
 pub struct DenseReferenceEngine {
     config: HardwareConfig,
@@ -207,6 +208,10 @@ pub struct DenseReferenceEngine {
     raw_rsl_consumed: u64,
     site_leaves: Vec<usize>,
     inplane_budget: Vec<usize>,
+    /// Pre-drawn first-attempt words for one row of east/north bonds
+    /// (mirrors the engine's whole-row fast path draw order).
+    row_east: Vec<u64>,
+    row_north: Vec<u64>,
 }
 
 impl DenseReferenceEngine {
@@ -219,6 +224,8 @@ impl DenseReferenceEngine {
             raw_rsl_consumed: 0,
             site_leaves: Vec::new(),
             inplane_budget: Vec::new(),
+            row_east: Vec::new(),
+            row_north: Vec::new(),
         }
     }
 
@@ -275,7 +282,12 @@ impl DenseReferenceEngine {
         }
 
         // Phase 2: in-plane bonds on the word-batched stream, stored one
-        // boolean at a time.
+        // boolean at a time. The draw *order* must match the bit-packed
+        // engine exactly, including its whole-row first-attempt fast path
+        // for never-exhausting configurations (merging factor 1, degree
+        // >= 6): a row's east then north first attempts are pre-drawn as
+        // packed words, and only the data-dependent retries consume the
+        // stream bit by bit during the sweep.
         let idx = |x: usize, y: usize| y * n + x;
         let remaining_bonds = |x: usize, y: usize| -> usize {
             let mut c = 0;
@@ -287,7 +299,22 @@ impl DenseReferenceEngine {
             }
             c
         };
+        let whole_row = m == 1 && base_degree >= 6;
         for y in 0..n {
+            if whole_row {
+                self.row_east.clear();
+                for cx in 0..(n - 1).div_ceil(64) {
+                    let cnt = 64.min(n - 1 - cx * 64) as u32;
+                    self.row_east.push(self.sampler.sample_batched_word(cnt));
+                }
+                self.row_north.clear();
+                if y + 1 < n {
+                    for cx in 0..n.div_ceil(64) {
+                        let cnt = 64.min(n - cx * 64) as u32;
+                        self.row_north.push(self.sampler.sample_batched_word(cnt));
+                    }
+                }
+            }
             for x in 0..n {
                 for east in [true, false] {
                     let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
@@ -296,15 +323,22 @@ impl DenseReferenceEngine {
                     }
                     let a = idx(x, y);
                     let b = idx(bx, by);
-                    if !layer.site_present[a] || !layer.site_present[b] {
-                        continue;
-                    }
-                    if self.inplane_budget[a] == 0 || self.inplane_budget[b] == 0 {
-                        continue;
+                    if !whole_row {
+                        if !layer.site_present[a] || !layer.site_present[b] {
+                            continue;
+                        }
+                        if self.inplane_budget[a] == 0 || self.inplane_budget[b] == 0 {
+                            continue;
+                        }
                     }
                     self.inplane_budget[a] -= 1;
                     self.inplane_budget[b] -= 1;
-                    let mut ok = self.sampler.sample_batched().is_success();
+                    let mut ok = if whole_row {
+                        let row = if east { &self.row_east } else { &self.row_north };
+                        row[x / 64] >> (x % 64) & 1 == 1
+                    } else {
+                        self.sampler.sample_batched().is_success()
+                    };
                     if !ok {
                         let spare_a = self.inplane_budget[a] > remaining_bonds(x, y);
                         let spare_b = self.inplane_budget[b] > remaining_bonds(bx, by);

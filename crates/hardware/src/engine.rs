@@ -75,6 +75,10 @@ pub struct FusionEngine {
     /// the steady-state per-RSL loop allocates nothing.
     site_leaves: Vec<usize>,
     inplane_budget: Vec<usize>,
+    /// Pre-drawn first-attempt outcome words for one row of east/north
+    /// bonds (whole-row fast path; reused across rows and layers).
+    row_east: Vec<u64>,
+    row_north: Vec<u64>,
 }
 
 impl FusionEngine {
@@ -86,6 +90,8 @@ impl FusionEngine {
             raw_rsl_consumed: 0,
             site_leaves: Vec::new(),
             inplane_budget: Vec::new(),
+            row_east: Vec::new(),
+            row_north: Vec::new(),
         }
     }
 
@@ -219,7 +225,7 @@ impl FusionEngine {
         }
         // Split borrows: the bond loop below mutates the budget while
         // drawing from the sampler.
-        let FusionEngine { sampler, inplane_budget, .. } = self;
+        let FusionEngine { sampler, inplane_budget, row_east, row_north, .. } = self;
 
         // Phase 2: in-plane leaf-leaf bonds. Every bond consumes one leaf at
         // each endpoint; failed bonds are retried when both endpoints still
@@ -227,12 +233,10 @@ impl FusionEngine {
         // need.
         //
         // Outcomes come from the sampler's word-batched bit-sliced stream
-        // (64 Bernoulli draws per refill, consumed one bit per attempt so
-        // the data-dependent budget/retry logic and the attempt accounting
-        // are untouched); decided bonds are OR-ed straight into the packed
-        // words. (Register-accumulating 64 decisions before storing was
-        // measured slower here: the word-boundary branch and the extra
-        // live registers cost more than L1-hit read-modify-writes.)
+        // (64 Bernoulli draws per refill); decided bonds are OR-ed straight
+        // into the packed words. (Register-accumulating 64 decisions before
+        // storing was measured slower here: the word-boundary branch and the
+        // extra live registers cost more than L1-hit read-modify-writes.)
         let idx = |x: usize, y: usize| y * n + x;
         let remaining_bonds = |x: usize, y: usize| -> usize {
             // Bonds not yet attempted for this site given the sweep order
@@ -248,42 +252,120 @@ impl FusionEngine {
             }
             c
         };
-        for y in 0..n {
-            for x in 0..n {
-                let a = idx(x, y);
-                for east in [true, false] {
-                    let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
-                    if bx >= n || by >= n {
-                        continue;
+        // Whole-row first-attempt fast path. With merging factor 1 the
+        // merging phase draws nothing and every site starts with
+        // `degree - 1` in-plane leaves; for `degree >= 6` that budget
+        // provably never reaches zero before a first attempt: retries are
+        // gated on `budget > remaining_bonds` (a per-site constant, at most
+        // 2), so each retry leaves at least that many leaves behind, and
+        // the worst-case drain before a site's last outgoing first attempt
+        // (two neighbor bonds with retries, then the own east bond) still
+        // leaves one leaf when starting from five. Every bond's first
+        // attempt is therefore unconditional, and a whole row of them can
+        // be pre-drawn as packed words — one `sample_batched_word` per 64
+        // bonds with one stats update, instead of per-bit consumption —
+        // while the data-dependent retries keep reading the same batched
+        // stream bit by bit right after the row's words.
+        //
+        // This reorders the draws within a row (all first attempts, then
+        // the retries of the sweep) and is the sanctioned one-time RNG
+        // stream break of PR 6: the dense reference engine consumes the
+        // stream in exactly the same order, so site-for-site equivalence
+        // still pins the layers.
+        let whole_row = m == 1 && base_degree >= 6;
+        if whole_row {
+            for y in 0..n {
+                row_east.clear();
+                for cx in 0..(n - 1).div_ceil(64) {
+                    let cnt = 64.min(n - 1 - cx * 64) as u32;
+                    row_east.push(sampler.sample_batched_word(cnt));
+                }
+                row_north.clear();
+                if y + 1 < n {
+                    for cx in 0..n.div_ceil(64) {
+                        let cnt = 64.min(n - cx * 64) as u32;
+                        row_north.push(sampler.sample_batched_word(cnt));
                     }
-                    let b = idx(bx, by);
-                    // Site presence (`leaves >= 2`) is equivalent to a
-                    // positive initial in-plane budget (`leaves - 1 >= 1`),
-                    // so the budget test below subsumes the presence test
-                    // the byte-walk implementation performed first — no
-                    // per-bond bitmap reads on this path.
-                    if inplane_budget[a] == 0 || inplane_budget[b] == 0 {
-                        continue;
-                    }
-                    inplane_budget[a] -= 1;
-                    inplane_budget[b] -= 1;
-                    let mut ok = sampler.sample_batched().is_success();
-                    if !ok {
-                        // Collective retry with redundant degrees.
-                        let spare_a = inplane_budget[a] > remaining_bonds(x, y);
-                        let spare_b = inplane_budget[b] > remaining_bonds(bx, by);
-                        if spare_a && spare_b {
-                            inplane_budget[a] -= 1;
-                            inplane_budget[b] -= 1;
-                            ok = sampler.sample_batched().is_success();
+                }
+                for x in 0..n {
+                    let a = idx(x, y);
+                    for east in [true, false] {
+                        let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
+                        if bx >= n || by >= n {
+                            continue;
+                        }
+                        let b = idx(bx, by);
+                        debug_assert!(
+                            inplane_budget[a] > 0 && inplane_budget[b] > 0,
+                            "whole-row fast path drew a first attempt for a skipped bond"
+                        );
+                        inplane_budget[a] -= 1;
+                        inplane_budget[b] -= 1;
+                        let row = if east { &*row_east } else { &*row_north };
+                        let mut ok = row[x / 64] >> (x % 64) & 1 == 1;
+                        if !ok {
+                            // Collective retry with redundant degrees.
+                            let spare_a = inplane_budget[a] > remaining_bonds(x, y);
+                            let spare_b = inplane_budget[b] > remaining_bonds(bx, by);
+                            if spare_a && spare_b {
+                                inplane_budget[a] -= 1;
+                                inplane_budget[b] -= 1;
+                                ok = sampler.sample_batched().is_success();
+                            }
+                        }
+                        if ok {
+                            let bit = 1u64 << (a % 64);
+                            if east {
+                                layer.or_bond_east_word(a / 64, bit);
+                            } else {
+                                layer.or_bond_north_word(a / 64, bit);
+                            }
                         }
                     }
-                    if ok {
-                        let bit = 1u64 << (a % 64);
-                        if east {
-                            layer.or_bond_east_word(a / 64, bit);
-                        } else {
-                            layer.or_bond_north_word(a / 64, bit);
+                }
+            }
+        } else {
+            // Exhaustible budgets (merged or low-degree resource states):
+            // attempt eligibility is data-dependent, so outcomes are
+            // consumed one bit per attempt, keeping accounting exact under
+            // the budget/retry control flow.
+            for y in 0..n {
+                for x in 0..n {
+                    let a = idx(x, y);
+                    for east in [true, false] {
+                        let (bx, by) = if east { (x + 1, y) } else { (x, y + 1) };
+                        if bx >= n || by >= n {
+                            continue;
+                        }
+                        let b = idx(bx, by);
+                        // Site presence (`leaves >= 2`) is equivalent to a
+                        // positive initial in-plane budget (`leaves - 1 >= 1`),
+                        // so the budget test below subsumes the presence test
+                        // the byte-walk implementation performed first — no
+                        // per-bond bitmap reads on this path.
+                        if inplane_budget[a] == 0 || inplane_budget[b] == 0 {
+                            continue;
+                        }
+                        inplane_budget[a] -= 1;
+                        inplane_budget[b] -= 1;
+                        let mut ok = sampler.sample_batched().is_success();
+                        if !ok {
+                            // Collective retry with redundant degrees.
+                            let spare_a = inplane_budget[a] > remaining_bonds(x, y);
+                            let spare_b = inplane_budget[b] > remaining_bonds(bx, by);
+                            if spare_a && spare_b {
+                                inplane_budget[a] -= 1;
+                                inplane_budget[b] -= 1;
+                                ok = sampler.sample_batched().is_success();
+                            }
+                        }
+                        if ok {
+                            let bit = 1u64 << (a % 64);
+                            if east {
+                                layer.or_bond_east_word(a / 64, bit);
+                            } else {
+                                layer.or_bond_north_word(a / 64, bit);
+                            }
                         }
                     }
                 }
@@ -320,6 +402,29 @@ mod tests {
         assert_eq!(layer.bond_count(), 2 * 8 * 7);
         assert_eq!(layer.largest_component_size(), 64);
         assert_eq!(layer.raw_rsl_consumed, 1);
+    }
+
+    #[test]
+    fn whole_row_fast_path_attempts_every_bond() {
+        // Merging factor 1 with degree >= 6: budgets provably never
+        // exhaust, so every lattice bond gets exactly one first attempt
+        // (pre-drawn by the whole-row words) and attempts beyond the
+        // planned bond count are retries, at most one per bond. The
+        // fast path's debug assertion cross-checks the non-exhaustion
+        // proof on every generated layer.
+        for side in [1usize, 2, 7, 33, 64, 65] {
+            let cfg = HardwareConfig::new(side, 7, 0.7);
+            assert_eq!(cfg.merging_factor(), 1);
+            let mut engine = FusionEngine::new(cfg, 13);
+            let layer = engine.generate_layer();
+            let planned = engine.strategy().planned_bond_fusions() as u64;
+            assert!(
+                layer.fusions_attempted >= planned,
+                "L={side}: {} attempts for {planned} planned bonds",
+                layer.fusions_attempted
+            );
+            assert!(layer.fusions_attempted <= 2 * planned.max(1));
+        }
     }
 
     #[test]

@@ -198,6 +198,42 @@ impl FusionSampler {
         }
     }
 
+    /// Draws `count` (at most 64) consecutive outcomes of the word-batched
+    /// stream in one call; outcome `j` is bit `j` of the result (success =
+    /// 1), and bits at positions `>= count` are zero.
+    ///
+    /// The returned bits are exactly the ones `count` successive
+    /// [`FusionSampler::sample_batched`] calls would have produced — the
+    /// buffered block and the underlying RNG advance identically — so
+    /// callers may mix word-granular and single-bit consumption freely
+    /// without perturbing the stream. All `count` outcomes are accounted
+    /// as attempts at draw time; the layer generator's whole-row bond fast
+    /// path therefore only draws words for bonds it provably attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count > 64`.
+    pub fn sample_batched_word(&mut self, count: u32) -> u64 {
+        assert!(count <= 64, "at most one word of outcomes per draw");
+        if count == 0 {
+            return 0;
+        }
+        let take = self.batch_len.min(count);
+        let mut out = self.batch & lo_mask(take);
+        self.batch = self.batch.checked_shr(take).unwrap_or(0);
+        self.batch_len -= take;
+        if take < count {
+            let rest = count - take;
+            let block = self.draw_block();
+            out |= (block & lo_mask(rest)) << take;
+            self.batch = block.checked_shr(rest).unwrap_or(0);
+            self.batch_len = 64 - rest;
+        }
+        self.stats.attempted += u64::from(count);
+        self.stats.succeeded += u64::from(out.count_ones());
+        out
+    }
+
     /// Discards any pre-drawn batched outcomes. Called at the end of a
     /// batched sampling phase (deterministically, independent of data) so
     /// subsequent per-attempt draws never observe leftover batch state.
@@ -220,6 +256,16 @@ impl FusionSampler {
     /// that needs auxiliary randomness tied to the same stream.
     pub fn uniform(&mut self) -> f64 {
         self.rng.gen()
+    }
+}
+
+/// The lowest `k` bits set (`k <= 64`; the full word at `k = 64`).
+#[inline]
+fn lo_mask(k: u32) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
     }
 }
 
@@ -310,6 +356,69 @@ mod tests {
     fn batched_certain_probability_always_succeeds() {
         let mut s = FusionSampler::new(1.0, 8);
         assert!((0..200).all(|_| s.sample_batched().is_success()));
+    }
+
+    #[test]
+    fn word_draws_match_the_bit_stream_exactly() {
+        // sample_batched_word(count) must hand out exactly the bits that
+        // `count` successive sample_batched calls would, across word
+        // counts that leave the internal block at every alignment.
+        for &p in &[0.75f64, 0.66, 1.0] {
+            let mut bits = FusionSampler::new(p, 31);
+            let mut words = FusionSampler::new(p, 31);
+            for &count in &[1u32, 63, 64, 7, 40, 64, 13, 64, 5] {
+                let word = words.sample_batched_word(count);
+                assert_eq!(word & !lo_mask(count), 0, "bits past count must be zero");
+                for j in 0..count {
+                    let expect = bits.sample_batched().is_success();
+                    assert_eq!(
+                        word >> j & 1 == 1,
+                        expect,
+                        "p {p}: outcome {j} of a {count}-wide draw diverged"
+                    );
+                }
+            }
+            assert_eq!(bits.stats(), words.stats(), "p {p}: accounting diverged");
+        }
+    }
+
+    #[test]
+    fn word_draws_interleave_with_single_draws_and_flushes() {
+        // A mixed consumer (words, single bits, flush, per-attempt draws)
+        // sees the same stream as a pure single-bit consumer of the same
+        // pattern: the word draw is a view of the stream, not a fork.
+        let mut mixed = FusionSampler::new(0.75, 9);
+        let mut plain = FusionSampler::new(0.75, 9);
+        let mut mixed_out = Vec::new();
+        let mut plain_out = Vec::new();
+        for round in 0..5u32 {
+            let w = mixed.sample_batched_word(23 + round);
+            for j in 0..(23 + round) {
+                mixed_out.push(w >> j & 1 == 1);
+                plain_out.push(plain.sample_batched().is_success());
+            }
+            for _ in 0..3 {
+                mixed_out.push(mixed.sample_batched().is_success());
+                plain_out.push(plain.sample_batched().is_success());
+            }
+            mixed.flush_batch();
+            plain.flush_batch();
+            mixed_out.push(mixed.sample().is_success());
+            plain_out.push(plain.sample().is_success());
+        }
+        assert_eq!(mixed_out, plain_out);
+        assert_eq!(mixed.stats(), plain.stats());
+    }
+
+    #[test]
+    fn zero_width_word_draw_is_free() {
+        let mut s = FusionSampler::new(0.75, 4);
+        assert_eq!(s.sample_batched_word(0), 0);
+        assert_eq!(s.stats().attempted, 0, "no outcome consumed, none counted");
+        // The stream is untouched: the next full word matches a fresh
+        // sampler's first word.
+        let mut fresh = FusionSampler::new(0.75, 4);
+        assert_eq!(s.sample_batched_word(64), fresh.sample_batched_word(64));
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //! Encoding: outcome `k` (success = 1) is bit `k % 64` of word `k / 64`.
 //!
 //! If a change to the RNG shim, the bit-slicing construction or the scalar
-//! `gen_bool` path is *intentional*, regenerate these constants and say so
-//! loudly in the commit — every seeded result in the repository shifts
-//! with them.
+//! `gen_bool` path is *intentional*, regenerate these constants with the
+//! checked-in tool (`cargo run -p oneperc-hardware --example regen_pins`
+//! prints them in paste-ready form) and say so loudly in the commit —
+//! every seeded result in the repository shifts with them. The word-
+//! granular [`FusionSampler::sample_batched_word`] draw is a view of the
+//! batched stream pinned here (its agreement is enforced by the sampler's
+//! unit tests), so it needs no pin of its own.
 
 use oneperc_hardware::FusionSampler;
 
