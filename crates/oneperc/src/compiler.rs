@@ -6,11 +6,16 @@ use std::time::Instant;
 
 use oneperc_circuit::{Circuit, ProgramGraph};
 use oneperc_mapper::{MapError, Mapper, MapperConfig, MappingResult};
-use oneperc_percolation::{LayerRequirement, ReshapeConfig, ReshapeEngine, TemporalRequirement};
+use oneperc_percolation::{
+    CancelToken, LayerRequirement, ReshapeConfig, ReshapeEngine, TemporalRequirement,
+};
 
 use crate::config::CompilerConfig;
 use crate::memory::MemoryModel;
-use crate::report::{CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
+use crate::report::{
+    CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason,
+    ServiceTelemetry,
+};
 
 /// Errors of the end-to-end compilation.
 ///
@@ -101,11 +106,20 @@ pub(crate) fn reshape_config(config: &CompilerConfig) -> ReshapeConfig {
 /// wants; every metric of the outcome is then a pure function of
 /// `(config, compiled, seed)` — wall-clock fields aside — regardless of
 /// engine reuse, worker counts or lane placement.
+///
+/// When `cancel` is provided, the engine checks it before consuming each
+/// merged layer: a cancelled run stops at the next checkpoint and returns
+/// [`ExecuteOutcome::Incomplete`] with
+/// [`LayerFailureReason::Cancelled`]. Cancellation is strictly
+/// cooperative — a run that finishes before the flag is observed is
+/// byte-identical to an uncancellable one, which is what keeps every
+/// determinism contract intact.
 pub(crate) fn run_online_pass(
     engine: &mut ReshapeEngine,
     compiled: &CompiledProgram,
     config: &CompilerConfig,
     memory_model: &MemoryModel,
+    cancel: Option<&CancelToken>,
 ) -> ExecuteOutcome {
     let start = Instant::now();
     let mut failure: Option<LayerFailure> = None;
@@ -119,9 +133,14 @@ pub(crate) fn run_online_pass(
             stores: summary.stores,
             retrieves: summary.retrieves,
         };
-        let report = engine.advance_logical_layer(&requirement);
+        let report = match cancel {
+            Some(token) => engine.advance_logical_layer_cancellable(&requirement, token),
+            None => engine.advance_logical_layer(&requirement),
+        };
         if !report.formed {
-            let reason = if report.timelike_failures > report.renorm_failures {
+            let reason = if report.cancelled {
+                LayerFailureReason::Cancelled
+            } else if report.timelike_failures > report.renorm_failures {
                 LayerFailureReason::TimelikeStarved
             } else {
                 LayerFailureReason::RenormalizationStarved
@@ -175,6 +194,7 @@ pub(crate) fn run_online_pass(
         pipelined: config.pipelined,
         peak_memory_bytes,
         cache: CacheStats::default(),
+        service: ServiceTelemetry::default(),
         offline_time: compiled.offline_time,
         online_time,
     };
@@ -242,7 +262,8 @@ impl Compiler {
     )]
     pub fn execute(&self, compiled: &CompiledProgram) -> ExecutionReport {
         let mut engine = ReshapeEngine::new(reshape_config(&self.config));
-        run_online_pass(&mut engine, compiled, &self.config, &self.memory_model).into_report()
+        run_online_pass(&mut engine, compiled, &self.config, &self.memory_model, None)
+            .into_report()
     }
 
     /// Convenience: compile and execute in one call.
@@ -258,7 +279,10 @@ impl Compiler {
     pub fn compile_and_execute(&self, circuit: &Circuit) -> Result<ExecutionReport, CompileError> {
         let compiled = self.compile(circuit)?;
         let mut engine = ReshapeEngine::new(reshape_config(&self.config));
-        Ok(run_online_pass(&mut engine, &compiled, &self.config, &self.memory_model).into_report())
+        Ok(
+            run_online_pass(&mut engine, &compiled, &self.config, &self.memory_model, None)
+                .into_report(),
+        )
     }
 }
 
@@ -376,7 +400,7 @@ mod tests {
         let compiled = compiler.compile(&benchmarks::qaoa(4, 1)).unwrap();
         let mut engine = ReshapeEngine::new(reshape_config(&config));
         let outcome =
-            run_online_pass(&mut engine, &compiled, &config, &MemoryModel::default());
+            run_online_pass(&mut engine, &compiled, &config, &MemoryModel::default(), None);
         assert!(!outcome.is_complete());
         let failure = outcome.failure().unwrap();
         assert_eq!(failure.layer_index, 0);
@@ -388,6 +412,56 @@ mod tests {
         // The deprecated shim flattens the same information into the bool.
         let report = compiler.execute(&compiled);
         assert!(!report.complete);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_online_pass() {
+        let config = CompilerConfig::for_sensitivity(36, 3, 0.9, 6);
+        let compiler = Compiler::new(config);
+        let compiled = compiler.compile(&benchmarks::qaoa(4, 2)).unwrap();
+
+        // Pre-cancelled: the run stops before consuming a single merged
+        // layer and says why.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut engine = ReshapeEngine::new(reshape_config(&config));
+        let outcome = run_online_pass(
+            &mut engine,
+            &compiled,
+            &config,
+            &MemoryModel::default(),
+            Some(&token),
+        );
+        assert!(!outcome.is_complete());
+        let failure = outcome.failure().unwrap();
+        assert_eq!(failure.reason, LayerFailureReason::Cancelled);
+        assert_eq!(failure.layer_index, 0);
+        assert_eq!(outcome.report().merged_layers, 0);
+
+        // A live token never perturbs the run: byte-identical to the
+        // uncancellable path.
+        let live = CancelToken::new();
+        let mut with_token_engine = ReshapeEngine::new(reshape_config(&config));
+        let with_token = run_online_pass(
+            &mut with_token_engine,
+            &compiled,
+            &config,
+            &MemoryModel::default(),
+            Some(&live),
+        );
+        let mut plain_engine = ReshapeEngine::new(reshape_config(&config));
+        let plain = run_online_pass(
+            &mut plain_engine,
+            &compiled,
+            &config,
+            &MemoryModel::default(),
+            None,
+        );
+        assert_eq!(
+            with_token.report().deterministic(),
+            plain.report().deterministic()
+        );
+        assert!(with_token.is_complete());
     }
 
     #[test]

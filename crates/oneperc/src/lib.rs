@@ -85,9 +85,44 @@
 //! counters surface as [`CacheStats`] on the reports and through
 //! [`Session::cache_stats`].
 //!
+//! # Multi-tenant fleets: shared cache, cancellation, telemetry
+//!
+//! One process can serve many tenants from many sessions sharing **one**
+//! program cache — keys are process-independent stable hashes, so a
+//! circuit compiled for any tenant is a cache hit for all of them, and
+//! concurrent misses of the same key single-flight across the fleet
+//! (distinct keys compile concurrently; the compile runs outside the
+//! cache lock):
+//!
+//! ```
+//! use oneperc::{CompilerConfig, Session};
+//! use oneperc_circuit::benchmarks;
+//!
+//! let config = CompilerConfig::for_qubits(4, 0.9, 1);
+//! let tenant_a = Session::new(config);
+//! let tenant_b = Session::builder(config)
+//!     .shared_program_cache(tenant_a.program_cache_handle())
+//!     .build();
+//!
+//! tenant_a.compile_cached(&benchmarks::qaoa(4, 1)).unwrap(); // miss
+//! let lookup = tenant_b.compile_cached_lookup(&benchmarks::qaoa(4, 1)).unwrap();
+//! assert!(lookup.hit, "tenant A's compile served tenant B");
+//! ```
+//!
+//! Under overload, work is **shed, not finished**: dropping a
+//! [`JobHandle`] or [`service::JobFuture`] (or calling their `cancel`)
+//! flips a [`CancelToken`](service::CancelToken) the lane polls between
+//! logical layers; the run stops at the next checkpoint with
+//! [`LayerFailureReason::Cancelled`]. Runs that complete are never
+//! perturbed, so determinism contracts hold. Each service report also
+//! carries per-tenant scheduling telemetry
+//! ([`ExecutionReport::service`]): admission queue depth, queue wait, and
+//! whether the program was a cache hit.
+//!
 //! For scaling beyond one process, shard sessions: one `Session` per
 //! machine configuration, each with as many lanes as the host should
-//! dedicate to that tenant.
+//! dedicate to that tenant — sessions of the *same* configuration can
+//! still share a cache.
 //!
 //! The one-shot [`Compiler`] facade remains as a deprecated-but-working
 //! shim for existing callers; `Compiler::compile` (the offline pass) is
@@ -110,7 +145,10 @@ mod session;
 pub use compiler::{CompileError, CompiledProgram, Compiler};
 pub use config::{CompilerConfig, Preset};
 pub use memory::MemoryModel;
-pub use report::{CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason};
+pub use report::{
+    CacheStats, ExecuteOutcome, ExecutionReport, LayerFailure, LayerFailureReason,
+    ServiceTelemetry,
+};
 pub use service::{AsyncSession, AsyncSessionBuilder, JobFuture, SubmitError};
 pub use session::{
     ExecutionRequest, JobHandle, OnePercService, Session, SessionBuilder,

@@ -63,6 +63,30 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Per-tenant scheduling telemetry stamped by the service entry points
+/// ([`Session::sweep`](crate::Session::sweep),
+/// [`AsyncSession::submit`](crate::service::AsyncSession::submit), …).
+///
+/// These fields describe how the *scheduler* treated one job — how deep
+/// the admission queue was when it was accepted, how long it waited for a
+/// lane, and whether its program came out of the shared cache. Like the
+/// wall-clock fields they are operational, not a function of
+/// `(config, circuit, seed)`, so [`ExecutionReport::deterministic`]
+/// clears them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
+pub struct ServiceTelemetry {
+    /// Jobs already admitted (in flight) when this job was accepted,
+    /// including this one — `1` means it had the service to itself.
+    pub queue_depth: u64,
+    /// Wall-clock time between submission and the lane starting the run.
+    pub queue_wait: Duration,
+    /// Whether this job's compiled program was answered from the cache
+    /// (waiters served by another tenant's in-flight compile count as
+    /// hits).
+    pub cache_hit: bool,
+}
+
 /// The metrics of one end-to-end compilation + execution, aligned with the
 /// columns of Table 2 and the series of the analysis figures.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -98,6 +122,10 @@ pub struct ExecutionReport {
     /// of `(config, circuit, seed)`; [`ExecutionReport::deterministic`]
     /// clears it.
     pub cache: CacheStats,
+    /// Per-tenant scheduling telemetry, when the execution came through a
+    /// service entry point (all-zero default otherwise). Operational like
+    /// the wall-clock fields; [`ExecutionReport::deterministic`] clears it.
+    pub service: ServiceTelemetry,
     /// Wall-clock time spent in the offline pass.
     pub offline_time: Duration,
     /// Wall-clock time spent simulating the online pass.
@@ -138,6 +166,7 @@ impl ExecutionReport {
         self.offline_time = Duration::ZERO;
         self.online_time = Duration::ZERO;
         self.cache = CacheStats::default();
+        self.service = ServiceTelemetry::default();
         self
     }
 }
@@ -154,6 +183,12 @@ pub enum LayerFailureReason {
     /// connections kept failing — temporal redundancy or photon lifetime is
     /// the binding constraint.
     TimelikeStarved,
+    /// The submitter cancelled the job (dropped its
+    /// [`JobFuture`](crate::service::JobFuture) /
+    /// [`JobHandle`](crate::JobHandle), or called `cancel()`): the online
+    /// pass stopped at a layer checkpoint before consuming further merged
+    /// layers. The report covers everything consumed up to the checkpoint.
+    Cancelled,
 }
 
 impl fmt::Display for LayerFailureReason {
@@ -164,6 +199,9 @@ impl fmt::Display for LayerFailureReason {
             }
             LayerFailureReason::TimelikeStarved => {
                 write!(f, "time-like connections kept failing")
+            }
+            LayerFailureReason::Cancelled => {
+                write!(f, "the submitter cancelled the job")
             }
         }
     }
@@ -268,14 +306,34 @@ impl ExecuteOutcome {
         }
     }
 
-    /// Stamps the report's cache counters; used by the cached entry points
-    /// of the session and the async service so hit rates are observable
-    /// in-band.
-    pub(crate) fn with_cache_stats(mut self, stats: CacheStats) -> ExecuteOutcome {
-        match &mut self {
-            ExecuteOutcome::Complete(report) => report.cache = stats,
-            ExecuteOutcome::Incomplete { report, .. } => report.cache = stats,
+    /// The metrics, mutably — for the service stamps below.
+    fn report_mut(&mut self) -> &mut ExecutionReport {
+        match self {
+            ExecuteOutcome::Complete(report) => report,
+            ExecuteOutcome::Incomplete { report, .. } => report,
         }
+    }
+
+    /// Stamps the report with this lookup's cache counters and whether it
+    /// hit; used by the cached entry points of the session and the async
+    /// service so hit rates are observable in-band. The counters are the
+    /// lookup's own atomic snapshot, not a post-hoc cache read — traffic
+    /// from concurrent tenants (or later lookups of the same sweep) cannot
+    /// smear them.
+    pub(crate) fn with_cache_stamp(mut self, hit: bool, stats: CacheStats) -> ExecuteOutcome {
+        let report = self.report_mut();
+        report.cache = stats;
+        report.service.cache_hit = hit;
+        self
+    }
+
+    /// Stamps the report with the scheduler's admission telemetry: how
+    /// many jobs were in flight when this one was accepted and how long it
+    /// waited for a lane.
+    pub(crate) fn with_queue_telemetry(mut self, depth: u64, wait: Duration) -> ExecuteOutcome {
+        let report = self.report_mut();
+        report.service.queue_depth = depth;
+        report.service.queue_wait = wait;
         self
     }
 }
@@ -368,13 +426,45 @@ mod tests {
         let report = ExecutionReport {
             rsl_consumed: 9,
             cache: CacheStats { hits: 5, misses: 1, evictions: 0, entries: 1, capacity: 4 },
+            service: ServiceTelemetry {
+                queue_depth: 3,
+                queue_wait: Duration::from_millis(7),
+                cache_hit: true,
+            },
             online_time: Duration::from_secs(1),
             ..Default::default()
         };
         let det = report.deterministic();
         assert_eq!(det.cache, CacheStats::default());
+        assert_eq!(det.service, ServiceTelemetry::default());
         assert_eq!(det.rsl_consumed, 9);
         assert_eq!(det.online_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn service_stamps_land_on_either_outcome_form() {
+        let report = ExecutionReport::default();
+        let stats = CacheStats { hits: 2, misses: 1, evictions: 0, entries: 1, capacity: 4 };
+        let complete = ExecuteOutcome::Complete(report)
+            .with_cache_stamp(true, stats)
+            .with_queue_telemetry(2, Duration::from_millis(5));
+        assert!(complete.report().service.cache_hit);
+        assert_eq!(complete.report().service.queue_depth, 2);
+        assert_eq!(complete.report().cache, stats);
+
+        let failure = LayerFailure {
+            layer_index: 0,
+            reason: LayerFailureReason::Cancelled,
+            merged_layers: 1,
+            renorm_failures: 1,
+            timelike_failures: 0,
+        };
+        let incomplete = ExecuteOutcome::Incomplete { report, failure }
+            .with_cache_stamp(false, stats)
+            .with_queue_telemetry(1, Duration::ZERO);
+        assert!(!incomplete.report().service.cache_hit);
+        assert_eq!(incomplete.report().cache, stats);
+        assert!(failure.to_string().contains("cancelled"));
     }
 
     #[test]

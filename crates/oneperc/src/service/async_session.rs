@@ -11,54 +11,91 @@
 //!   admitted-and-incomplete at once. [`AsyncSession::try_submit`] refuses
 //!   with [`SubmitError::Busy`] when the window is full — the signal an RPC
 //!   layer turns into load-shedding — while [`AsyncSession::submit`] parks
-//!   until a slot frees. Admission is released by job *completion*, not by
-//!   future redemption, so an abandoned future never wedges the window.
+//!   until a slot frees and [`AsyncSession::submit_async`] returns an
+//!   [`AdmissionFuture`] that *waits for the slot without parking*, so an
+//!   executor thread multiplexing many tenants never blocks inside a
+//!   submission. Admission is released by job *completion*, not by future
+//!   redemption, so an abandoned future never wedges the window.
 //! * **Futures, no runtime.** [`JobFuture`] is a plain
 //!   `std::future::Future` wired through hand-rolled `Waker` plumbing: the
 //!   lane thread completes a shared slot and wakes the registered waker.
 //!   It works under any executor, under the built-in
 //!   [`block_on`](super::block_on), or via the synchronous
 //!   [`JobFuture::wait`].
+//! * **Cancellation.** Every admitted job carries a
+//!   [`CancelToken`](oneperc_percolation::CancelToken) polled by the lane
+//!   at its layer checkpoints. **Dropping a [`JobFuture`] cancels its
+//!   job** — the overload story: an RPC disconnect drops the future and
+//!   the lane sheds the remaining layers instead of finishing work nobody
+//!   will read. [`JobFuture::cancel`] sheds explicitly while keeping the
+//!   future; the partial outcome reports
+//!   [`LayerFailureReason::Cancelled`](crate::LayerFailureReason::Cancelled).
 //! * **Content-addressed compilation.** The circuit-accepting entry points
 //!   ([`AsyncSession::submit_circuit`], [`AsyncSession::sweep`]) resolve
 //!   programs through the underlying session's
-//!   [`ProgramCache`](super::ProgramCache), so a multi-seed sweep compiles
-//!   exactly once and every report carries the cache counters.
+//!   [`ProgramCache`](super::ProgramCache) — shareable across a whole
+//!   fleet via [`AsyncSessionBuilder::shared_program_cache`] — so a
+//!   multi-seed sweep compiles exactly once and every report carries the
+//!   lookup's own hit flag and counter snapshot, plus the scheduler's
+//!   queue-depth / queue-wait stamp
+//!   ([`ExecutionReport::service`](crate::ExecutionReport::service)).
 //!
 //! Determinism is unchanged by the front-end: per `(config, circuit,
 //! seed)` an async execution's report is byte-identical (wall-clock and
-//! cache telemetry aside — compare with
+//! cache/service telemetry aside — compare with
 //! [`ExecutionReport::deterministic`](crate::ExecutionReport::deterministic))
 //! to the synchronous [`Session::execute_batch`] path, whatever the
-//! admission capacity or poll order. `tests/service_determinism.rs` pins
-//! this.
+//! admission capacity or poll order. Cancellation never perturbs runs that
+//! complete: the token is only ever *read* at checkpoints, so a run that
+//! finishes first is untouched. `tests/service_determinism.rs` pins this.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 
 use oneperc_circuit::Circuit;
+use oneperc_percolation::CancelToken;
 
 use crate::compiler::{CompileError, CompiledProgram};
 use crate::config::CompilerConfig;
 use crate::report::CacheStats;
+use crate::service::cache::ProgramCache;
 use crate::session::{ExecutionRequest, Session, SessionBuilder};
 
 use super::future::{JobFuture, JobSlot, SubmitError};
 
+/// Guts of the admission window: the slot count plus the wakers of async
+/// submitters waiting for one.
+#[derive(Debug, Default)]
+struct AdmissionState {
+    in_flight: usize,
+    /// Wakers registered by pending [`AdmissionFuture`] polls. `release`
+    /// wakes **all** of them: a woken future whose task was dropped would
+    /// otherwise swallow the only wakeup and strand the rest; the losers
+    /// of the re-poll race simply re-register. The window is shallow, so
+    /// the thundering herd is a few wakes, not a scalability concern.
+    waiters: Vec<Waker>,
+}
+
 /// Counting semaphore bounding admitted-and-incomplete executions.
 ///
 /// Hand-rolled on `Mutex` + `Condvar` (std has no semaphore): acquire on
-/// submission, release from the lane-side completion callback.
+/// submission — blocking ([`Admission::acquire`]), non-blocking
+/// ([`Admission::try_acquire`]) or asynchronously
+/// ([`Admission::poll_acquire`], the engine of [`AdmissionFuture`]) — and
+/// release from the lane-side completion callback.
 #[derive(Debug)]
 pub(crate) struct Admission {
     capacity: usize,
-    in_flight: Mutex<usize>,
+    state: Mutex<AdmissionState>,
     freed: Condvar,
 }
 
 impl Admission {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "admission window needs at least one slot");
-        Admission { capacity, in_flight: Mutex::new(0), freed: Condvar::new() }
+        Admission { capacity, state: Mutex::new(AdmissionState::default()), freed: Condvar::new() }
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -66,14 +103,14 @@ impl Admission {
     }
 
     pub(crate) fn in_flight(&self) -> usize {
-        *self.in_flight.lock().expect("admission window poisoned")
+        self.state.lock().expect("admission window poisoned").in_flight
     }
 
     /// Claims a slot if one is free.
     pub(crate) fn try_acquire(&self) -> bool {
-        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
-        if *in_flight < self.capacity {
-            *in_flight += 1;
+        let mut state = self.state.lock().expect("admission window poisoned");
+        if state.in_flight < self.capacity {
+            state.in_flight += 1;
             true
         } else {
             false
@@ -82,25 +119,85 @@ impl Admission {
 
     /// Parks until a slot frees, then claims it.
     pub(crate) fn acquire(&self) {
-        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
-        while *in_flight >= self.capacity {
-            in_flight = self.freed.wait(in_flight).expect("admission window poisoned");
+        let mut state = self.state.lock().expect("admission window poisoned");
+        while state.in_flight >= self.capacity {
+            state = self.freed.wait(state).expect("admission window poisoned");
         }
-        *in_flight += 1;
+        state.in_flight += 1;
     }
 
-    /// Returns a slot and wakes one parked submitter.
+    /// The async acquire: claims a slot if one is free, otherwise
+    /// registers `cx`'s waker for the next release. Never parks the
+    /// polling thread.
+    pub(crate) fn poll_acquire(&self, cx: &mut Context<'_>) -> Poll<()> {
+        let mut state = self.state.lock().expect("admission window poisoned");
+        if state.in_flight < self.capacity {
+            state.in_flight += 1;
+            return Poll::Ready(());
+        }
+        // Keep one waker per task: replace nothing when the same task
+        // re-polls, append otherwise (distinct futures wait concurrently).
+        if !state.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+            state.waiters.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+
+    /// Returns a slot, wakes one parked submitter and every registered
+    /// async waiter (see [`AdmissionState::waiters`] for why all).
     pub(crate) fn release(&self) {
-        let mut in_flight = self.in_flight.lock().expect("admission window poisoned");
-        debug_assert!(*in_flight > 0, "release without acquire");
-        *in_flight -= 1;
-        drop(in_flight);
+        let waiters = {
+            let mut state = self.state.lock().expect("admission window poisoned");
+            debug_assert!(state.in_flight > 0, "release without acquire");
+            state.in_flight -= 1;
+            std::mem::take(&mut state.waiters)
+        };
         self.freed.notify_one();
+        for waker in waiters {
+            waker.wake();
+        }
+    }
+}
+
+/// Pending admission of one execution: resolves — to the job's
+/// [`JobFuture`] — once the bounded window has a free slot, without ever
+/// parking the polling thread. Produced by [`AsyncSession::submit_async`]
+/// and [`AsyncSession::submit_circuit_async`].
+///
+/// The request is dispatched to a lane *inside* the poll that wins a
+/// slot, so a dropped `AdmissionFuture` that never resolved holds
+/// nothing: no slot, no queued work, nothing to cancel.
+#[derive(Debug)]
+#[must_use = "an admission future does nothing until polled; drop it to abandon the submission"]
+pub struct AdmissionFuture<'a> {
+    service: &'a AsyncSession,
+    /// `Some` until the poll that wins a slot consumes it.
+    request: Option<ExecutionRequest>,
+    /// The `(hit, stats)` stamp of the lookup that produced the program,
+    /// for circuit-accepting entry points.
+    stamp: Option<(bool, CacheStats)>,
+}
+
+impl Future for AdmissionFuture<'_> {
+    type Output = JobFuture;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.service.admission.poll_acquire(cx) {
+            Poll::Ready(()) => {
+                let request = this
+                    .request
+                    .take()
+                    .expect("admission future polled after completion");
+                Poll::Ready(this.service.dispatch_admitted(request, this.stamp))
+            }
+            Poll::Pending => Poll::Pending,
+        }
     }
 }
 
 /// Configures an [`AsyncSession`] before its threads spawn.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[must_use]
 pub struct AsyncSessionBuilder {
     inner: SessionBuilder,
@@ -127,6 +224,15 @@ impl AsyncSessionBuilder {
     /// [`SessionBuilder::program_cache`]).
     pub fn program_cache(mut self, capacity: usize) -> Self {
         self.inner = self.inner.program_cache(capacity);
+        self
+    }
+
+    /// Shares an existing [`ProgramCache`] with the underlying session
+    /// (see [`SessionBuilder::shared_program_cache`]): a fleet of sync and
+    /// async sessions can serve every tenant from one content-addressed
+    /// cache.
+    pub fn shared_program_cache(mut self, cache: Arc<ProgramCache>) -> Self {
+        self.inner = self.inner.shared_program_cache(cache);
         self
     }
 
@@ -248,16 +354,27 @@ impl AsyncSession {
     }
 
     /// Blocking admission: parks until a window slot frees, then dispatches
-    /// like [`AsyncSession::try_submit`].
+    /// like [`AsyncSession::try_submit`]. Under an executor prefer
+    /// [`AsyncSession::submit_async`], which waits for the slot without
+    /// parking the thread.
     pub fn submit(&self, request: ExecutionRequest) -> JobFuture {
         self.admission.acquire();
         self.dispatch_admitted(request, None)
     }
 
+    /// Fully async admission: the returned [`AdmissionFuture`] resolves to
+    /// the job's [`JobFuture`] once the window has a slot, registering a
+    /// waker instead of parking — an executor thread driving hundreds of
+    /// tenants never blocks inside a submission. Typical shape:
+    /// `service.submit_async(request).await.await`.
+    pub fn submit_async(&self, request: ExecutionRequest) -> AdmissionFuture<'_> {
+        AdmissionFuture { service: self, request: Some(request), stamp: None }
+    }
+
     /// [`AsyncSession::try_submit`] from a circuit: resolves the program
     /// through the content-addressed cache (compiling only on a miss),
     /// then admits the `(program, seed)` execution. The resulting report
-    /// carries the cache counters observed at lookup time.
+    /// carries the lookup's own hit flag and counter snapshot.
     ///
     /// Admission stays non-blocking, but the cache lookup is not free on a
     /// *miss* — the offline pass runs (and is retained) before the window
@@ -275,11 +392,11 @@ impl AsyncSession {
         circuit: &Circuit,
         seed: u64,
     ) -> Result<JobFuture, SubmitError> {
-        let (compiled, stats) = self.resolve(circuit)?;
+        let (compiled, stamp) = self.resolve(circuit)?;
         if !self.admission.try_acquire() {
             return Err(SubmitError::Busy { capacity: self.admission.capacity() });
         }
-        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stats)))
+        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stamp)))
     }
 
     /// Blocking-admission twin of [`AsyncSession::try_submit_circuit`],
@@ -289,68 +406,100 @@ impl AsyncSession {
     ///
     /// Returns [`CompileError::Mapping`] when the offline pass fails.
     pub fn submit_circuit(&self, circuit: &Circuit, seed: u64) -> Result<JobFuture, CompileError> {
-        let (compiled, stats) = self.resolve(circuit)?;
+        let (compiled, stamp) = self.resolve(circuit)?;
         self.admission.acquire();
-        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stats)))
+        Ok(self.dispatch_admitted(ExecutionRequest::new(compiled, seed), Some(stamp)))
+    }
+
+    /// Async-admission twin of [`AsyncSession::submit_circuit`]: the cache
+    /// lookup (and, on a miss, the offline pass) runs inline, then the
+    /// returned [`AdmissionFuture`] waits for a window slot without
+    /// parking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails
+    /// (nothing is admitted).
+    pub fn submit_circuit_async(
+        &self,
+        circuit: &Circuit,
+        seed: u64,
+    ) -> Result<AdmissionFuture<'_>, CompileError> {
+        let (compiled, stamp) = self.resolve(circuit)?;
+        Ok(AdmissionFuture {
+            service: self,
+            request: Some(ExecutionRequest::new(compiled, seed)),
+            stamp: Some(stamp),
+        })
     }
 
     /// Compile-once-sweep-many, async: one cache lookup, then one admitted
     /// execution per seed (parking whenever the window is full — with
     /// `queue_depth` below the sweep width this is the intended steady
     /// state: lanes drain the window while submission refills it). Futures
-    /// are returned in seed order.
+    /// are returned in seed order; every report carries the sweep lookup's
+    /// hit flag and atomic counter snapshot.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::Mapping`] when the offline pass fails.
     pub fn sweep(&self, circuit: &Circuit, seeds: &[u64]) -> Result<Vec<JobFuture>, CompileError> {
-        let (compiled, stats) = self.resolve(circuit)?;
+        let (compiled, stamp) = self.resolve(circuit)?;
         Ok(seeds
             .iter()
             .map(|&seed| {
                 self.admission.acquire();
                 self.dispatch_admitted(
                     ExecutionRequest::new(Arc::clone(&compiled), seed),
-                    Some(stats),
+                    Some(stamp),
                 )
             })
             .collect())
     }
 
-    /// Cache lookup plus the counter snapshot to stamp on the reports.
+    /// Cache lookup plus this lookup's `(hit, stats)` stamp — the counter
+    /// snapshot is taken atomically as the lookup resolves, so concurrent
+    /// tenants (or the sweep's own later lookups) cannot smear the numbers
+    /// stamped on a report.
     fn resolve(
         &self,
         circuit: &Circuit,
-    ) -> Result<(Arc<CompiledProgram>, CacheStats), CompileError> {
-        let compiled = self.session.compile_cached(circuit)?;
-        Ok((compiled, self.session.cache_stats()))
+    ) -> Result<(Arc<CompiledProgram>, (bool, CacheStats)), CompileError> {
+        let lookup = self.session.compile_cached_lookup(circuit)?;
+        Ok((lookup.program, (lookup.hit, lookup.stats)))
     }
 
     /// Dispatches an already-admitted request; the lane-side callback fills
     /// the future's slot (stamping cache telemetry when present) and
     /// releases the admission ticket. Release happens *before* the wake so
-    /// a woken submitter never observes a stale full window.
+    /// a woken submitter never observes a stale full window. The returned
+    /// future owns the job's cancellation token — dropping it sheds the
+    /// remaining layers.
     fn dispatch_admitted(
         &self,
         request: ExecutionRequest,
-        stats: Option<CacheStats>,
+        stamp: Option<(bool, CacheStats)>,
     ) -> JobFuture {
         let slot = Arc::new(JobSlot::default());
         let lane_slot = Arc::clone(&slot);
         let admission = Arc::clone(&self.admission);
         let seed = request.seed;
+        let cancel = CancelToken::new();
         self.session.submit_with(
             request,
             Box::new(move |outcome| {
-                let outcome = match (outcome, stats) {
-                    (Ok(outcome), Some(stats)) => Ok(outcome.with_cache_stats(stats)),
+                let outcome = match (outcome, stamp) {
+                    (Ok(outcome), Some((hit, stats))) => {
+                        Ok(outcome.with_cache_stamp(hit, stats))
+                    }
                     (outcome, _) => outcome,
                 };
                 admission.release();
                 lane_slot.complete(outcome);
             }),
+            cancel.clone(),
         );
-        JobFuture::new(slot, seed)
+        JobFuture::new(slot, seed, cancel)
     }
 }
 
@@ -455,10 +604,79 @@ mod tests {
         let circuit = benchmarks::qaoa(4, 2);
         let compiled = service.compile_cached(&circuit).unwrap();
         drop(service.submit(ExecutionRequest::new(Arc::clone(&compiled), 1)));
-        // The abandoned job still completes and releases its slot, so a
-        // blocking submit admits without external help.
+        // The abandoned job completes (cancelled at a checkpoint or run to
+        // the end, timing-dependent) and releases its slot either way, so
+        // a blocking submit admits without external help.
         let future = service.submit(ExecutionRequest::new(compiled, 2));
         assert!(block_on(future).is_complete());
+    }
+
+    #[test]
+    fn submit_async_resolves_without_parking() {
+        let config = small_config(0.85, 6);
+        let service = AsyncSession::new(config);
+        let circuit = benchmarks::qaoa(4, 2);
+        let compiled = service.compile_cached(&circuit).unwrap();
+        let outcome = block_on(async {
+            let job = service.submit_async(ExecutionRequest::new(compiled, 9)).await;
+            job.await
+        });
+        assert!(outcome.is_complete());
+        let sync = service
+            .session()
+            .execute_shared(service.compile_cached(&circuit).unwrap(), 9);
+        assert_eq!(outcome.report().deterministic(), sync.report().deterministic());
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
+    fn admission_future_waits_for_a_full_window_without_blocking() {
+        use std::task::{Context, Poll, Wake, Waker};
+
+        // A waker that records being woken, so the test can observe the
+        // release → wake edge without threads.
+        struct Flag(std::sync::atomic::AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+
+        let admission = Admission::new(1);
+        assert!(admission.try_acquire(), "window starts empty");
+
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(admission.poll_acquire(&mut cx), Poll::Pending, "full window parks nobody");
+        assert!(!flag.0.load(std::sync::atomic::Ordering::SeqCst));
+
+        admission.release();
+        assert!(
+            flag.0.load(std::sync::atomic::Ordering::SeqCst),
+            "release wakes the registered async waiter"
+        );
+        assert_eq!(admission.poll_acquire(&mut cx), Poll::Ready(()), "re-poll wins the slot");
+        admission.release();
+        assert_eq!(admission.in_flight(), 0);
+    }
+
+    #[test]
+    fn submit_circuit_async_round_trips() {
+        let service = AsyncSession::builder(small_config(0.85, 7)).queue_depth(2).build();
+        let circuit = benchmarks::qft(4);
+        let outcome = block_on(async {
+            let job = service.submit_circuit_async(&circuit, 3).unwrap().await;
+            job.await
+        });
+        assert!(outcome.is_complete());
+        assert!(!outcome.report().service.cache_hit, "first lookup misses");
+        let again = block_on(async {
+            let job = service.submit_circuit_async(&circuit, 4).unwrap().await;
+            job.await
+        });
+        assert!(again.report().service.cache_hit, "second lookup hits");
+        assert_eq!(again.report().cache.misses, 1);
     }
 
     #[test]

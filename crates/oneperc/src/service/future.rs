@@ -14,6 +14,8 @@ use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use oneperc_percolation::CancelToken;
+
 use crate::compiler::CompileError;
 use crate::report::ExecuteOutcome;
 
@@ -96,9 +98,15 @@ impl JobSlot {
 ///
 /// Implements [`Future`] — `.await` it under any executor (or the built-in
 /// [`block_on`]) — and offers the synchronous [`JobFuture::wait`] for
-/// callers without one. Dropping the future does not cancel the execution;
-/// the admitted job runs to completion and its admission slot is released
-/// either way.
+/// callers without one.
+///
+/// **Dropping the future cancels the execution**: the lane observes the
+/// token at its next layer checkpoint and sheds the remaining layers (an
+/// already-finished job is unaffected). The admission slot is released on
+/// completion either way, so an abandoned future never wedges the window.
+/// Call [`JobFuture::cancel`] to shed work while keeping the future — it
+/// then resolves to the partial outcome with
+/// [`LayerFailureReason::Cancelled`](crate::LayerFailureReason::Cancelled).
 ///
 /// # Panics
 ///
@@ -106,20 +114,35 @@ impl JobSlot {
 /// relayed panic message, mirroring
 /// [`JobHandle::wait`](crate::JobHandle::wait).
 #[derive(Debug)]
-#[must_use = "a submitted job does its work regardless, but only polling the future observes it"]
+#[must_use = "a dropped future cancels its job at the next layer checkpoint"]
 pub struct JobFuture {
     slot: Arc<JobSlot>,
     seed: u64,
+    cancel: CancelToken,
 }
 
 impl JobFuture {
-    pub(crate) fn new(slot: Arc<JobSlot>, seed: u64) -> Self {
-        JobFuture { slot, seed }
+    pub(crate) fn new(slot: Arc<JobSlot>, seed: u64, cancel: CancelToken) -> Self {
+        JobFuture { slot, seed, cancel }
     }
 
     /// The seed of the submitted request.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Requests cancellation: the lane stops the run at its next layer
+    /// checkpoint instead of forming the remaining logical layers.
+    /// Idempotent; a run that finished first is unaffected.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the job's cancellation token, for cancelling from
+    /// elsewhere (a deadline watchdog, an RPC disconnect handler) without
+    /// holding the future.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Returns `true` once the outcome is ready (a subsequent poll or
@@ -136,6 +159,14 @@ impl JobFuture {
             state = self.slot.done.wait(state).expect("job slot poisoned");
         }
         resolve(state.outcome.take().expect("checked above"))
+    }
+}
+
+impl Drop for JobFuture {
+    fn drop(&mut self) {
+        // Shed the remaining work under overload: nobody can observe this
+        // job's outcome any more. Cancelling after completion is a no-op.
+        self.cancel.cancel();
     }
 }
 
@@ -223,7 +254,7 @@ mod tests {
     #[test]
     fn future_resolves_after_cross_thread_completion() {
         let slot = Arc::new(JobSlot::default());
-        let future = JobFuture::new(Arc::clone(&slot), 5);
+        let future = JobFuture::new(Arc::clone(&slot), 5, CancelToken::new());
         assert!(!future.is_ready());
         let producer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
@@ -238,7 +269,7 @@ mod tests {
     fn already_completed_future_is_ready_immediately() {
         let slot = Arc::new(JobSlot::default());
         slot.complete(Ok(dummy_outcome()));
-        let future = JobFuture::new(slot, 9);
+        let future = JobFuture::new(slot, 9, CancelToken::new());
         assert!(future.is_ready());
         assert_eq!(future.seed(), 9);
         assert_eq!(block_on(future).report().rsl_consumed, 42);
@@ -247,7 +278,7 @@ mod tests {
     #[test]
     fn wait_parks_until_completion() {
         let slot = Arc::new(JobSlot::default());
-        let future = JobFuture::new(Arc::clone(&slot), 1);
+        let future = JobFuture::new(Arc::clone(&slot), 1, CancelToken::new());
         let producer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             slot.complete(Ok(dummy_outcome()));
@@ -260,7 +291,7 @@ mod tests {
     fn panicked_execution_is_relayed_through_poll() {
         let slot = Arc::new(JobSlot::default());
         slot.complete(Err("boom".to_string()));
-        let future = JobFuture::new(slot, 0);
+        let future = JobFuture::new(slot, 0, CancelToken::new());
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| block_on(future)))
             .expect_err("relayed panic");
         let message = oneperc_percolation::panic_message(err);

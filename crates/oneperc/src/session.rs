@@ -45,17 +45,18 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use oneperc_circuit::Circuit;
-use oneperc_percolation::{panic_message, ReshapeEngine, WorkerPool};
+use oneperc_percolation::{panic_message, CancelToken, ReshapeEngine, WorkerPool};
 
 use crate::compiler::{
     reshape_config, run_offline_pass, run_online_pass, CompileError, CompiledProgram,
 };
 use crate::config::CompilerConfig;
 use crate::memory::MemoryModel;
-use crate::report::{CacheStats, ExecuteOutcome, ExecutionReport};
-use crate::service::cache::{program_key, ProgramCache};
+use crate::report::{CacheStats, ExecuteOutcome, ExecutionReport, LayerFailureReason};
+use crate::service::cache::{program_key, CacheLookup, ProgramCache};
 
 /// One unit of work for a session: execute a compiled program with a seed.
 ///
@@ -78,17 +79,37 @@ impl ExecutionRequest {
 }
 
 /// A pending session execution; redeem it with [`JobHandle::wait`].
+///
+/// Dropping the handle **cancels** the job: the lane observes the token
+/// at its next layer checkpoint and sheds the remaining work (an
+/// already-finished job is unaffected). Call [`JobHandle::cancel`] to
+/// shed work while keeping the handle — `wait` then returns the partial
+/// outcome with [`LayerFailureReason::Cancelled`].
 #[derive(Debug)]
-#[must_use = "a submitted job does its work regardless, but dropping the handle discards its result"]
+#[must_use = "a dropped handle cancels its job at the next layer checkpoint"]
 pub struct JobHandle {
     reply_rx: Receiver<Result<ExecuteOutcome, String>>,
     seed: u64,
+    cancel: CancelToken,
 }
 
 impl JobHandle {
     /// The seed of the submitted request.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Requests cancellation: the lane stops the run at its next layer
+    /// checkpoint instead of forming the remaining logical layers.
+    /// Idempotent; a run that finished first is unaffected.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the job's cancellation token, for cancelling from
+    /// elsewhere (a watchdog, another thread) without holding the handle.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Blocks until the lane finishes the job and returns its outcome.
@@ -105,6 +126,14 @@ impl JobHandle {
             Ok(Err(message)) => panic!("session execution panicked: {message}"),
             Err(_) => panic!("session torn down while a job was pending"),
         }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        // Shed the remaining work under overload: nobody can collect this
+        // job's outcome any more. Cancelling after completion is a no-op.
+        self.cancel.cancel();
     }
 }
 
@@ -141,6 +170,21 @@ struct LaneRequest {
     compiled: Arc<CompiledProgram>,
     seed: u64,
     completion: Completion,
+    /// The submitter's cancellation token, polled at layer checkpoints.
+    cancel: CancelToken,
+    /// Jobs in flight (this one included) when the job was admitted.
+    queue_depth: u64,
+    /// When the job was submitted, for the queue-wait stamp.
+    submitted_at: Instant,
+}
+
+/// Lifetime counters shared between the session facade and its lanes.
+#[derive(Debug, Default)]
+struct SessionCounters {
+    /// Jobs whose completion has been delivered (panicked ones included).
+    completed: AtomicU64,
+    /// Jobs that stopped at a cancellation checkpoint.
+    cancelled: AtomicU64,
 }
 
 /// One persistent execution lane: a worker thread owning a warm engine.
@@ -157,6 +201,7 @@ impl Lane {
         config: CompilerConfig,
         memory_model: MemoryModel,
         pool: Option<Arc<WorkerPool>>,
+        counters: Arc<SessionCounters>,
     ) -> Lane {
         let (request_tx, request_rx) = channel::<LaneRequest>();
         let handle = std::thread::Builder::new()
@@ -172,6 +217,7 @@ impl Lane {
                 };
                 let mut engine = build_engine();
                 while let Ok(request) = request_rx.recv() {
+                    let queue_wait = request.submitted_at.elapsed();
                     let run_config = config.with_seed(request.seed);
                     // A panicking execution must not take the lane (and
                     // with it every queued and future job on this lane)
@@ -181,15 +227,29 @@ impl Lane {
                     // engine with a fresh pool client is.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         engine.reset(request.seed);
-                        run_online_pass(&mut engine, &request.compiled, &run_config, &memory_model)
+                        run_online_pass(
+                            &mut engine,
+                            &request.compiled,
+                            &run_config,
+                            &memory_model,
+                            Some(&request.cancel),
+                        )
                     }));
                     let reply = match outcome {
-                        Ok(outcome) => Ok(outcome),
+                        Ok(outcome) => {
+                            if outcome.failure().map(|f| f.reason)
+                                == Some(LayerFailureReason::Cancelled)
+                            {
+                                counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(outcome.with_queue_telemetry(request.queue_depth, queue_wait))
+                        }
                         Err(payload) => {
                             engine = build_engine();
                             Err(panic_message(payload))
                         }
                     };
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
                     request.completion.deliver(reply);
                 }
             })
@@ -208,13 +268,14 @@ impl Drop for Lane {
 }
 
 /// Configures a [`Session`] before its threads spawn.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[must_use]
 pub struct SessionBuilder {
     config: CompilerConfig,
     lanes: usize,
     memory_model: MemoryModel,
     program_cache: usize,
+    shared_cache: Option<Arc<ProgramCache>>,
 }
 
 /// Default capacity of a session's compiled-program cache. Programs are a
@@ -251,6 +312,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Shares an existing [`ProgramCache`] with this session instead of
+    /// building a private one (overrides
+    /// [`SessionBuilder::program_cache`]). Program keys are
+    /// process-independent stable hashes of `(circuit structure, config
+    /// fingerprint)`, so any number of sessions — sync and async alike —
+    /// can serve from one cache: a circuit compiled by one tenant's
+    /// session is a hit for every other, and concurrent misses of the
+    /// same key single-flight across the whole fleet.
+    pub fn shared_program_cache(mut self, cache: Arc<ProgramCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Spawns the session: the shared worker pool (when
     /// `config.renorm_workers > 0`) and one warm engine per lane.
     pub fn build(self) -> Session {
@@ -259,16 +333,29 @@ impl SessionBuilder {
         } else {
             None
         };
+        let counters = Arc::new(SessionCounters::default());
         let lanes = (0..self.lanes)
-            .map(|index| Lane::spawn(index, self.config, self.memory_model, pool.clone()))
+            .map(|index| {
+                Lane::spawn(
+                    index,
+                    self.config,
+                    self.memory_model,
+                    pool.clone(),
+                    Arc::clone(&counters),
+                )
+            })
             .collect();
+        let cache = self
+            .shared_cache
+            .unwrap_or_else(|| Arc::new(ProgramCache::new(self.program_cache)));
         Session {
             config: self.config,
             memory_model: self.memory_model,
-            cache: ProgramCache::new(self.program_cache),
+            cache,
             lanes,
             next_lane: AtomicUsize::new(0),
             jobs_submitted: AtomicU64::new(0),
+            counters,
             pool,
         }
     }
@@ -291,13 +378,15 @@ pub struct Session {
     memory_model: MemoryModel,
     /// Content-addressed compiled-program cache behind the cached entry
     /// points ([`Session::compile_cached`], [`Session::sweep`], the async
-    /// front-end).
-    cache: ProgramCache,
+    /// front-end). `Arc` so it can be
+    /// [shared across sessions](SessionBuilder::shared_program_cache).
+    cache: Arc<ProgramCache>,
     /// Declared before `pool`: lanes (and their pool clients) must wind
     /// down before the shared pool they submit to.
     lanes: Vec<Lane>,
     next_lane: AtomicUsize,
     jobs_submitted: AtomicU64,
+    counters: Arc<SessionCounters>,
     pool: Option<Arc<WorkerPool>>,
 }
 
@@ -318,6 +407,7 @@ impl Session {
             lanes: 1,
             memory_model: MemoryModel::default(),
             program_cache: DEFAULT_PROGRAM_CACHE_CAPACITY,
+            shared_cache: None,
         }
     }
 
@@ -347,6 +437,18 @@ impl Session {
         self.jobs_submitted.load(Ordering::Relaxed)
     }
 
+    /// Jobs whose completion has been delivered (cancelled and panicked
+    /// ones included).
+    pub fn jobs_completed(&self) -> u64 {
+        self.counters.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that stopped at a cancellation checkpoint (dropped handle /
+    /// future, or an explicit `cancel()`) instead of running to the end.
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.counters.cancelled.load(Ordering::Relaxed)
+    }
+
     /// Offline pass: circuit → program graph state → FlexLattice IR →
     /// instructions. The output can be executed any number of times, with
     /// any seeds, by this session (or any session with the same
@@ -368,32 +470,62 @@ impl Session {
     pub fn submit(&self, request: ExecutionRequest) -> JobHandle {
         let (reply, reply_rx) = channel();
         let seed = request.seed;
-        self.dispatch(request, Completion::Channel(reply));
-        JobHandle { reply_rx, seed }
+        let cancel = CancelToken::new();
+        self.dispatch(request, Completion::Channel(reply), cancel.clone());
+        JobHandle { reply_rx, seed, cancel }
     }
 
     /// The callback twin of [`Session::submit`]: the lane runs `completion`
     /// (on the lane thread) when the job finishes instead of parking a
     /// channel. This is the dispatch primitive under the async front-end —
     /// the callback fills a `JobFuture` slot and releases its admission
-    /// ticket.
+    /// ticket. The caller owns `cancel` (a dropped `JobFuture` flips it).
     pub(crate) fn submit_with(
         &self,
         request: ExecutionRequest,
         completion: Box<dyn FnOnce(Result<ExecuteOutcome, String>) + Send>,
+        cancel: CancelToken,
     ) {
-        self.dispatch(request, Completion::Callback(completion));
+        self.dispatch(request, Completion::Callback(completion), cancel);
     }
 
-    fn dispatch(&self, request: ExecutionRequest, completion: Completion) {
-        let lane_index =
-            self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
-        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    /// The next round-robin lane. The stored counter is kept in
+    /// `[0, lanes)` by `fetch_update`, so wrapping `usize::MAX` cannot
+    /// skew the rotation for non-power-of-two lane counts the way the old
+    /// `fetch_add(1) % lanes` did (two consecutive jobs on one lane at
+    /// the wrap point).
+    fn next_lane_index(&self) -> usize {
+        let lanes = self.lanes.len();
+        let previous = self
+            .next_lane
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.wrapping_add(1) % lanes)
+            })
+            .expect("round-robin closure never declines");
+        previous % lanes
+    }
+
+    fn dispatch(&self, request: ExecutionRequest, completion: Completion, cancel: CancelToken) {
+        let lane_index = self.next_lane_index();
+        let submitted = self.jobs_submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        // In-flight jobs including this one; `completed` can lag behind
+        // other threads' deliveries, so clamp at 1 — a best-effort gauge,
+        // not an accounting invariant.
+        let queue_depth = submitted
+            .saturating_sub(self.counters.completed.load(Ordering::Relaxed))
+            .max(1);
         self.lanes[lane_index]
             .request_tx
             .as_ref()
             .expect("session is live")
-            .send(LaneRequest { compiled: request.compiled, seed: request.seed, completion })
+            .send(LaneRequest {
+                compiled: request.compiled,
+                seed: request.seed,
+                completion,
+                cancel,
+                queue_depth,
+                submitted_at: Instant::now(),
+            })
             .expect("session lane hung up");
     }
 
@@ -460,10 +592,20 @@ impl Session {
     /// Returns [`CompileError::Mapping`] when the offline pass fails
     /// (nothing is retained).
     pub fn compile_cached(&self, circuit: &Circuit) -> Result<Arc<CompiledProgram>, CompileError> {
+        Ok(self.compile_cached_lookup(circuit)?.program)
+    }
+
+    /// [`Session::compile_cached`] with the lookup's own telemetry: whether
+    /// it hit, and the counter snapshot taken atomically as it resolved —
+    /// the stamp [`Session::sweep`] puts on reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Mapping`] when the offline pass fails
+    /// (nothing is retained).
+    pub fn compile_cached_lookup(&self, circuit: &Circuit) -> Result<CacheLookup, CompileError> {
         let key = program_key(&self.config, circuit);
-        let (program, _) =
-            self.cache.get_or_try_insert_with(key, || run_offline_pass(&self.config, circuit))?;
-        Ok(program)
+        self.cache.get_or_try_insert_with(key, || run_offline_pass(&self.config, circuit))
     }
 
     /// Counters of the compiled-program cache.
@@ -477,12 +619,21 @@ impl Session {
         &self.cache
     }
 
+    /// A shareable handle to the compiled-program cache, for building
+    /// further sessions over the same cache
+    /// ([`SessionBuilder::shared_program_cache`]).
+    pub fn program_cache_handle(&self) -> Arc<ProgramCache> {
+        Arc::clone(&self.cache)
+    }
+
     /// Compile-once-sweep-many in one call: resolves the circuit through
     /// the program cache ([`Session::compile_cached`]), runs one execution
-    /// per seed through the warm lanes, and stamps every report with the
-    /// cache counters ([`ExecutionReport::cache`](crate::ExecutionReport))
-    /// observed at compile time. Sweeping the same circuit again skips the
-    /// offline pass entirely.
+    /// per seed through the warm lanes, and stamps every report with *this
+    /// lookup's* counters ([`ExecutionReport::cache`](crate::ExecutionReport))
+    /// and hit flag — the snapshot taken atomically as the lookup resolved,
+    /// so concurrent tenants hammering the shared cache can't smear the
+    /// numbers. Sweeping the same circuit again skips the offline pass
+    /// entirely.
     ///
     /// # Errors
     ///
@@ -492,12 +643,11 @@ impl Session {
         circuit: &Circuit,
         seeds: &[u64],
     ) -> Result<Vec<ExecuteOutcome>, CompileError> {
-        let compiled = self.compile_cached(circuit)?;
-        let stats = self.cache.stats();
+        let lookup = self.compile_cached_lookup(circuit)?;
         Ok(self
-            .execute_batch_shared(compiled, seeds)
+            .execute_batch_shared(lookup.program, seeds)
             .into_iter()
-            .map(|outcome| outcome.with_cache_stats(stats))
+            .map(|outcome| outcome.with_cache_stamp(lookup.hit, lookup.stats))
             .collect())
     }
 
@@ -645,6 +795,79 @@ mod tests {
             }
         }
         assert_eq!(session.jobs_submitted(), 3, "every attempt reached the lane");
+    }
+
+    #[test]
+    fn round_robin_survives_index_wraparound() {
+        // Regression (PR 7): `fetch_add(1) % lanes` assigns two
+        // consecutive jobs to the same lane when the counter wraps with a
+        // non-power-of-two lane count (…`usize::MAX % 3 == 0`, wrap,
+        // `0 % 3 == 0`). The fetch_update rotation keeps the stored index
+        // inside `[0, lanes)`, so the cycle stays clean through the wrap.
+        let session = Session::builder(small_config(0.85, 1)).lanes(3).build();
+        session.next_lane.store(usize::MAX, Ordering::Relaxed);
+        let at_wrap = session.next_lane_index();
+        assert!(at_wrap < 3);
+        let after: Vec<usize> = (0..6).map(|_| session.next_lane_index()).collect();
+        assert_eq!(after, vec![0, 1, 2, 0, 1, 2], "rotation is uniform across the wrap");
+    }
+
+    #[test]
+    fn sessions_share_a_program_cache() {
+        let config = small_config(0.85, 4);
+        let circuit = benchmarks::qaoa(4, 2);
+        let first = Session::new(config);
+        let warmup = first.compile_cached_lookup(&circuit).unwrap();
+        assert!(!warmup.hit);
+
+        // A second session over the same cache hits immediately and shares
+        // the very allocation the first session compiled.
+        let second = Session::builder(config)
+            .shared_program_cache(first.program_cache_handle())
+            .build();
+        let shared = second.compile_cached_lookup(&circuit).unwrap();
+        assert!(shared.hit, "cross-session lookup is a hit");
+        assert!(Arc::ptr_eq(&warmup.program, &shared.program));
+        assert_eq!(second.cache_stats(), first.cache_stats());
+        assert_eq!(shared.stats.hits, 1);
+        assert_eq!(shared.stats.misses, 1);
+    }
+
+    #[test]
+    fn explicit_cancel_stops_a_submitted_job() {
+        let session = Session::new(small_config(0.85, 2));
+        let compiled = Arc::new(session.compile(&benchmarks::qaoa(4, 2)).unwrap());
+        let handle = session.submit(ExecutionRequest::new(Arc::clone(&compiled), 3));
+        // Cancel before waiting: depending on timing the lane either
+        // observed the flag at a checkpoint (Cancelled outcome) or had
+        // already finished (complete outcome) — both are legal; what is
+        // pinned is that `wait` returns and the lane stays serviceable.
+        handle.cancel();
+        let outcome = handle.wait();
+        if let Some(failure) = outcome.failure() {
+            assert_eq!(failure.reason, LayerFailureReason::Cancelled);
+            assert_eq!(session.jobs_cancelled(), 1);
+        }
+        // The lane keeps serving, and an untouched token never perturbs a
+        // run: byte-identical to the one-shot path.
+        let fresh = session.execute_shared(compiled, 3);
+        assert!(fresh.is_complete());
+        assert_eq!(session.jobs_completed(), 2);
+    }
+
+    #[test]
+    fn reports_carry_queue_telemetry() {
+        let session = Session::new(small_config(0.85, 5));
+        let compiled = session.compile(&benchmarks::qaoa(4, 2)).unwrap();
+        let outcome = session.execute(&compiled, 5);
+        let service = outcome.report().service;
+        assert!(service.queue_depth >= 1, "an admitted job counts itself");
+        assert!(!service.cache_hit, "explicit-program path never consults the cache");
+        // And the deterministic view clears the stamp.
+        assert_eq!(
+            outcome.report().deterministic().service,
+            crate::report::ServiceTelemetry::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! [`CancelToken`]: cooperative cancellation for in-flight online passes.
+//!
+//! The online pass is a long stream of merged-layer steps; a service
+//! shedding load under overload (a dropped job future, an explicit
+//! cancellation) needs a way to stop an execution *between* those steps
+//! without tearing down the lane that runs it. `CancelToken` is that
+//! signal: a shared atomic flag the submitter side flips and the engine
+//! side polls at its layer checkpoints
+//! ([`ReshapeEngine::advance_logical_layer_cancellable`](crate::ReshapeEngine::advance_logical_layer_cancellable)
+//! checks it before consuming each merged layer).
+//!
+//! Cancellation is strictly cooperative and monotone: once cancelled, a
+//! token stays cancelled, and an engine that never observes the flag (the
+//! run finished first) is wholly unaffected — determinism of completed
+//! runs is untouched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// Clones observe the same flag: cancelling any clone cancels them all.
+/// The default token is live (not cancelled).
+///
+/// # Example
+///
+/// ```
+/// use oneperc_percolation::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a live (not cancelled) token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flips the flag; every clone observes it. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn observable_across_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

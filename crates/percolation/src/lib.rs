@@ -101,12 +101,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod modular;
 mod pool;
 mod renormalize;
 mod scratch;
 mod timelike;
 
+pub use cancel::CancelToken;
 pub use modular::{ModularConfig, ModularOutcome, ModularRenormalizer, ModuleLayout};
 pub use pool::{panic_message, ModuleRegion, PoolClient, WorkerPool};
 pub use renormalize::{renormalize, RenormalizedLattice, Renormalizer};

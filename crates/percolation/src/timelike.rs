@@ -40,6 +40,7 @@ use std::thread::JoinHandle;
 use graphstate::FusionOutcome;
 use oneperc_hardware::{DelayLine, FusionEngine, FusionSampler, HardwareConfig, PhysicalLayer};
 
+use crate::cancel::CancelToken;
 use crate::pool::{ModuleRegion, PoolClient, WorkerPool};
 use crate::renormalize::{RenormalizedLattice, Renormalizer};
 
@@ -174,6 +175,11 @@ impl ReshapeConfig {
 pub struct LogicalLayerReport {
     /// Whether the logical layer was formed within the safety cap.
     pub formed: bool,
+    /// Whether the attempt stopped at a cancellation checkpoint (see
+    /// [`ReshapeEngine::advance_logical_layer_cancellable`]). A cancelled
+    /// report is never `formed`; its counters cover the merged layers
+    /// consumed before the checkpoint fired.
+    pub cancelled: bool,
     /// Merged layers consumed (logical + routing) for this logical layer.
     pub merged_layers: usize,
     /// Raw RSLs consumed for this logical layer.
@@ -681,10 +687,42 @@ impl ReshapeEngine {
     /// is the first layer of the next call, so the stream order matches the
     /// serial path exactly.
     pub fn advance_logical_layer(&mut self, requirement: &LayerRequirement) -> LogicalLayerReport {
+        self.advance_logical_layer_impl(requirement, None)
+    }
+
+    /// [`ReshapeEngine::advance_logical_layer`] with a cooperative
+    /// cancellation checkpoint: `cancel` is polled **before each merged
+    /// layer is consumed**, and a cancelled token stops the attempt right
+    /// there — the returned report has
+    /// [`cancelled`](LogicalLayerReport::cancelled) set, is never
+    /// `formed`, and its counters cover only the layers consumed before
+    /// the checkpoint fired.
+    ///
+    /// A token that is never cancelled leaves the run byte-identical to
+    /// [`ReshapeEngine::advance_logical_layer`]: the checkpoint reads a
+    /// flag, it never draws from any stochastic stream.
+    pub fn advance_logical_layer_cancellable(
+        &mut self,
+        requirement: &LayerRequirement,
+        cancel: &CancelToken,
+    ) -> LogicalLayerReport {
+        self.advance_logical_layer_impl(requirement, Some(cancel))
+    }
+
+    fn advance_logical_layer_impl(
+        &mut self,
+        requirement: &LayerRequirement,
+        cancel: Option<&CancelToken>,
+    ) -> LogicalLayerReport {
         let mut report = LogicalLayerReport::default();
         let merging = self.config.hardware.merging_factor() as u64;
 
         while report.merged_layers < self.config.max_layers_per_logical {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                report.cancelled = true;
+                self.update_fusion_totals();
+                return report;
+            }
             // Generate + renormalize: in-thread, or collected from the
             // worker pool that was fed this layer a few steps ago.
             let (holder, lattice) = self.next_renormalized();
@@ -839,6 +877,27 @@ mod tests {
         assert!(report.merged_layers <= 4, "took {} layers", report.merged_layers);
         assert_eq!(engine.stats().logical_layers, 1);
         assert!(engine.last_logical_lattice().is_some());
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_consuming_a_layer() {
+        let mut engine = ReshapeEngine::new(small_config(0.9, 3));
+        let token = CancelToken::new();
+        token.cancel();
+        let report = engine.advance_logical_layer_cancellable(&LayerRequirement::none(), &token);
+        assert!(report.cancelled);
+        assert!(!report.formed);
+        assert_eq!(report.merged_layers, 0, "checkpoint fires before the first layer");
+        assert_eq!(engine.stats().merged_layers, 0, "no stream consumption after cancel");
+        // The engine stays serviceable: a live token runs to completion…
+        let live = CancelToken::new();
+        let next = engine.advance_logical_layer_cancellable(&LayerRequirement::none(), &live);
+        assert!(next.formed);
+        assert!(!next.cancelled);
+        // …and is byte-identical to the plain path on a fresh engine.
+        let mut plain = ReshapeEngine::new(small_config(0.9, 3));
+        let reference = plain.advance_logical_layer(&LayerRequirement::none());
+        assert_eq!(next, reference, "a never-cancelled checkpoint must not perturb the stream");
     }
 
     #[test]
