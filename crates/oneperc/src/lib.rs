@@ -124,6 +124,17 @@
 //! dedicate to that tenant — sessions of the *same* configuration can
 //! still share a cache.
 //!
+//! Every synchronization primitive behind this tier (the admission
+//! semaphore, the single-flight cache protocol, job futures, cancel
+//! tokens, the renormalization worker pool) is model-checked: the
+//! in-tree bounded model checker `oneperc-verify` exhaustively explores
+//! their interleavings under `--cfg oneperc_model`, and
+//! `cargo xtask lint-sync` keeps raw `std::sync` out of production code
+//! so nothing synchronizes behind the checker's back. The catalogue of
+//! primitives, the invariants, the model tests pinning each one, and how
+//! to replay a failing schedule live in `CONCURRENCY.md` at the
+//! workspace root.
+//!
 //! The one-shot [`Compiler`] facade remains as a deprecated-but-working
 //! shim for existing callers; `Compiler::compile` (the offline pass) is
 //! not deprecated and shares its implementation with [`Session::compile`].
@@ -141,6 +152,7 @@ mod memory;
 mod report;
 pub mod service;
 mod session;
+pub mod sync;
 
 pub use compiler::{CompileError, CompiledProgram, Compiler};
 pub use config::{CompilerConfig, Preset};

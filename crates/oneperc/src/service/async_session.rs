@@ -51,7 +51,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 
 use oneperc_circuit::Circuit;
@@ -500,6 +500,176 @@ impl AsyncSession {
             cancel.clone(),
         );
         JobFuture::new(slot, seed, cancel)
+    }
+}
+
+/// Exhaustive interleaving checks for the admission semaphore (see
+/// `CONCURRENCY.md`). Run with
+/// `RUSTFLAGS="--cfg oneperc_model" cargo test -p oneperc model_`.
+#[cfg(all(test, oneperc_model))]
+mod model_tests {
+    use super::Admission;
+    use crate::sync::{thread, Arc};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    /// Three threads funneling through a one-slot window with the
+    /// blocking `acquire`: a lost `freed` notification (the classic
+    /// missed-wakeup) would strand a waiter and surface as a deadlock.
+    #[test]
+    fn model_blocking_semaphore_has_no_lost_wakeups() {
+        let report = oneperc_verify::model(|| {
+            let admission = Arc::new(Admission::new(1));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let admission = Arc::clone(&admission);
+                    thread::spawn(move || {
+                        admission.acquire();
+                        admission.release();
+                    })
+                })
+                .collect();
+            admission.acquire();
+            admission.release();
+            for worker in workers {
+                worker.join().unwrap();
+            }
+            assert_eq!(admission.in_flight(), 0);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// The executor stand-in behind the async checks: wakes a parked
+    /// model thread, exactly like the service's `block_on` waker.
+    struct ParkWaker(thread::Thread);
+
+    impl Wake for ParkWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Minimal poll loop over `poll_acquire`: poll, park while pending,
+    /// re-poll on wake — the shape every executor reduces to.
+    fn acquire_async(admission: &Admission) {
+        let waker = Waker::from(Arc::new(ParkWaker(thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match admission.poll_acquire(&mut cx) {
+                Poll::Ready(()) => return,
+                Poll::Pending => thread::park(),
+            }
+        }
+    }
+
+    /// Two async waiters behind a held one-slot window: every `release`
+    /// must wake **all** registered wakers (see `AdmissionState::waiters`)
+    /// — waking only one would strand the loser of the re-poll race the
+    /// next time around, and the model would report the deadlock.
+    #[test]
+    fn model_release_wakes_every_async_waiter() {
+        let report = oneperc_verify::model(|| {
+            let admission = Arc::new(Admission::new(1));
+            admission.acquire(); // the root holds the only slot
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let admission = Arc::clone(&admission);
+                    thread::spawn(move || {
+                        acquire_async(&admission);
+                        admission.release();
+                    })
+                })
+                .collect();
+            admission.release();
+            for waiter in waiters {
+                waiter.join().unwrap();
+            }
+            assert_eq!(admission.in_flight(), 0);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// The hazard `AdmissionState::waiters` documents: a waiter whose
+    /// task is dropped right after registering. If it parked (slot was
+    /// busy), a wakeup delivered to it is simply swallowed — it never
+    /// re-polls. If it won a slot outright, it behaves like any admitted
+    /// job and releases.
+    fn poll_once_then_abandon(admission: &Admission) {
+        let waker = Waker::from(Arc::new(ParkWaker(thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        match admission.poll_acquire(&mut cx) {
+            Poll::Ready(()) => admission.release(),
+            Poll::Pending => thread::park(), // woken — and abandons
+        }
+    }
+
+    /// A registered waker whose task abandoned may be the one a release
+    /// picks — so a release must wake **all** waiters, or the genuine
+    /// waiter next to the abandoned one is stranded forever. Weakening
+    /// `release` from `mem::take(&mut waiters)` to `waiters.pop()` makes
+    /// this deadlock with a replayable trace.
+    #[test]
+    fn model_dropped_waiter_cannot_swallow_the_wakeup() {
+        let report = oneperc_verify::model(|| {
+            let admission = Arc::new(Admission::new(1));
+            admission.acquire(); // the root holds the only slot
+            let abandoner = {
+                let admission = Arc::clone(&admission);
+                thread::spawn(move || poll_once_then_abandon(&admission))
+            };
+            let waiter = {
+                let admission = Arc::clone(&admission);
+                thread::spawn(move || {
+                    acquire_async(&admission);
+                    admission.release();
+                })
+            };
+            admission.release();
+            abandoner.join().unwrap();
+            waiter.join().unwrap();
+            assert_eq!(admission.in_flight(), 0);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    struct NoopWaker;
+
+    impl Wake for NoopWaker {
+        fn wake(self: Arc<Self>) {}
+    }
+
+    /// Concurrent single polls against one free slot admit at most one
+    /// submitter — the "no double-dispatch" pin: a window that granted
+    /// the same slot twice would dispatch two executions for it.
+    #[test]
+    fn model_concurrent_polls_never_overshoot_capacity() {
+        let report = oneperc_verify::model(|| {
+            let admission = Arc::new(Admission::new(1));
+            let contenders: Vec<_> = (0..2)
+                .map(|_| {
+                    let admission = Arc::clone(&admission);
+                    thread::spawn(move || {
+                        let waker = Waker::from(Arc::new(NoopWaker));
+                        let mut cx = Context::from_waker(&waker);
+                        admission.poll_acquire(&mut cx).is_ready()
+                    })
+                })
+                .collect();
+            let admitted = contenders
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .filter(|&ready| ready)
+                .count();
+            assert!(admitted <= 1, "one slot admitted {admitted} submitters");
+            assert_eq!(admission.in_flight(), admitted);
+            for _ in 0..admitted {
+                admission.release();
+            }
+        });
+        assert!(report.complete, "exploration must be exhaustive");
     }
 }
 

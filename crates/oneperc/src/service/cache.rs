@@ -36,7 +36,7 @@
 //! lookup compiles privately.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use oneperc_circuit::{Circuit, StableHasher};
 
@@ -281,6 +281,129 @@ impl ProgramCache {
         // wake waiters, who will now hit.
         drop(guard);
         Ok(CacheLookup { program, hit: false, stats })
+    }
+}
+
+/// Exhaustive interleaving checks for the single-flight protocol (see
+/// `CONCURRENCY.md`). Run with
+/// `RUSTFLAGS="--cfg oneperc_model" cargo test -p oneperc model_`.
+///
+/// The compile closure clones one artifact built outside the model (the
+/// offline pass is pure compute with no synchronization, so re-running it
+/// inside every explored execution would only slow the search down).
+#[cfg(all(test, oneperc_model))]
+mod model_tests {
+    use super::*;
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::thread;
+    use oneperc_circuit::benchmarks;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::OnceLock;
+
+    fn program() -> CompiledProgram {
+        static PROGRAM: OnceLock<CompiledProgram> = OnceLock::new();
+        PROGRAM
+            .get_or_init(|| {
+                let config = CompilerConfig::for_sensitivity(36, 3, 0.85, 1);
+                let circuit = benchmarks::qaoa(4, 2);
+                crate::compiler::run_offline_pass(&config, &circuit)
+                    .expect("offline pass succeeds")
+            })
+            .clone()
+    }
+
+    /// Three submitters of one key elect exactly one leader under every
+    /// interleaving: one compile, one miss, two hits served from the
+    /// leader's artifact (possibly via the condvar wait).
+    #[test]
+    fn model_single_flight_elects_exactly_one_leader() {
+        let _ = program(); // materialize outside the model (std mode)
+        let report = oneperc_verify::model(|| {
+            let cache = Arc::new(ProgramCache::new(4));
+            let compiles = Arc::new(AtomicUsize::new(0));
+            let submitters: Vec<_> = (0..2)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let compiles = Arc::clone(&compiles);
+                    thread::spawn(move || {
+                        let lookup = cache
+                            .get_or_try_insert_with(7, || {
+                                compiles.fetch_add(1, Ordering::SeqCst);
+                                Ok::<_, String>(program())
+                            })
+                            .expect("compile cannot fail");
+                        lookup.hit
+                    })
+                })
+                .collect();
+            let root = cache
+                .get_or_try_insert_with(7, || {
+                    compiles.fetch_add(1, Ordering::SeqCst);
+                    Ok::<_, String>(program())
+                })
+                .expect("compile cannot fail");
+            let hits = submitters
+                .into_iter()
+                .map(|s| s.join().unwrap())
+                .filter(|&hit| hit)
+                .count()
+                + usize::from(root.hit);
+            assert_eq!(compiles.load(Ordering::SeqCst), 1, "single-flight");
+            assert_eq!(hits, 2, "exactly one lookup may miss");
+            let stats = cache.stats();
+            assert_eq!((stats.hits, stats.misses), (2, 1));
+            assert_eq!(cache.in_flight(), 0);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// A leader whose compile panics resolves its in-flight entry via
+    /// `InFlightGuard` on the unwind path, so a concurrent waiter takes
+    /// over instead of hanging — under every interleaving, including the
+    /// waiter arriving before, during, and after the panic.
+    #[test]
+    fn model_leader_panic_lets_a_waiter_take_over() {
+        let _ = program();
+        let report = oneperc_verify::model(|| {
+            let cache = Arc::new(ProgramCache::new(4));
+            let panicker = {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        cache.get_or_try_insert_with(7, || -> Result<CompiledProgram, String> {
+                            panic!("planted compile failure")
+                        })
+                    }));
+                    // Either this submitter led (its own panic comes back)
+                    // or it lost the race and was served the follower's
+                    // healthy artifact — in which case its closure never
+                    // ran, so the lookup must have been a hit.
+                    match result {
+                        Err(_) => {}
+                        Ok(lookup) => {
+                            assert!(lookup.expect("hit cannot fail").hit);
+                        }
+                    }
+                })
+            };
+            let follower = {
+                let cache = Arc::clone(&cache);
+                // A waiter woken by the leader's failure re-checks and
+                // takes over as the new leader inside the lookup itself —
+                // the failure never propagates to it, so no retry is
+                // needed here.
+                thread::spawn(move || {
+                    cache
+                        .get_or_try_insert_with(7, || Ok::<_, String>(program()))
+                        .expect("healthy compile cannot fail")
+                })
+            };
+            panicker.join().unwrap();
+            let _lookup = follower.join().unwrap();
+            assert_eq!(cache.in_flight(), 0, "in-flight entry must resolve");
+            assert_eq!(cache.len(), 1, "healthy artifact must be resident");
+        });
+        assert!(report.complete, "exploration must be exhaustive");
     }
 }
 

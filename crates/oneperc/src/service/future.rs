@@ -11,7 +11,7 @@
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use oneperc_percolation::CancelToken;
@@ -196,7 +196,7 @@ impl Future for JobFuture {
 }
 
 /// Wakes a parked thread; the entire executor behind [`block_on`].
-struct ThreadWaker(std::thread::Thread);
+struct ThreadWaker(thread::Thread);
 
 impl Wake for ThreadWaker {
     fn wake(self: Arc<Self>) {
@@ -222,15 +222,66 @@ impl Wake for ThreadWaker {
 /// ```
 pub fn block_on<F: Future>(future: F) -> F::Output {
     let mut future = std::pin::pin!(future);
-    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
     let mut cx = Context::from_waker(&waker);
     loop {
         match future.as_mut().poll(&mut cx) {
             Poll::Ready(value) => return value,
             // A wake between the poll and this park turns the park into a
             // no-op (parking consumes the token), so no wakeup is lost.
-            Poll::Pending => std::thread::park(),
+            Poll::Pending => thread::park(),
         }
+    }
+}
+
+/// Exhaustive interleaving checks for the completion slot (see
+/// `CONCURRENCY.md`). Run with
+/// `RUSTFLAGS="--cfg oneperc_model" cargo test -p oneperc model_`.
+#[cfg(all(test, oneperc_model))]
+mod model_tests {
+    use super::*;
+
+    fn outcome() -> ExecuteOutcome {
+        ExecuteOutcome::Complete(crate::report::ExecutionReport {
+            rsl_consumed: 7,
+            ..Default::default()
+        })
+    }
+
+    /// `complete` racing `wait`: the condvar protocol (outcome re-checked
+    /// under the lock before every park) may not miss the completion
+    /// under any schedule — a notify sent before the waiter parks must
+    /// still be observed via the predicate.
+    #[test]
+    fn model_wait_never_misses_completion() {
+        let report = oneperc_verify::model(|| {
+            let slot = Arc::new(JobSlot::default());
+            let future = JobFuture::new(Arc::clone(&slot), 0, CancelToken::new());
+            let producer = thread::spawn(move || slot.complete(Ok(outcome())));
+            assert_eq!(future.wait().report().rsl_consumed, 7);
+            producer.join().unwrap();
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// `complete` racing `block_on`'s poll/park loop, with a concurrent
+    /// canceller in the mix (the overload path: an RPC disconnect cancels
+    /// while the lane finishes). The registered-waker handoff may not
+    /// lose the wakeup: a `complete` that lands between the poll and the
+    /// park must still unpark the executor thread.
+    #[test]
+    fn model_block_on_never_loses_the_wakeup() {
+        let report = oneperc_verify::model(|| {
+            let slot = Arc::new(JobSlot::default());
+            let cancel = CancelToken::new();
+            let future = JobFuture::new(Arc::clone(&slot), 0, cancel.clone());
+            let producer = thread::spawn(move || slot.complete(Ok(outcome())));
+            let canceller = thread::spawn(move || cancel.cancel());
+            assert_eq!(block_on(future).report().rsl_consumed, 7);
+            producer.join().unwrap();
+            canceller.join().unwrap();
+        });
+        assert!(report.complete, "exploration must be exhaustive");
     }
 }
 

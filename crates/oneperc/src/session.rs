@@ -41,10 +41,10 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::mpsc::{channel, Receiver, Sender};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::Arc;
 use std::time::Instant;
 
 use oneperc_circuit::Circuit;
@@ -204,7 +204,7 @@ impl Lane {
         counters: Arc<SessionCounters>,
     ) -> Lane {
         let (request_tx, request_rx) = channel::<LaneRequest>();
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name(format!("oneperc-lane-{index}"))
             .spawn(move || {
                 // The warm state of the lane: constructed once, reseeded

@@ -14,8 +14,8 @@
 //! run finished first) is wholly unaffected — determinism of completed
 //! runs is untouched.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 
 /// A shared, clonable cancellation flag.
 ///
@@ -52,6 +52,50 @@ impl CancelToken {
     /// Whether the token has been cancelled.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Exhaustive interleaving checks (see `CONCURRENCY.md`). Run with
+/// `RUSTFLAGS="--cfg oneperc_model" cargo test -p oneperc-percolation model_`.
+#[cfg(all(test, oneperc_model))]
+mod model_tests {
+    use super::*;
+    use crate::sync::thread;
+
+    /// A cancel on one thread is visible to every clone once the
+    /// canceller has been joined — pins the Release/Acquire pairing on
+    /// the shared flag under every interleaving.
+    #[test]
+    fn model_cancel_is_visible_after_join() {
+        let report = oneperc_verify::model(|| {
+            let token = CancelToken::new();
+            let canceller = token.clone();
+            let handle = thread::spawn(move || canceller.cancel());
+            handle.join().unwrap();
+            assert!(token.is_cancelled());
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// Two racing cancellers and a racing observer: cancellation is
+    /// idempotent and monotone (a thread that cancelled observes the
+    /// flag set immediately), whatever the schedule.
+    #[test]
+    fn model_concurrent_cancels_are_idempotent() {
+        let report = oneperc_verify::model(|| {
+            let token = CancelToken::new();
+            let a = token.clone();
+            let b = token.clone();
+            let first = thread::spawn(move || a.cancel());
+            let second = thread::spawn(move || {
+                b.cancel();
+                b.is_cancelled()
+            });
+            first.join().unwrap();
+            assert!(second.join().unwrap(), "own cancel must be visible");
+            assert!(token.is_cancelled());
+        });
+        assert!(report.complete, "exploration must be exhaustive");
     }
 }
 

@@ -106,6 +106,7 @@ mod modular;
 mod pool;
 mod renormalize;
 mod scratch;
+pub mod sync;
 mod timelike;
 
 pub use cancel::CancelToken;

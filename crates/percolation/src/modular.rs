@@ -11,7 +11,7 @@
 //! survives if every inter-module joining path along it is found, which is
 //! the resource overhead studied in Fig. 13(c).
 
-use std::sync::Arc;
+use crate::sync::Arc;
 
 use graphstate::DisjointSet;
 use oneperc_hardware::PhysicalLayer;
@@ -75,7 +75,7 @@ impl ModularConfig {
         if self.workers > 0 {
             self.workers
         } else {
-            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let cores = crate::sync::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
             cores.min(modules).max(1)
         }
     }

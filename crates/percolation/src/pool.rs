@@ -37,9 +37,9 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use crate::sync::mpsc::{channel, Receiver, Sender};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Arc, Mutex};
 
 use oneperc_hardware::PhysicalLayer;
 
@@ -152,7 +152,7 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || {
+                thread::spawn(move || {
                     let mut renorm = Renormalizer::new();
                     loop {
                         // Release the queue lock before renormalizing so
@@ -361,6 +361,48 @@ impl PoolClient {
             Ok(lattice) => lattice,
             Err(msg) => panic!("renormalization job for slot {want} panicked: {msg}"),
         }
+    }
+}
+
+/// Exhaustive interleaving checks (see `CONCURRENCY.md`). Run with
+/// `RUSTFLAGS="--cfg oneperc_model" cargo test -p oneperc-percolation model_`.
+#[cfg(all(test, oneperc_model))]
+mod model_tests {
+    use super::*;
+
+    /// Drop of an idle pool injects one shutdown sentinel per worker and
+    /// joins both — no schedule may leave a worker parked on the queue.
+    /// This is the "shutdown without hangs" pin: a lost sentinel or a
+    /// worker blocked on a dead queue shows up as a deadlock here.
+    #[test]
+    fn model_shutdown_never_hangs() {
+        let report = oneperc_verify::model(|| {
+            let pool = WorkerPool::new(2);
+            assert_eq!(pool.worker_count(), 2);
+            drop(pool);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
+    }
+
+    /// A submitted job's reply reaches its client before shutdown under
+    /// every interleaving of submitter, worker, and teardown: the
+    /// in-flight work is ahead of the shutdown sentinel in the queue.
+    #[test]
+    fn model_submitted_job_completes_before_shutdown() {
+        let report = oneperc_verify::model(|| {
+            let pool = WorkerPool::new(1);
+            let layer = Arc::new(PhysicalLayer::fully_connected(20, 20));
+            let mut client = pool.client();
+            client.submit(
+                &layer,
+                ModuleRegion { origin: (0, 0), width: 10, height: 10 },
+                5,
+            );
+            let lattice = client.recv_next();
+            assert!(lattice.is_success());
+            drop(pool);
+        });
+        assert!(report.complete, "exploration must be exhaustive");
     }
 }
 

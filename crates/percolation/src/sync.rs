@@ -1,0 +1,27 @@
+//! Synchronization façade for this crate.
+//!
+//! All production code imports its concurrency primitives from here, not
+//! from `std` directly (enforced by `cargo xtask lint-sync`). In normal
+//! builds this module is a pure re-export of `std` — zero overhead, no
+//! model-checker code in release artifacts. Under
+//! `RUSTFLAGS="--cfg oneperc_model"` the same names resolve to
+//! `oneperc_verify::sync`, whose dual-mode types route every operation
+//! through the bounded model checker's deterministic scheduler when (and
+//! only when) the calling thread is part of a model execution.
+//!
+//! See the workspace-level `CONCURRENCY.md` for the catalogue of
+//! primitives, their invariants, and the model tests pinning them.
+
+#[cfg(not(oneperc_model))]
+pub use std::sync::{
+    atomic, mpsc, Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, TryLockError,
+    TryLockResult, WaitTimeoutResult, Weak,
+};
+#[cfg(not(oneperc_model))]
+pub use std::thread;
+
+#[cfg(oneperc_model)]
+pub use oneperc_verify::sync::{
+    atomic, mpsc, thread, Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError,
+    TryLockError, TryLockResult, WaitTimeoutResult, Weak,
+};

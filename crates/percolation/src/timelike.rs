@@ -33,9 +33,9 @@
 //! enforced by `tests/pipeline_determinism.rs`.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use crate::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::Arc;
 
 use graphstate::FusionOutcome;
 use oneperc_hardware::{DelayLine, FusionEngine, FusionSampler, HardwareConfig, PhysicalLayer};
@@ -412,7 +412,7 @@ impl LayerPipeline {
         let (recycle_tx, recycle_rx) = channel::<PhysicalLayer>();
         let (command_tx, command_rx) = channel::<GenCommand>();
         let rsl_size = hardware.rsl_size;
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name("rsl-generator".into())
             .spawn(move || {
                 let mut engine = FusionEngine::new(hardware, seed);

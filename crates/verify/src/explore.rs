@@ -1,0 +1,314 @@
+//! Exploration driver: runs the test closure under every scheduling
+//! decision vector up to the preemption bound, with sleep-set (DPOR-lite)
+//! pruning, and renders replayable failure reports.
+
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::rt::{self, ExecState, Failure, Node, Shared, ThreadCtx, ThreadRec, Tid};
+
+/// Environment variable holding a comma-separated schedule (the `chosen`
+/// thread id per step) to replay a single execution instead of exploring.
+pub const REPLAY_ENV: &str = "ONEPERC_MODEL_REPLAY";
+
+/// Default context-switch (preemption) bound. Two preemptions catch the
+/// overwhelming majority of real concurrency bugs (CHESS's empirical
+/// result) while keeping exhaustive exploration tractable; the service
+/// model tests raise it where the acceptance bar demands.
+pub const DEFAULT_PREEMPTION_BOUND: u32 = 2;
+
+/// Configures and runs a bounded model-checking session.
+///
+/// ```
+/// use oneperc_verify::{Builder, sync::atomic::{AtomicUsize, Ordering}};
+/// use oneperc_verify::sync::Arc;
+///
+/// let report = Builder::new().preemption_bound(2).check(|| {
+///     let n = Arc::new(AtomicUsize::new(0));
+///     let n2 = Arc::clone(&n);
+///     let t = oneperc_verify::sync::thread::spawn(move || {
+///         n2.fetch_add(1, Ordering::SeqCst);
+///     });
+///     n.fetch_add(1, Ordering::SeqCst);
+///     t.join().unwrap();
+///     assert_eq!(n.load(Ordering::SeqCst), 2);
+/// });
+/// assert!(report.complete);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Builder {
+    preemption_bound: Option<u32>,
+    max_executions: u64,
+    max_steps: usize,
+    replay: Option<Vec<Tid>>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What an exploration did. Returned on success; failures panic with a
+/// replayable report instead.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: u64,
+    /// True when the bounded space was exhausted (always true on return —
+    /// running out of budget panics — but kept explicit for telemetry).
+    pub complete: bool,
+    /// Deepest schedule explored, in scheduling points.
+    pub max_depth: usize,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        let replay = std::env::var(REPLAY_ENV).ok().map(|v| {
+            v.split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse::<usize>().expect("malformed ONEPERC_MODEL_REPLAY"))
+                .collect()
+        });
+        Builder {
+            preemption_bound: Some(DEFAULT_PREEMPTION_BOUND),
+            max_executions: 1_000_000,
+            max_steps: 20_000,
+            replay,
+        }
+    }
+
+    /// Bounds context switches away from a still-runnable thread. `None`
+    /// removes the bound (full exhaustive exploration — use only on tiny
+    /// models).
+    pub fn preemption_bound(mut self, bound: impl Into<Option<u32>>) -> Self {
+        self.preemption_bound = bound.into();
+        self
+    }
+
+    /// Caps the number of executions; exceeding the cap panics (an
+    /// under-explored model must fail loudly, not pass quietly).
+    pub fn max_executions(mut self, max: u64) -> Self {
+        self.max_executions = max;
+        self
+    }
+
+    /// Caps scheduling points per execution (catches livelocks/spins).
+    pub fn max_steps(mut self, max: usize) -> Self {
+        self.max_steps = max;
+        self
+    }
+
+    /// Replays exactly one execution along `schedule` (the thread ids a
+    /// failure report prints) instead of exploring.
+    pub fn replay(mut self, schedule: &[Tid]) -> Self {
+        self.replay = Some(schedule.to_vec());
+        self
+    }
+
+    /// Explores every schedule of `f` within the bounds. Panics with a
+    /// replayable report on the first failing schedule (assertion panic,
+    /// deadlock — which is how lost wakeups surface — livelock budget, or
+    /// nondeterminism); returns exploration statistics otherwise.
+    pub fn check<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut path: Vec<Node> = Vec::new();
+        let mut executions: u64 = 0;
+        let mut max_depth = 0usize;
+
+        if let Some(schedule) = &self.replay {
+            let (done_path, failure) = run_once(
+                Arc::clone(&f),
+                Vec::new(),
+                Some(schedule.clone()),
+                self.preemption_bound,
+                self.max_steps,
+            );
+            if let Some(failure) = failure {
+                panic!("{}", format_failure(&done_path, &failure, 1, true));
+            }
+            return Report { executions: 1, complete: true, max_depth: done_path.len() };
+        }
+
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                panic!(
+                    "oneperc-verify: exploration budget exhausted after {} executions \
+                     (raise Builder::max_executions or shrink the model)",
+                    self.max_executions
+                );
+            }
+            let (done_path, failure) = run_once(
+                Arc::clone(&f),
+                path,
+                None,
+                self.preemption_bound,
+                self.max_steps,
+            );
+            if let Some(failure) = failure {
+                panic!("{}", format_failure(&done_path, &failure, executions, false));
+            }
+            max_depth = max_depth.max(done_path.len());
+            path = done_path;
+
+            // Backtrack: find the deepest node with an unexplored
+            // candidate, advance it, and drop everything below.
+            let advanced = loop {
+                let Some(mut node) = path.pop() else { break false };
+                if node.candidates.is_empty() {
+                    continue; // forced move, nothing to branch into
+                }
+                node.explored.push(node.chosen);
+                let next = node
+                    .candidates
+                    .iter()
+                    .copied()
+                    .find(|c| !node.explored.contains(c));
+                if let Some(next) = next {
+                    // Re-derive the preemption count for the new choice.
+                    let prev_chosen = path.last().map(|n| n.chosen);
+                    let parent_preemptions = path.last().map(|n| n.preemptions).unwrap_or(0);
+                    let is_preemption = prev_chosen
+                        .map(|p| p != next && node.enabled.contains(&p))
+                        .unwrap_or(false);
+                    node.preemptions = parent_preemptions + u32::from(is_preemption);
+                    node.chosen = next;
+                    path.push(node);
+                    break true;
+                }
+                // Node exhausted: stays popped, continue upward.
+            };
+            if !advanced {
+                return Report { executions, complete: true, max_depth };
+            }
+        }
+    }
+}
+
+/// Checks `f` under the default bounds. The everyday entry point:
+/// `oneperc_verify::model(|| { ... })`.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Runs one execution, replaying `path` as its decision prefix. Returns
+/// the full decision path taken and the failure, if any.
+fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Node>,
+    replay: Option<Vec<Tid>>,
+    preemption_bound: Option<u32>,
+    max_steps: usize,
+) -> (Vec<Node>, Option<Failure>) {
+    let shared = Arc::new(Shared {
+        state: StdMutex::new(ExecState {
+            threads: vec![ThreadRec::new()],
+            objects: Vec::new(),
+            active: None,
+            path,
+            cursor: 0,
+            replay,
+            preemption_bound,
+            max_steps,
+            steps: 0,
+            failure: None,
+            finished: false,
+            prev_active: None,
+        }),
+        cv: StdCondvar::new(),
+        generation: rt::next_generation(),
+    });
+
+    // Spawn the root model thread; it parks until the kick-off grant.
+    {
+        let shared = Arc::clone(&shared);
+        let f = Arc::clone(&f);
+        std::thread::spawn(move || {
+            let ctx = ThreadCtx { shared, tid: 0 };
+            rt::run_model_thread(ctx, move || f());
+        });
+    }
+
+    // Kick off: grant the root thread its Begin.
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        rt::schedule(&mut state, &shared.cv, 0);
+    }
+
+    // Wait for the execution to finish (cleanly or by failure). Threads
+    // of a failed execution may still be blocked; they are leaked — the
+    // caller is about to panic with the report.
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    while !state.finished {
+        state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+    let failure = state.failure.take();
+    let path = std::mem::take(&mut state.path);
+    (path, failure)
+}
+
+fn schedule_vector(path: &[Node]) -> String {
+    let ids: Vec<String> = path.iter().map(|n| n.chosen.to_string()).collect();
+    ids.join(",")
+}
+
+fn format_failure(path: &[Node], failure: &Failure, executions: u64, replayed: bool) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== oneperc-verify: model failure ==");
+    let _ = writeln!(
+        out,
+        "{} execution{} explored{}",
+        executions,
+        if executions == 1 { "" } else { "s" },
+        if replayed { " (replay mode)" } else { "" },
+    );
+    match failure {
+        Failure::Panic { tid, message } => {
+            let _ = writeln!(out, "reason: thread t{tid} panicked: {message}");
+        }
+        Failure::Deadlock { stuck } => {
+            let _ = writeln!(
+                out,
+                "reason: deadlock — no thread is runnable (lost wakeup / missed notify?)"
+            );
+            for (tid, what) in stuck {
+                let _ = writeln!(out, "        t{tid}: {what}");
+            }
+        }
+        Failure::StepBudget { limit } => {
+            let _ = writeln!(
+                out,
+                "reason: step budget exceeded ({limit} scheduling points) — livelock or \
+                 unbounded spin"
+            );
+        }
+        Failure::Nondeterminism { detail } => {
+            let _ = writeln!(out, "reason: {detail}");
+        }
+    }
+    let _ = writeln!(out, "schedule: [{}]", schedule_vector(path));
+    let _ = writeln!(out, "steps:");
+    for (i, node) in path.iter().enumerate() {
+        let op = node
+            .pending
+            .iter()
+            .find(|(t, _)| *t == node.chosen)
+            .map(|(_, op)| op.to_string())
+            .unwrap_or_else(|| "?".to_string());
+        let _ = writeln!(out, "  #{i:<4} t{} {op}", node.chosen);
+    }
+    let _ = writeln!(
+        out,
+        "replay: {REPLAY_ENV}=\"{}\" (or Builder::replay(&[{}]))",
+        schedule_vector(path),
+        schedule_vector(path).replace(',', ", "),
+    );
+    out
+}

@@ -1,0 +1,46 @@
+//! # oneperc-verify — in-tree bounded model checker
+//!
+//! A dependency-free, loom-style checker for the workspace's hand-rolled
+//! concurrency: the admission semaphore, the single-flight compilation
+//! cache, `CancelToken`, and the `WorkerPool` channels. Production code
+//! imports its primitives from a `sync` shim module; in ordinary builds
+//! that shim is a plain re-export of `std::sync` (zero overhead, nothing
+//! of this crate in release artifacts), while under
+//! `RUSTFLAGS="--cfg oneperc_model"` it resolves to [`sync`] here and
+//! every operation becomes a scheduling point of a deterministic
+//! controlled scheduler.
+//!
+//! [`model`] (or [`Builder`] for custom bounds) then runs a closure under
+//! *every* thread interleaving up to a context-switch bound, with
+//! sleep-set (DPOR-lite) pruning to skip provably equivalent schedules:
+//!
+//! ```
+//! use oneperc_verify::sync::atomic::{AtomicUsize, Ordering};
+//! use oneperc_verify::sync::{thread, Arc};
+//!
+//! oneperc_verify::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! A failing schedule — an assertion panic, a deadlock (how lost wakeups
+//! and missed notifies surface), a livelock that blows the step budget —
+//! panics with a report containing the decision vector, one thread id
+//! per scheduling point. Re-run that exact interleaving with
+//! `ONEPERC_MODEL_REPLAY="0,1,0,..."` (see [`REPLAY_ENV`]) or
+//! `Builder::replay`; no seeds, no flakes.
+//!
+//! What the model covers and what it deliberately does not (weak memory,
+//! spurious wakeups, timeouts) is documented in [`sync`] and, per
+//! primitive, in the workspace-level `CONCURRENCY.md`.
+
+mod explore;
+mod rt;
+pub mod sync;
+
+pub use explore::{model, Builder, Report, DEFAULT_PREEMPTION_BOUND, REPLAY_ENV};

@@ -1,0 +1,860 @@
+//! Execution runtime: the controlled scheduler that serializes model
+//! threads and the bookkeeping that decides which of them may run.
+//!
+//! One *execution* is a single deterministic run of the test closure in
+//! which at most one model thread executes user code at any instant.
+//! Every synchronization operation is a **yield point**: the thread
+//! announces the operation it is about to perform ([`Op`]), stops, and the
+//! scheduler — driven by the exploration path in
+//! [`ExecState::path`] — picks the next thread among those whose pending
+//! operation is *enabled*. Acquire-side operations (lock, condvar
+//! reacquire, atomics, channel ops, join, park) are yield points;
+//! release-side effects (unlock, notify, unpark, sender drop, spawn) are
+//! applied eagerly without a context switch — switching immediately after
+//! a release is observationally equivalent to switching at the releasing
+//! thread's *next* yield point, so collapsing the two keeps the state
+//! space small without losing interleavings.
+//!
+//! Model threads are real OS threads, parked on a condvar between their
+//! turns; determinism comes from the handoff protocol, not from the OS
+//! scheduler. A failed execution (panic, deadlock, step-budget blowout)
+//! leaks its still-blocked threads — the process is about to report a
+//! model failure and exit the test anyway, and leaking is the only safe
+//! teardown that cannot double-panic inside a destructor.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Index of a model thread within one execution. Thread 0 is the root.
+pub(crate) type Tid = usize;
+
+/// Index of a registered synchronization object within one execution.
+pub(crate) type ObjId = usize;
+
+/// Monotone generation counter: one per execution, process-wide, so shim
+/// objects that accidentally outlive an execution (statics) re-register
+/// instead of aliasing a stale id.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a stopped thread is about to do. The scheduler grants the
+/// operation by (a) checking it is enabled and (b) applying its abstract
+/// effect before waking the thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling of a freshly spawned thread.
+    Begin,
+    /// `Mutex::lock`; enabled while the mutex is unowned.
+    LockAcquire(ObjId),
+    /// Second half of `Condvar::wait`: reacquire after a notify; enabled
+    /// once notified *and* the mutex is free.
+    CvReacquire { cv: ObjId, mutex: ObjId },
+    /// Atomic read (`load`).
+    AtomicLoad(ObjId),
+    /// Atomic write (`store`).
+    AtomicStore(ObjId),
+    /// Atomic read-modify-write (`fetch_*`, `swap`, `compare_exchange`).
+    AtomicRmw(ObjId),
+    /// Blocking channel receive; enabled when a message is queued or all
+    /// senders are gone.
+    ChanRecv(ObjId),
+    /// Non-blocking channel receive; always enabled.
+    ChanTryRecv(ObjId),
+    /// Channel send; enabled while the queue has room (bounded senders)
+    /// or the receiver is gone (the send then fails without blocking).
+    ChanSend(ObjId),
+    /// `JoinHandle::join`; enabled once the target thread finished.
+    Join(Tid),
+    /// `thread::park`; enabled while the park token is set.
+    Park,
+    /// `thread::yield_now` — a pure scheduling point.
+    Yield,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Begin => write!(f, "begin"),
+            Op::LockAcquire(m) => write!(f, "lock(m{m})"),
+            Op::CvReacquire { cv, mutex } => write!(f, "cv-wait(c{cv}, m{mutex})"),
+            Op::AtomicLoad(a) => write!(f, "load(a{a})"),
+            Op::AtomicStore(a) => write!(f, "store(a{a})"),
+            Op::AtomicRmw(a) => write!(f, "rmw(a{a})"),
+            Op::ChanRecv(c) => write!(f, "recv(ch{c})"),
+            Op::ChanTryRecv(c) => write!(f, "try-recv(ch{c})"),
+            Op::ChanSend(c) => write!(f, "send(ch{c})"),
+            Op::Join(t) => write!(f, "join(t{t})"),
+            Op::Park => write!(f, "park"),
+            Op::Yield => write!(f, "yield"),
+        }
+    }
+}
+
+/// One entry of a step's effect footprint: which location it touched and
+/// whether it wrote. Dependence between a completed step and a pending
+/// operation is judged on these (see [`footprint_hits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Loc {
+    Obj(ObjId),
+    Thread(Tid),
+    ParkToken(Tid),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Touch {
+    pub(crate) loc: Loc,
+    pub(crate) write: bool,
+}
+
+/// Locations a pending operation will touch (at most two: a condvar
+/// reacquire touches both the condvar and the mutex).
+pub(crate) fn op_locs(op: Op, me: Tid) -> [Option<Touch>; 2] {
+    let w = |loc| Some(Touch { loc, write: true });
+    let r = |loc| Some(Touch { loc, write: false });
+    match op {
+        Op::Begin => [w(Loc::Thread(me)), None],
+        Op::LockAcquire(m) => [w(Loc::Obj(m)), None],
+        Op::CvReacquire { cv, mutex } => [w(Loc::Obj(cv)), w(Loc::Obj(mutex))],
+        Op::AtomicLoad(a) => [r(Loc::Obj(a)), None],
+        Op::AtomicStore(a) | Op::AtomicRmw(a) => [w(Loc::Obj(a)), None],
+        Op::ChanRecv(c) | Op::ChanTryRecv(c) | Op::ChanSend(c) => [w(Loc::Obj(c)), None],
+        Op::Join(t) => [r(Loc::Thread(t)), None],
+        Op::Park => [w(Loc::ParkToken(me)), None],
+        Op::Yield => [None, None],
+    }
+}
+
+/// Whether a completed step (its footprint) is dependent with a pending
+/// operation: they touch a common location and at least one side writes.
+pub(crate) fn footprint_hits(footprint: &[Touch], op: Op, owner: Tid) -> bool {
+    op_locs(op, owner).into_iter().flatten().any(|pending| {
+        footprint
+            .iter()
+            .any(|done| done.loc == pending.loc && (done.write || pending.write))
+    })
+}
+
+/// Scheduler-side state of one model thread.
+#[derive(Debug)]
+pub(crate) enum TState {
+    /// Currently executing user code (at most one thread at a time).
+    Active,
+    /// Stopped at a yield point, `op` pending.
+    Ready(Op),
+    /// Parked in the first half of `Condvar::wait`, waiting for a notify.
+    CvWait { cv: ObjId, mutex: ObjId, notified: bool },
+    Done { panicked: bool },
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadRec {
+    pub(crate) state: TState,
+    /// `thread::park` token (set by `unpark`, consumed by `park`).
+    pub(crate) park_token: bool,
+    /// Effect footprint of the step currently executing (granted op plus
+    /// every eager release-side effect until the next yield point).
+    pub(crate) footprint: Vec<Touch>,
+    /// Panic payload of a finished thread, until a `join` claims it.
+    pub(crate) panic_payload: Option<Box<dyn Any + Send>>,
+    /// Set when the thread's `ChanRecv`/`ChanTryRecv` grant found the
+    /// channel drained and disconnected (the receive must return `Err`).
+    pub(crate) recv_disconnected: bool,
+    /// Set when a granted `ChanTryRecv` found the queue empty (but still
+    /// connected): the receive returns `Err(TryRecvError::Empty)`.
+    pub(crate) recv_empty: bool,
+    /// Set when a granted `ChanSend` found the receiver gone: the send
+    /// must return its message as an error instead of queueing it.
+    pub(crate) send_disconnected: bool,
+}
+
+impl ThreadRec {
+    pub(crate) fn new() -> Self {
+        ThreadRec {
+            state: TState::Ready(Op::Begin),
+            park_token: false,
+            footprint: Vec::new(),
+            panic_payload: None,
+            recv_disconnected: false,
+            recv_empty: false,
+            send_disconnected: false,
+        }
+    }
+}
+
+/// Abstract state of one registered synchronization object. The *data*
+/// (mutex contents, queued messages) stays in the shim objects; the
+/// scheduler only tracks what it needs for enabledness.
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    Mutex { owner: Option<Tid>, poisoned: bool },
+    Condvar,
+    Atomic,
+    Channel { len: usize, cap: Option<usize>, senders: usize, recv_alive: bool },
+}
+
+/// One explored scheduling decision (see `explore.rs` for the search).
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Threads enabled at this point, ascending tid (determinism check on
+    /// replay).
+    pub(crate) enabled: Vec<Tid>,
+    /// Pending op of every enabled thread at this point.
+    pub(crate) pending: Vec<(Tid, Op)>,
+    /// Branchable choices at this node after sleep-set and
+    /// preemption-bound filtering. Empty means the node is forced
+    /// (single successor, nothing to backtrack into).
+    pub(crate) candidates: Vec<Tid>,
+    /// Candidates already fully explored (sleep-set bookkeeping).
+    pub(crate) explored: Vec<Tid>,
+    /// Sleep set on entry to this node: threads whose exploration here is
+    /// provably redundant.
+    pub(crate) sleep: Vec<Tid>,
+    /// The choice the current execution takes at this node.
+    pub(crate) chosen: Tid,
+    /// Preemptions consumed on the path up to *and including* this choice.
+    pub(crate) preemptions: u32,
+}
+
+/// Why an execution failed. Carried to the controller, formatted by
+/// `explore.rs`.
+pub(crate) enum Failure {
+    /// A model thread panicked (root immediately, children when the
+    /// execution ends with an unclaimed payload).
+    Panic { tid: Tid, message: String },
+    /// No thread is enabled but not all have finished: a deadlock — which
+    /// is also how lost wakeups and missed notifies surface.
+    Deadlock { stuck: Vec<(Tid, String)> },
+    /// The per-execution step budget ran out (livelock or unbounded spin).
+    StepBudget { limit: usize },
+    /// A replayed/recorded schedule diverged: the test closure is not
+    /// deterministic between executions.
+    Nondeterminism { detail: String },
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadRec>,
+    pub(crate) objects: Vec<ObjState>,
+    /// The thread currently allowed to run user code.
+    pub(crate) active: Option<Tid>,
+    /// Exploration path: decisions taken so far. The prefix below
+    /// `cursor` is replayed; past it, new nodes are appended.
+    pub(crate) path: Vec<Node>,
+    pub(crate) cursor: usize,
+    /// Forced replay schedule (failure reproduction): chosen tids.
+    pub(crate) replay: Option<Vec<Tid>>,
+    /// Maximum preemptions per execution (context-switch bound).
+    pub(crate) preemption_bound: Option<u32>,
+    /// Per-execution step budget.
+    pub(crate) max_steps: usize,
+    pub(crate) steps: usize,
+    pub(crate) failure: Option<Failure>,
+    /// Execution is over (all threads done, or failed). The controller
+    /// waits for this.
+    pub(crate) finished: bool,
+    /// Tid whose step produced the previous scheduling point (for
+    /// preemption accounting).
+    pub(crate) prev_active: Option<Tid>,
+}
+
+impl ExecState {
+    pub(crate) fn op_enabled(&self, tid: Tid, op: Op) -> bool {
+        match op {
+            Op::Begin | Op::AtomicLoad(_) | Op::AtomicStore(_) | Op::AtomicRmw(_)
+            | Op::ChanTryRecv(_) | Op::Yield => true,
+            Op::LockAcquire(m) => matches!(&self.objects[m], ObjState::Mutex { owner: None, .. }),
+            Op::CvReacquire { mutex, .. } => {
+                matches!(&self.objects[mutex], ObjState::Mutex { owner: None, .. })
+            }
+            Op::ChanRecv(c) => match &self.objects[c] {
+                ObjState::Channel { len, senders, .. } => *len > 0 || *senders == 0,
+                _ => unreachable!("recv on non-channel"),
+            },
+            Op::ChanSend(c) => match &self.objects[c] {
+                ObjState::Channel { len, cap, recv_alive, .. } => {
+                    !*recv_alive || cap.map(|cap| *len < cap).unwrap_or(true)
+                }
+                _ => unreachable!("send on non-channel"),
+            },
+            Op::Join(t) => matches!(self.threads[t].state, TState::Done { .. }),
+            Op::Park => self.threads[tid].park_token,
+        }
+    }
+
+    /// Enabled threads in ascending tid order.
+    pub(crate) fn enabled(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(tid, rec)| match &rec.state {
+                TState::Ready(op) => self.op_enabled(*tid, *op),
+                TState::CvWait { mutex, notified, .. } => {
+                    *notified
+                        && matches!(&self.objects[*mutex], ObjState::Mutex { owner: None, .. })
+                }
+                TState::Active | TState::Done { .. } => false,
+            })
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn pending_op(&self, tid: Tid) -> Op {
+        match &self.threads[tid].state {
+            TState::Ready(op) => *op,
+            TState::CvWait { cv, mutex, .. } => Op::CvReacquire { cv: *cv, mutex: *mutex },
+            other => unreachable!("no pending op in state {other:?}"),
+        }
+    }
+
+    /// Applies the abstract effect of granting `op` to `tid` and starts
+    /// the thread's new footprint with it.
+    fn grant(&mut self, tid: Tid, op: Op) {
+        let rec = &mut self.threads[tid];
+        rec.footprint.clear();
+        rec.recv_disconnected = false;
+        rec.recv_empty = false;
+        rec.send_disconnected = false;
+        for touch in op_locs(op, tid).into_iter().flatten() {
+            rec.footprint.push(touch);
+        }
+        match op {
+            Op::LockAcquire(m) | Op::CvReacquire { mutex: m, .. } => {
+                match &mut self.objects[m] {
+                    ObjState::Mutex { owner, .. } => {
+                        debug_assert!(owner.is_none(), "granted a held mutex");
+                        *owner = Some(tid);
+                    }
+                    _ => unreachable!("lock on non-mutex"),
+                }
+            }
+            Op::ChanRecv(c) | Op::ChanTryRecv(c) => match &mut self.objects[c] {
+                ObjState::Channel { len, senders, .. } => {
+                    if *len > 0 {
+                        *len -= 1;
+                    } else if *senders == 0 {
+                        self.threads[tid].recv_disconnected = true;
+                    } else {
+                        debug_assert!(matches!(op, Op::ChanTryRecv(_)));
+                        self.threads[tid].recv_empty = true;
+                    }
+                }
+                _ => unreachable!("recv on non-channel"),
+            },
+            Op::ChanSend(c) => match &mut self.objects[c] {
+                ObjState::Channel { len, recv_alive, .. } => {
+                    if *recv_alive {
+                        *len += 1;
+                    } else {
+                        self.threads[tid].send_disconnected = true;
+                    }
+                }
+                _ => unreachable!("send on non-channel"),
+            },
+            Op::Park => {
+                debug_assert!(self.threads[tid].park_token);
+                self.threads[tid].park_token = false;
+            }
+            Op::Begin | Op::AtomicLoad(_) | Op::AtomicStore(_) | Op::AtomicRmw(_)
+            | Op::Join(_) | Op::Yield => {}
+        }
+        self.threads[tid].state = TState::Active;
+        self.active = Some(tid);
+    }
+
+    fn describe_stuck(&self) -> Vec<(Tid, String)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, rec)| match &rec.state {
+                TState::Ready(op) => Some((tid, format!("blocked at {op}"))),
+                TState::CvWait { cv, mutex, notified } => Some((
+                    tid,
+                    format!(
+                        "waiting on condvar c{cv} (mutex m{mutex}{})",
+                        if *notified { ", notified" } else { ", never notified" }
+                    ),
+                )),
+                TState::Active => Some((tid, "active (scheduler bug)".to_string())),
+                TState::Done { .. } => None,
+            })
+            .collect()
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: StdMutex<ExecState>,
+    pub(crate) cv: StdCondvar,
+    /// Execution generation, for shim-object id caches.
+    pub(crate) generation: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) tid: Tid,
+}
+
+/// The current model-thread context, or `None` when the calling thread is
+/// not part of a model execution (the dual-mode escape hatch: shim types
+/// then behave exactly like std).
+pub(crate) fn current() -> Option<ThreadCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<ThreadCtx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Panic payload used to tear a thread out of a failed execution. The
+/// wrapper recognizes it; user-level `catch_unwind` may intercept it, but
+/// every subsequent yield point re-raises until the thread unwinds out.
+pub(crate) struct AbortExecution;
+
+impl ThreadCtx {
+    /// Registers a new synchronization object, returning its id.
+    pub(crate) fn register_object(&self, obj: ObjState) -> ObjId {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.objects.push(obj);
+        state.objects.len() - 1
+    }
+
+    /// Announces `op`, cedes control, and blocks until the scheduler
+    /// grants it. On return the calling thread is the unique active
+    /// thread and the op's abstract effect has been applied.
+    pub(crate) fn yield_point(&self, op: Op) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failure.is_some() {
+            drop(state);
+            std::panic::panic_any(AbortExecution);
+        }
+        debug_assert_eq!(state.active, Some(self.tid), "yield from a non-active thread");
+        state.threads[self.tid].state = TState::Ready(op);
+        state.active = None;
+        schedule(&mut state, &self.shared.cv, self.tid);
+        state = self.wait_for_turn(state);
+        drop(state);
+    }
+
+    /// First half of `Condvar::wait`: atomically (w.r.t. the model —
+    /// nobody else runs in between) releases `mutex`, joins `cv`'s wait
+    /// set, cedes control, and blocks until notified, granted the
+    /// reacquire, and scheduled. The caller must have dropped the real
+    /// guard already.
+    pub(crate) fn condvar_wait(&self, cv: ObjId, mutex: ObjId) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failure.is_some() {
+            drop(state);
+            std::panic::panic_any(AbortExecution);
+        }
+        debug_assert_eq!(state.active, Some(self.tid));
+        // Eager release of the mutex, as part of this step's footprint.
+        release_mutex_locked(&mut state, self.tid, mutex);
+        state.threads[self.tid].state = TState::CvWait { cv, mutex, notified: false };
+        state.active = None;
+        schedule(&mut state, &self.shared.cv, self.tid);
+        let state = self.wait_for_turn(state);
+        drop(state);
+    }
+
+    fn wait_for_turn<'a>(
+        &self,
+        mut state: std::sync::MutexGuard<'a, ExecState>,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        loop {
+            if state.failure.is_some() {
+                drop(state);
+                std::panic::panic_any(AbortExecution);
+            }
+            if state.active == Some(self.tid) {
+                return state;
+            }
+            state = self
+                .shared
+                .cv
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Applies an eager (release-side) effect without a scheduling point,
+    /// recording it in the running step's footprint.
+    fn eager(&self, f: impl FnOnce(&mut ExecState, Tid)) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        // During teardown of a failed execution, threads unwind through
+        // destructors that release locks and drop senders; keep applying
+        // the effects (harmless) but never block or panic here — a panic
+        // inside a `Drop` during unwind would abort the process.
+        let tid = self.tid;
+        f(&mut state, tid);
+    }
+
+    pub(crate) fn mutex_release(&self, mutex: ObjId, poison: bool) {
+        self.eager(|state, tid| {
+            release_mutex_locked(state, tid, mutex);
+            if poison {
+                if let ObjState::Mutex { poisoned, .. } = &mut state.objects[mutex] {
+                    *poisoned = true;
+                }
+            }
+        });
+    }
+
+    pub(crate) fn mutex_poisoned(&self, mutex: ObjId) -> bool {
+        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(&state.objects[mutex], ObjState::Mutex { poisoned: true, .. })
+    }
+
+    pub(crate) fn condvar_notify(&self, cv: ObjId, all: bool) {
+        self.eager(|state, tid| {
+            state.threads[tid].footprint.push(Touch { loc: Loc::Obj(cv), write: true });
+            let mut woken = 0usize;
+            for rec in state.threads.iter_mut() {
+                if let TState::CvWait { cv: waiting_cv, notified, .. } = &mut rec.state {
+                    if *waiting_cv == cv && !*notified {
+                        *notified = true;
+                        woken += 1;
+                        if !all && woken == 1 {
+                            break;
+                        }
+                    }
+                }
+            }
+            // A notify with no waiter is lost — exactly the condvar
+            // semantics missed-notify bugs are made of.
+        });
+    }
+
+    pub(crate) fn chan_sender_change(&self, chan: ObjId, delta: isize) {
+        self.eager(|state, tid| {
+            state.threads[tid].footprint.push(Touch { loc: Loc::Obj(chan), write: true });
+            if let ObjState::Channel { senders, .. } = &mut state.objects[chan] {
+                *senders = senders.checked_add_signed(delta).expect("sender count underflow");
+            }
+        });
+    }
+
+    pub(crate) fn chan_receiver_dropped(&self, chan: ObjId) {
+        self.eager(|state, tid| {
+            state.threads[tid].footprint.push(Touch { loc: Loc::Obj(chan), write: true });
+            if let ObjState::Channel { recv_alive, .. } = &mut state.objects[chan] {
+                *recv_alive = false;
+            }
+        });
+    }
+
+    pub(crate) fn unpark(&self, target: Tid) {
+        self.eager(|state, tid| {
+            state.threads[tid].footprint.push(Touch { loc: Loc::ParkToken(target), write: true });
+            state.threads[target].park_token = true;
+        });
+    }
+
+    /// Registers a child thread record; the caller then spawns the real
+    /// thread. Returns the child's tid.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.threads.push(ThreadRec::new());
+        let child = state.threads.len() - 1;
+        state.threads[self.tid].footprint.push(Touch { loc: Loc::Thread(child), write: true });
+        child
+    }
+
+    /// Marks the calling thread finished and hands control to the
+    /// scheduler. Called from the thread wrapper, including on panic.
+    pub(crate) fn finish(&self, panicked: Option<Box<dyn Any + Send>>) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let was_abort = panicked
+            .as_ref()
+            .map(|p| p.is::<AbortExecution>())
+            .unwrap_or(false);
+        let is_panic = panicked.is_some() && !was_abort;
+        state.threads[self.tid].footprint.push(Touch { loc: Loc::Thread(self.tid), write: true });
+        state.threads[self.tid].state = TState::Done { panicked: is_panic };
+        if is_panic {
+            state.threads[self.tid].panic_payload = panicked;
+        }
+        if state.failure.is_some() {
+            // Teardown of an already-failed execution: just notify so the
+            // controller can observe progress.
+            self.shared.cv.notify_all();
+            return;
+        }
+        if is_panic && self.tid == 0 {
+            // Root panic is an immediate model failure.
+            let message = panic_text(state.threads[0].panic_payload.as_deref());
+            state.failure = Some(Failure::Panic { tid: 0, message });
+            state.finished = true;
+            self.shared.cv.notify_all();
+            return;
+        }
+        state.active = None;
+        schedule(&mut state, &self.shared.cv, self.tid);
+    }
+
+    /// Claims a finished thread's panic payload (the `join` path).
+    pub(crate) fn take_panic(&self, target: Tid) -> Option<Box<dyn Any + Send>> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.threads[target].panic_payload.take()
+    }
+
+    /// Reads-and-clears the "send found the receiver gone" flag set by the
+    /// last `ChanSend` grant for this thread.
+    pub(crate) fn take_send_disconnected(&self) -> bool {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut state.threads[self.tid].send_disconnected)
+    }
+
+    /// Reads-and-clears the `(disconnected, empty)` flags set by the last
+    /// `ChanRecv`/`ChanTryRecv` grant for this thread.
+    pub(crate) fn take_recv_flags(&self) -> (bool, bool) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = &mut state.threads[self.tid];
+        (std::mem::take(&mut rec.recv_disconnected), std::mem::take(&mut rec.recv_empty))
+    }
+
+    /// Whether `target` has finished (for `JoinHandle::is_finished`).
+    pub(crate) fn thread_is_done(&self, target: Tid) -> bool {
+        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        matches!(state.threads[target].state, TState::Done { .. })
+    }
+}
+
+/// Body of every model thread (root and spawned): waits for its first
+/// grant, runs `f` with the model context installed, and reports the
+/// outcome to the scheduler — panics included, so a blown assertion
+/// becomes a model failure (root) or a joinable payload (children).
+pub(crate) fn run_model_thread(ctx: ThreadCtx, f: impl FnOnce()) {
+    // Wait for the Begin grant.
+    {
+        let mut state = ctx.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.failure.is_some() {
+                state.threads[ctx.tid].state = TState::Done { panicked: false };
+                ctx.shared.cv.notify_all();
+                return;
+            }
+            if state.active == Some(ctx.tid) {
+                break;
+            }
+            state = ctx.shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    set_current(Some(ctx.clone()));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    set_current(None);
+    ctx.finish(outcome.err());
+}
+
+fn release_mutex_locked(state: &mut ExecState, tid: Tid, mutex: ObjId) {
+    state.threads[tid].footprint.push(Touch { loc: Loc::Obj(mutex), write: true });
+    match &mut state.objects[mutex] {
+        ObjState::Mutex { owner, .. } => {
+            if owner.is_none() {
+                // Double unlock: only reachable through the checker's raw
+                // self-test API (the typed guard makes it impossible), but
+                // detect it rather than corrupt the abstract state.
+                state.failure = Some(Failure::Nondeterminism {
+                    detail: format!("thread t{tid} unlocked mutex m{mutex} it does not own"),
+                });
+                state.finished = true;
+                return;
+            }
+            *owner = None;
+        }
+        _ => unreachable!("release on non-mutex"),
+    }
+}
+
+pub(crate) fn panic_text(payload: Option<&(dyn Any + Send)>) -> String {
+    match payload {
+        Some(p) => {
+            if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            }
+        }
+        None => "<missing payload>".to_string(),
+    }
+}
+
+/// The heart of the checker: called by the thread that just stopped
+/// (`from`), with the state lock held. Picks the next thread per the
+/// exploration path (replaying the prefix, appending fresh decision
+/// nodes past it), applies the grant, and wakes everyone so the chosen
+/// thread can run.
+pub(crate) fn schedule(state: &mut ExecState, cv: &StdCondvar, from: Tid) {
+    state.steps += 1;
+    if state.steps > state.max_steps {
+        state.failure = Some(Failure::StepBudget { limit: state.max_steps });
+        state.finished = true;
+        cv.notify_all();
+        return;
+    }
+
+    let enabled = state.enabled();
+    if enabled.is_empty() {
+        let stuck = state.describe_stuck();
+        if stuck.is_empty() {
+            // Every thread finished: the execution completed.
+            // An unclaimed child panic is still a failure.
+            for (tid, rec) in state.threads.iter().enumerate() {
+                if let TState::Done { panicked: true } = rec.state {
+                    if rec.panic_payload.is_some() {
+                        let message = panic_text(rec.panic_payload.as_deref());
+                        state.failure =
+                            Some(Failure::Panic { tid, message });
+                        break;
+                    }
+                }
+            }
+        } else {
+            state.failure = Some(Failure::Deadlock { stuck });
+        }
+        state.finished = true;
+        cv.notify_all();
+        return;
+    }
+
+    let pending: Vec<(Tid, Op)> = enabled.iter().map(|&t| (t, state.pending_op(t))).collect();
+
+    // Forced replay of a failure schedule.
+    if let Some(replay) = &state.replay {
+        let idx = state.cursor;
+        state.cursor += 1;
+        let chosen = match replay.get(idx) {
+            Some(&t) => t,
+            None => *enabled.first().expect("nonempty"),
+        };
+        if !enabled.contains(&chosen) {
+            state.failure = Some(Failure::Nondeterminism {
+                detail: format!(
+                    "replay step {idx} chose t{chosen}, but enabled threads are {enabled:?}"
+                ),
+            });
+            state.finished = true;
+            cv.notify_all();
+            return;
+        }
+        state.path.push(Node {
+            enabled,
+            pending: pending.clone(),
+            candidates: Vec::new(),
+            explored: Vec::new(),
+            sleep: Vec::new(),
+            chosen,
+            preemptions: 0,
+        });
+        let op = state.pending_op(chosen);
+        state.grant(chosen, op);
+        state.prev_active = Some(chosen);
+        cv.notify_all();
+        return;
+    }
+
+    if state.cursor < state.path.len() {
+        // Replaying the prefix of the exploration path.
+        let idx = state.cursor;
+        state.cursor += 1;
+        let node = &state.path[idx];
+        if node.enabled != enabled {
+            state.failure = Some(Failure::Nondeterminism {
+                detail: format!(
+                    "at step {idx} the enabled set changed between executions \
+                     (recorded {:?}, now {enabled:?}) — the model closure must be \
+                     deterministic",
+                    node.enabled
+                ),
+            });
+            state.finished = true;
+            cv.notify_all();
+            return;
+        }
+        let chosen = node.chosen;
+        let op = state.pending_op(chosen);
+        state.grant(chosen, op);
+        state.prev_active = Some(chosen);
+        cv.notify_all();
+        return;
+    }
+
+    // Fresh decision point. Compute the sleep set inherited from the
+    // previous node: a thread stays asleep while the steps executed since
+    // it was put to sleep are independent of its pending op.
+    let sleep: Vec<Tid> = match state.path.last() {
+        Some(prev) => {
+            let executed_footprint = state.threads[from].footprint.clone();
+            prev.sleep
+                .iter()
+                .chain(prev.explored.iter())
+                .copied()
+                .filter(|&t| t != prev.chosen)
+                .filter(|&t| enabled.contains(&t))
+                .filter(|&t| {
+                    let op = state.pending_op(t);
+                    !footprint_hits(&executed_footprint, op, t)
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    let preemptions_so_far = state.path.last().map(|n| n.preemptions).unwrap_or(0);
+    let prev_active = state.prev_active;
+
+    // Candidate choices: enabled minus sleeping, bounded by the
+    // preemption budget.
+    let mut candidates: Vec<Tid> = enabled.iter().copied().filter(|t| !sleep.contains(t)).collect();
+    let budget_left = state
+        .preemption_bound
+        .map(|b| preemptions_so_far < b)
+        .unwrap_or(true);
+    if !budget_left {
+        if let Some(prev) = prev_active {
+            if enabled.contains(&prev) {
+                // Out of preemptions: the previous thread must continue.
+                candidates = vec![prev];
+            }
+        }
+    }
+    let forced = if candidates.is_empty() {
+        // Everything enabled is asleep: any continuation only revisits
+        // explored behaviors. Continue deterministically without opening
+        // a branch.
+        candidates = vec![*enabled.first().expect("nonempty")];
+        true
+    } else {
+        false
+    };
+
+    let chosen = candidates[0];
+    let is_preemption = prev_active
+        .map(|p| p != chosen && enabled.contains(&p))
+        .unwrap_or(false);
+    let node = Node {
+        enabled,
+        pending,
+        candidates: if forced || candidates.len() <= 1 { Vec::new() } else { candidates },
+        explored: Vec::new(),
+        sleep,
+        chosen,
+        preemptions: preemptions_so_far + u32::from(is_preemption),
+    };
+    state.path.push(node);
+    state.cursor += 1;
+    let op = state.pending_op(chosen);
+    state.grant(chosen, op);
+    state.prev_active = Some(chosen);
+    cv.notify_all();
+}

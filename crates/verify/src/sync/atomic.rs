@@ -1,0 +1,186 @@
+//! Dual-mode atomics. In model mode every access is a scheduling point
+//! (`load` a read, `store`/RMW writes) and memory is sequentially
+//! consistent regardless of the `Ordering` argument — model threads are
+//! serialized, so the argument only matters to the real hardware path
+//! the nightly TSan job exercises.
+
+use crate::rt::{self, ObjId, ObjState, Op, ThreadCtx};
+use crate::sync::ObjCell;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $ty:ty) => {
+        pub struct $name {
+            cell: ObjCell,
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(value: $ty) -> Self {
+                $name { cell: ObjCell::new(), inner: std::sync::atomic::$std::new(value) }
+            }
+
+            fn hit(&self, mk: fn(ObjId) -> Op) {
+                if let Some(ctx) = rt::current() {
+                    let id = self.obj_id(&ctx);
+                    ctx.yield_point(mk(id));
+                }
+            }
+
+            fn obj_id(&self, ctx: &ThreadCtx) -> ObjId {
+                self.cell.id(ctx, || ObjState::Atomic)
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.hit(Op::AtomicLoad);
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.hit(Op::AtomicStore);
+                self.inner.store(value, order)
+            }
+
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                self.hit(Op::AtomicRmw);
+                self.inner.swap(value, order)
+            }
+
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.hit(Op::AtomicRmw);
+                self.inner.fetch_add(value, order)
+            }
+
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.hit(Op::AtomicRmw);
+                self.inner.fetch_sub(value, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.hit(Op::AtomicRmw);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                // One scheduling point for the whole RMW: under the model
+                // the internal CAS loop cannot be contended (threads are
+                // serialized), so it runs at most twice and never spins.
+                self.hit(Op::AtomicRmw);
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicU32, AtomicU32, u32);
+
+pub struct AtomicBool {
+    cell: ObjCell,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> Self {
+        AtomicBool { cell: ObjCell::new(), inner: std::sync::atomic::AtomicBool::new(value) }
+    }
+
+    fn hit(&self, mk: fn(ObjId) -> Op) {
+        if let Some(ctx) = rt::current() {
+            let id = self.cell.id(&ctx, || ObjState::Atomic);
+            ctx.yield_point(mk(id));
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.hit(Op::AtomicLoad);
+        self.inner.load(order)
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.hit(Op::AtomicStore);
+        self.inner.store(value, order)
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.hit(Op::AtomicRmw);
+        self.inner.swap(value, order)
+    }
+
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        self.hit(Op::AtomicRmw);
+        self.inner.fetch_or(value, order)
+    }
+
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        self.hit(Op::AtomicRmw);
+        self.inner.fetch_and(value, order)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.hit(Op::AtomicRmw);
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}

@@ -1,0 +1,332 @@
+//! Drop-in shim for the `std::sync` surface the workspace uses.
+//!
+//! Every type here is **dual-mode**: on a thread that is part of a model
+//! execution (spawned under [`crate::model`]) operations route through
+//! the controlled scheduler; on any other thread they delegate straight
+//! to the `std` primitive they wrap. That duality is what lets the
+//! production crates compile against this module under
+//! `cfg(oneperc_model)` while their ordinary unit tests — which use real
+//! OS threads — keep running unchanged.
+//!
+//! Modeling scope (documented limitation): the checker explores *thread
+//! interleavings* under sequentially consistent memory — it does not
+//! model weak memory reorderings, condvar spurious wakeups, or timeouts
+//! (`wait_timeout*` panics inside a model). `Ordering` arguments are
+//! accepted and ignored in model mode; the nightly TSan job covers the
+//! ordering axis the model deliberately skips.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+use crate::rt::{self, ObjId, ObjState, Op, ThreadCtx};
+
+pub mod atomic;
+pub mod mpsc;
+pub mod thread;
+
+// Untracked re-exports: `Arc` is pure reference counting (its clone/drop
+// ordering cannot produce the lost-update/lost-wakeup class of bug this
+// checker hunts), and the poison plumbing types are plain data.
+pub use std::sync::{
+    Arc, LockResult, PoisonError, TryLockError, TryLockResult, WaitTimeoutResult, Weak,
+};
+
+/// Per-object registration cache: a packed `(generation, id + 1)` word.
+/// Objects register lazily on first touch inside an execution; the
+/// generation check makes an object that leaks across executions (a
+/// static, a leaked Arc) re-register instead of aliasing a stale id.
+pub(crate) struct ObjCell(std::sync::atomic::AtomicU64);
+
+const ID_BITS: u32 = 20;
+const ID_MASK: u64 = (1 << ID_BITS) - 1;
+
+impl ObjCell {
+    pub(crate) const fn new() -> Self {
+        ObjCell(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    pub(crate) fn id(&self, ctx: &ThreadCtx, mk: impl FnOnce() -> ObjState) -> ObjId {
+        let gen = ctx.shared.generation;
+        let packed = self.0.load(StdOrdering::Relaxed);
+        if packed >> ID_BITS == gen && packed & ID_MASK != 0 {
+            return (packed & ID_MASK) as usize - 1;
+        }
+        let id = ctx.register_object(mk());
+        assert!((id as u64) < ID_MASK, "model execution registered too many objects");
+        self.0.store((gen << ID_BITS) | (id as u64 + 1), StdOrdering::Relaxed);
+        id
+    }
+}
+
+/// Dual-mode `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    cell: ObjCell,
+    inner: StdMutex<T>,
+}
+
+/// Dual-mode `std::sync::MutexGuard`. Holds the real guard either way;
+/// in model mode dropping it also releases the abstract lock (an eager
+/// effect — no scheduling point).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(ThreadCtx, ObjId)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { cell: ObjCell::new(), inner: StdMutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn mutex_id(&self, ctx: &ThreadCtx) -> ObjId {
+        self.cell.id(ctx, || ObjState::Mutex { owner: None, poisoned: false })
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { lock: self, inner: Some(g), model: None }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(ctx) => {
+                let id = self.mutex_id(&ctx);
+                ctx.yield_point(Op::LockAcquire(id));
+                // The grant made this thread the unique abstract owner, so
+                // the real lock is free (model threads are serialized); a
+                // plain blocking lock keeps us safe even against misuse.
+                let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+                let poisoned = ctx.mutex_poisoned(id);
+                let guard = MutexGuard { lock: self, inner: Some(g), model: Some((ctx, id)) };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &&self.inner).finish()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((ctx, id)) = self.model.take() {
+            // Release the real lock before the abstract one; the next
+            // abstract owner is only scheduled after both are free.
+            drop(self.inner.take());
+            ctx.mutex_release(id, std::thread::panicking());
+        }
+    }
+}
+
+/// Dual-mode `std::sync::Condvar`. In model mode `notify_one` wakes the
+/// longest-waiting thread (deterministic FIFO — real condvars may pick
+/// any; the FIFO choice is a documented narrowing) and a notify with no
+/// waiter is lost, exactly like the real primitive — which is what lets
+/// the checker surface missed-notify bugs as deadlocks.
+pub struct Condvar {
+    cell: ObjCell,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { cell: ObjCell::new(), inner: StdCondvar::new() }
+    }
+
+    fn cv_id(&self, ctx: &ThreadCtx) -> ObjId {
+        self.cell.id(ctx, || ObjState::Condvar)
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let std_guard = guard.inner.take().expect("guard holds the lock");
+                let lock = guard.lock;
+                std::mem::forget(guard);
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard { lock, inner: Some(g), model: None }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((ctx, mutex_id)) => {
+                let cv_id = self.cv_id(&ctx);
+                let lock = guard.lock;
+                // Drop the real guard before ceding control: the next
+                // scheduled thread may take the real lock.
+                drop(guard.inner.take());
+                std::mem::forget(guard);
+                ctx.condvar_wait(cv_id, mutex_id);
+                // Granted the reacquire: abstract owner again, take real.
+                let g = lock.inner.lock().unwrap_or_else(|p| p.into_inner());
+                let poisoned = ctx.mutex_poisoned(mutex_id);
+                let guard =
+                    MutexGuard { lock, inner: Some(g), model: Some((ctx, mutex_id)) };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+        }
+    }
+
+    /// `std`-compatible predicate loop over [`Condvar::wait`].
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    /// Timeouts cannot be modeled (there is no clock under the scheduler);
+    /// inside a model this panics. Outside it delegates to std — test
+    /// watchdogs keep working in ordinary builds.
+    pub fn wait_timeout_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+        condition: F,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        match guard.model.take() {
+            Some(_) => panic!(
+                "oneperc-verify: Condvar::wait_timeout_while is not modeled — \
+                 restructure the model test to use wait/notify"
+            ),
+            None => {
+                let std_guard = guard.inner.take().expect("guard holds the lock");
+                let lock = guard.lock;
+                std::mem::forget(guard);
+                match self.inner.wait_timeout_while(std_guard, dur, condition) {
+                    Ok((g, timeout)) => {
+                        Ok((MutexGuard { lock, inner: Some(g), model: None }, timeout))
+                    }
+                    Err(p) => {
+                        let (g, timeout) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard { lock, inner: Some(g), model: None },
+                            timeout,
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.inner.notify_one(),
+            Some(ctx) => {
+                let id = self.cv_id(&ctx);
+                ctx.condvar_notify(id, false);
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.inner.notify_all(),
+            Some(ctx) => {
+                let id = self.cv_id(&ctx);
+                ctx.condvar_notify(id, true);
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Raw object-level operations, for the checker's own self-tests (they
+/// plant bugs — a double unlock — that the typed guards make impossible
+/// to express). Not part of the supported surface.
+#[doc(hidden)]
+pub mod raw {
+    use super::*;
+
+    /// Registers a fresh mutex object; model-context only.
+    pub fn mutex() -> ObjId {
+        let ctx = rt::current().expect("raw::mutex outside a model execution");
+        ctx.register_object(ObjState::Mutex { owner: None, poisoned: false })
+    }
+
+    pub fn lock(id: ObjId) {
+        let ctx = rt::current().expect("raw::lock outside a model execution");
+        ctx.yield_point(Op::LockAcquire(id));
+    }
+
+    pub fn unlock(id: ObjId) {
+        let ctx = rt::current().expect("raw::unlock outside a model execution");
+        ctx.mutex_release(id, false);
+    }
+}

@@ -1,0 +1,264 @@
+//! Dual-mode `std::sync::mpsc`. The mode is fixed at *creation*: a
+//! channel created on a model thread is a model channel (abstract
+//! queue-length/sender-count state lives in the scheduler, the actual
+//! messages in a shim-side queue); any other channel is plain std.
+//!
+//! Modeled surface: `send`, `recv`, `try_recv`, sender clone/drop,
+//! receiver drop, bounded `sync_channel` capacity. `recv_timeout` is not
+//! modeled (no clock) and panics inside a model.
+
+use std::collections::VecDeque;
+use std::sync::mpsc as std_mpsc;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use crate::rt::{self, ObjId, ObjState, Op, ThreadCtx};
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+struct ChanInner<T> {
+    id: ObjId,
+    queue: StdMutex<VecDeque<T>>,
+}
+
+struct ModelChan<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+impl<T> Clone for ModelChan<T> {
+    fn clone(&self) -> Self {
+        ModelChan { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> ModelChan<T> {
+    fn new(ctx: &ThreadCtx, cap: Option<usize>) -> Self {
+        let id = ctx.register_object(ObjState::Channel {
+            len: 0,
+            cap,
+            senders: 1,
+            recv_alive: true,
+        });
+        ModelChan { inner: Arc::new(ChanInner { id, queue: StdMutex::new(VecDeque::new()) }) }
+    }
+
+    fn push(&self, value: T) {
+        self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+    }
+
+    fn pop(&self) -> T {
+        self.inner
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+            .expect("scheduler granted a receive from an empty queue")
+    }
+
+    fn send_model(&self, value: T) -> Result<(), SendError<T>> {
+        let ctx = rt::current().expect("model Sender used outside its execution");
+        ctx.yield_point(Op::ChanSend(self.inner.id));
+        if ctx.take_send_disconnected() {
+            Err(SendError(value))
+        } else {
+            self.push(value);
+            Ok(())
+        }
+    }
+
+    fn sender_change(&self, delta: isize) {
+        // A drop on a non-model thread can only happen during teardown of
+        // a failed execution (whose threads never run again) — skip.
+        if let Some(ctx) = rt::current() {
+            ctx.chan_sender_change(self.inner.id, delta);
+        }
+    }
+}
+
+/// Dual-mode `std::sync::mpsc::Sender`.
+pub struct Sender<T>(SenderInner<T>);
+
+enum SenderInner<T> {
+    Std(std_mpsc::Sender<T>),
+    Model(ModelChan<T>),
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderInner::Std(tx) => tx.send(value),
+            SenderInner::Model(chan) => chan.send_model(value),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SenderInner::Std(tx) => Sender(SenderInner::Std(tx.clone())),
+            SenderInner::Model(chan) => {
+                chan.sender_change(1);
+                Sender(SenderInner::Model(chan.clone()))
+            }
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let SenderInner::Model(chan) = &self.0 {
+            chan.sender_change(-1);
+        }
+    }
+}
+
+/// Dual-mode `std::sync::mpsc::SyncSender` (bounded channel).
+pub struct SyncSender<T>(SyncSenderInner<T>);
+
+enum SyncSenderInner<T> {
+    Std(std_mpsc::SyncSender<T>),
+    Model(ModelChan<T>),
+}
+
+impl<T> SyncSender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SyncSenderInner::Std(tx) => tx.send(value),
+            SyncSenderInner::Model(chan) => chan.send_model(value),
+        }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SyncSenderInner::Std(tx) => SyncSender(SyncSenderInner::Std(tx.clone())),
+            SyncSenderInner::Model(chan) => {
+                chan.sender_change(1);
+                SyncSender(SyncSenderInner::Model(chan.clone()))
+            }
+        }
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        if let SyncSenderInner::Model(chan) = &self.0 {
+            chan.sender_change(-1);
+        }
+    }
+}
+
+/// Dual-mode `std::sync::mpsc::Receiver`.
+pub struct Receiver<T>(ReceiverInner<T>);
+
+enum ReceiverInner<T> {
+    Std(std_mpsc::Receiver<T>),
+    Model(ModelChan<T>),
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.recv(),
+            ReceiverInner::Model(chan) => {
+                let ctx = rt::current().expect("model Receiver used outside its execution");
+                ctx.yield_point(Op::ChanRecv(chan.inner.id));
+                let (disconnected, _) = ctx.take_recv_flags();
+                if disconnected {
+                    Err(RecvError)
+                } else {
+                    Ok(chan.pop())
+                }
+            }
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.try_recv(),
+            ReceiverInner::Model(chan) => {
+                let ctx = rt::current().expect("model Receiver used outside its execution");
+                ctx.yield_point(Op::ChanTryRecv(chan.inner.id));
+                let (disconnected, empty) = ctx.take_recv_flags();
+                if disconnected {
+                    Err(TryRecvError::Disconnected)
+                } else if empty {
+                    Err(TryRecvError::Empty)
+                } else {
+                    Ok(chan.pop())
+                }
+            }
+        }
+    }
+
+    /// Not modeled (no clock under the scheduler); panics inside a model.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.recv_timeout(timeout),
+            ReceiverInner::Model(_) => panic!(
+                "oneperc-verify: Receiver::recv_timeout is not modeled — use recv/try_recv \
+                 in model tests"
+            ),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverInner::Model(chan) = &self.0 {
+            if let Some(ctx) = rt::current() {
+                ctx.chan_receiver_dropped(chan.inner.id);
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for SyncSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSender").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+/// Unbounded channel, mode fixed by the calling thread.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    match rt::current() {
+        None => {
+            let (tx, rx) = std_mpsc::channel();
+            (Sender(SenderInner::Std(tx)), Receiver(ReceiverInner::Std(rx)))
+        }
+        Some(ctx) => {
+            let chan = ModelChan::new(&ctx, None);
+            (Sender(SenderInner::Model(chan.clone())), Receiver(ReceiverInner::Model(chan)))
+        }
+    }
+}
+
+/// Bounded channel, mode fixed by the calling thread.
+pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+    match rt::current() {
+        None => {
+            let (tx, rx) = std_mpsc::sync_channel(bound);
+            (SyncSender(SyncSenderInner::Std(tx)), Receiver(ReceiverInner::Std(rx)))
+        }
+        Some(ctx) => {
+            let chan = ModelChan::new(&ctx, Some(bound));
+            (
+                SyncSender(SyncSenderInner::Model(chan.clone())),
+                Receiver(ReceiverInner::Model(chan)),
+            )
+        }
+    }
+}

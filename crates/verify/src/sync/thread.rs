@@ -1,0 +1,213 @@
+//! Dual-mode `std::thread`. Model threads are real OS threads whose
+//! every synchronization operation is serialized by the scheduler;
+//! `spawn` inside a model registers the child with the scheduler and the
+//! child's first instruction waits for its `Begin` grant.
+
+use std::io;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use crate::rt::{self, Op, ThreadCtx, Tid};
+
+pub use std::thread::Result;
+
+struct ModelJoin<T> {
+    tid: Tid,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+enum JoinInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model(ModelJoin<T>),
+}
+
+/// Dual-mode `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(JoinInner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            JoinInner::Std(handle) => handle.join(),
+            JoinInner::Model(m) => {
+                let ctx = rt::current().expect("model JoinHandle joined outside its execution");
+                ctx.yield_point(Op::Join(m.tid));
+                if let Some(payload) = ctx.take_panic(m.tid) {
+                    return Err(payload);
+                }
+                let value = m
+                    .slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined thread finished without a result");
+                Ok(value)
+            }
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            JoinInner::Std(handle) => handle.is_finished(),
+            JoinInner::Model(m) => {
+                let ctx = rt::current().expect("model JoinHandle used outside its execution");
+                ctx.thread_is_done(m.tid)
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+fn spawn_model<F, T>(ctx: &ThreadCtx, f: F) -> ModelJoin<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = ctx.register_thread();
+    let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let child_ctx = ThreadCtx { shared: Arc::clone(&ctx.shared), tid };
+    let result_slot = Arc::clone(&slot);
+    std::thread::Builder::new()
+        .name(format!("oneperc-model-t{tid}"))
+        .spawn(move || {
+            rt::run_model_thread(child_ctx, move || {
+                let value = f();
+                *result_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            });
+        })
+        .expect("failed to spawn model thread");
+    ModelJoin { tid, slot }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle(JoinInner::Std(std::thread::spawn(f))),
+        Some(ctx) => JoinHandle(JoinInner::Model(spawn_model(&ctx, f))),
+    }
+}
+
+/// Dual-mode `std::thread::Builder`. The name is applied on the std path
+/// and ignored under the model (model threads are identified by tid).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            None => {
+                let mut builder = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    builder = builder.name(name);
+                }
+                builder.spawn(f).map(|h| JoinHandle(JoinInner::Std(h)))
+            }
+            Some(ctx) => Ok(JoinHandle(JoinInner::Model(spawn_model(&ctx, f)))),
+        }
+    }
+}
+
+/// Dual-mode `std::thread::Thread` (the `current()`/`unpark()` pair the
+/// service tier uses to implement `block_on`).
+#[derive(Clone)]
+pub struct Thread(ThreadInner);
+
+#[derive(Clone)]
+enum ThreadInner {
+    Std(std::thread::Thread),
+    Model(Tid),
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        match &self.0 {
+            ThreadInner::Std(t) => t.unpark(),
+            ThreadInner::Model(tid) => {
+                let ctx =
+                    rt::current().expect("unpark of a model thread from outside its execution");
+                ctx.unpark(*tid);
+            }
+        }
+    }
+
+    pub fn name(&self) -> Option<&str> {
+        match &self.0 {
+            ThreadInner::Std(t) => t.name(),
+            ThreadInner::Model(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            ThreadInner::Std(t) => std::fmt::Debug::fmt(t, f),
+            ThreadInner::Model(tid) => write!(f, "ModelThread(t{tid})"),
+        }
+    }
+}
+
+pub fn current() -> Thread {
+    match rt::current() {
+        None => Thread(ThreadInner::Std(std::thread::current())),
+        Some(ctx) => Thread(ThreadInner::Model(ctx.tid)),
+    }
+}
+
+pub fn park() {
+    match rt::current() {
+        None => std::thread::park(),
+        Some(ctx) => ctx.yield_point(Op::Park),
+    }
+}
+
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.yield_point(Op::Yield),
+    }
+}
+
+/// Under the model a sleep is just a scheduling point — there is no
+/// clock, and correctness must never depend on wall time anyway.
+pub fn sleep(duration: Duration) {
+    match rt::current() {
+        None => std::thread::sleep(duration),
+        Some(ctx) => {
+            let _ = duration;
+            ctx.yield_point(Op::Yield)
+        }
+    }
+}
+
+/// Deterministic (2) under the model so worker-count decisions cannot
+/// vary between executions.
+pub fn available_parallelism() -> io::Result<NonZeroUsize> {
+    match rt::current() {
+        None => std::thread::available_parallelism(),
+        Some(_) => Ok(NonZeroUsize::new(2).expect("nonzero")),
+    }
+}

@@ -1,0 +1,87 @@
+//! Repo automation driven through `cargo xtask <command>` (the alias lives
+//! in `.cargo/config.toml`). Dependency-free on purpose: the tasks here run
+//! in CI before anything else, so they must build instantly from a cold
+//! cache.
+//!
+//! Commands:
+//!
+//! * `lint-sync` — the synchronization wall described in `CONCURRENCY.md`:
+//!   production code in the sync-bearing crates must reach `Mutex`,
+//!   `Condvar`, `std::thread`, mpsc channels and atomics through the
+//!   crate-local `sync` façade (routable through `oneperc-verify`'s model
+//!   scheduler under `--cfg oneperc_model`), never through `std` directly,
+//!   and may not use the `.lock().unwrap()` idiom (poison recovery is
+//!   `unwrap_or_else(PoisonError::into_inner)` or an `expect` with an
+//!   invariant message).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint_sync;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-sync") => lint_sync::run(&repo_root()),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask <command>\n\ncommands:\n    lint-sync    reject raw std synchronization outside the sync façades";
+
+/// The workspace root: `cargo xtask` runs with the xtask crate as cwd or
+/// the workspace root depending on invocation, so walk up to the directory
+/// holding the workspace manifest.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd is readable");
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("xtask must run inside the workspace");
+        }
+    }
+}
+
+/// One lint hit, printed in the compiler's `path:line: message` shape so
+/// editors and CI annotations pick it up.
+pub(crate) struct Finding {
+    pub(crate) file: PathBuf,
+    pub(crate) line: usize,
+    pub(crate) message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+pub(crate) fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
