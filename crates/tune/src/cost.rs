@@ -1,0 +1,232 @@
+//! Pluggable cost models: how one evaluated lattice point becomes a cost
+//! vector.
+//!
+//! A [`CostModel`] maps a [`PointSample`] — the configuration plus its
+//! deterministic per-seed [`ExecutionReport`]s — to a vector of **finite,
+//! minimized** objectives. The built-in [`ResourceDeadlineModel`] encodes
+//! the paper's trade-off triangle: per-RSL latency against the
+//! photon-lifetime deadline, raw resource volume, and success
+//! probability.
+//!
+//! A model may also offer an **optimistic lower bound** for a point it has
+//! not yet seen executed ([`CostModel::lower_bound`]). The tuner compares
+//! bounds of in-flight points against the frontier of finished ones; a
+//! bound that is already dominated proves the true cost will be dominated
+//! too (costs are componentwise ≥ their bound), so the point's remaining
+//! executions are cancelled mid-flight. A model that cannot bound soundly
+//! returns `None` and the tuner simply never sheds.
+
+use oneperc::{CompilerConfig, ExecutionReport};
+use oneperc_circuit::StableHasher;
+
+/// One evaluated lattice point as seen by a cost model: the configuration
+/// and the **deterministic views** of its per-seed reports (wall-clock and
+/// telemetry zeroed — costs must be functions of `(config, circuit, seed)`
+/// only, or the frontier artifact would not be byte-stable).
+#[derive(Debug, Clone, Copy)]
+pub struct PointSample<'a> {
+    /// The configuration this point was executed under.
+    pub config: &'a CompilerConfig,
+    /// Deterministic per-seed reports, in seed order.
+    pub reports: &'a [ExecutionReport],
+}
+
+impl PointSample<'_> {
+    /// RSL sites per raw layer for this point's hardware.
+    pub fn sites_per_layer(&self) -> usize {
+        self.config.hardware.sites_per_rsl()
+    }
+
+    /// Mean per-RSL latency across the seeds (RSG cycles per logical
+    /// layer; see [`ExecutionReport::rsl_per_logical_layer`]).
+    pub fn mean_rsl_per_logical_layer(&self) -> f64 {
+        self.mean(|r| r.rsl_per_logical_layer())
+    }
+
+    /// Mean raw resource volume across the seeds (resource states
+    /// consumed; see [`ExecutionReport::resource_volume`]).
+    pub fn mean_resource_volume(&self) -> f64 {
+        let sites = self.sites_per_layer();
+        self.mean(|r| r.resource_volume(sites) as f64)
+    }
+
+    /// Fraction of seeds whose run completed every logical layer.
+    pub fn success_probability(&self) -> f64 {
+        ExecutionReport::success_probability(self.reports)
+    }
+
+    fn mean(&self, f: impl Fn(&ExecutionReport) -> f64) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(f).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+/// A cost model: scores evaluated points, optionally bounds unevaluated
+/// ones, and fingerprints itself into the tuner's cache key.
+pub trait CostModel {
+    /// Names of the objective axes, in the order [`CostModel::cost`]
+    /// emits them. Serialized into the frontier artifact so a reader
+    /// knows what the numbers mean.
+    fn objectives(&self) -> Vec<String>;
+
+    /// The cost vector of an evaluated point. Every component must be
+    /// finite and is minimized; `cost.len() == objectives().len()`.
+    fn cost(&self, sample: &PointSample<'_>) -> Vec<f64>;
+
+    /// An optimistic (componentwise ≤ the true cost) bound for a point
+    /// known only by its configuration and compiled program depth, or
+    /// `None` when no sound bound exists. Used to shed dominated
+    /// in-flight evaluations; soundness matters — an over-tight bound
+    /// would cancel points that belong on the frontier.
+    fn lower_bound(&self, config: &CompilerConfig, ir_layers: usize) -> Option<Vec<f64>> {
+        let _ = (config, ir_layers);
+        None
+    }
+
+    /// A stable fingerprint of the model and its parameters. Part of the
+    /// tuner's artifact cache key: two tuners agree on a cached frontier
+    /// only if their models fingerprint identically.
+    fn fingerprint(&self) -> u64;
+}
+
+/// The built-in model: the paper's resource/latency/success triangle with
+/// a photon-lifetime deadline.
+///
+/// Objectives (all minimized, in order):
+///
+/// 1. `deadline_overrun_cycles` — how far the mean per-RSL latency
+///    exceeds the photon lifetime (`0` when photons survive their layer).
+///    Kept as its own axis rather than folded into latency: a config
+///    meeting the deadline with slack and one missing it narrowly differ
+///    in kind, not just degree.
+/// 2. `rsl_per_logical_layer` — mean per-RSL latency in RSG cycles.
+/// 3. `resource_volume` — mean raw resource states consumed.
+/// 4. `failure_rate` — `1 −` empirical success probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceDeadlineModel {
+    /// Deadline override in RSG cycles; `None` uses each configuration's
+    /// own [`photon_lifetime_cycles`](oneperc_hardware::HardwareConfig).
+    pub deadline_cycles: Option<usize>,
+}
+
+impl ResourceDeadlineModel {
+    /// The model with the per-configuration photon lifetime as deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the deadline (in RSG cycles) for every configuration.
+    #[must_use]
+    pub fn with_deadline_cycles(mut self, cycles: usize) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    fn deadline_for(&self, config: &CompilerConfig) -> f64 {
+        self.deadline_cycles.unwrap_or(config.hardware.photon_lifetime_cycles) as f64
+    }
+}
+
+impl CostModel for ResourceDeadlineModel {
+    fn objectives(&self) -> Vec<String> {
+        ["deadline_overrun_cycles", "rsl_per_logical_layer", "resource_volume", "failure_rate"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn cost(&self, sample: &PointSample<'_>) -> Vec<f64> {
+        let latency = sample.mean_rsl_per_logical_layer();
+        let overrun = (latency - self.deadline_for(sample.config)).max(0.0);
+        let volume = sample.mean_resource_volume();
+        let failure = 1.0 - sample.success_probability();
+        vec![overrun, latency, volume, failure]
+    }
+
+    fn lower_bound(&self, config: &CompilerConfig, _ir_layers: usize) -> Option<Vec<f64>> {
+        // Any run consumes at least one merged layer (the first attempt),
+        // i.e. `merging_factor` raw layers — a floor on resource volume.
+        // Latency has no sound positive floor (a run whose first logical
+        // layer never forms reports latency 0), so those axes bound at 0.
+        let volume_floor =
+            (config.hardware.merging_factor() * config.hardware.sites_per_rsl()) as f64;
+        Some(vec![0.0, 0.0, volume_floor, 0.0])
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        // Model identity tag, then parameters; bump on format change.
+        h.write_tag(1);
+        match self.deadline_cycles {
+            None => h.write_tag(0),
+            Some(cycles) => {
+                h.write_tag(1);
+                h.write_usize(cycles);
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rsl: u64, logical: u64, complete: bool) -> ExecutionReport {
+        ExecutionReport { rsl_consumed: rsl, logical_layers: logical, complete, ..Default::default() }
+    }
+
+    #[test]
+    fn sample_aggregates_in_seed_order_invariant_means() {
+        let config = CompilerConfig::for_qubits(4, 0.9, 1);
+        let reports = [report(40, 10, true), report(60, 10, false)];
+        let sample = PointSample { config: &config, reports: &reports };
+        assert_eq!(sample.sites_per_layer(), 576);
+        assert!((sample.mean_rsl_per_logical_layer() - 5.0).abs() < 1e-12);
+        assert!((sample.mean_resource_volume() - 50.0 * 576.0).abs() < 1e-9);
+        assert!((sample.success_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_model_costs_and_objectives_align() {
+        let model = ResourceDeadlineModel::new().with_deadline_cycles(4);
+        let config = CompilerConfig::for_qubits(4, 0.9, 1);
+        let reports = [report(60, 10, true)];
+        let sample = PointSample { config: &config, reports: &reports };
+        let cost = model.cost(&sample);
+        assert_eq!(cost.len(), model.objectives().len());
+        assert!((cost[0] - 2.0).abs() < 1e-12, "latency 6 vs deadline 4");
+        assert!((cost[1] - 6.0).abs() < 1e-12);
+        assert!((cost[3] - 0.0).abs() < 1e-12);
+        assert!(cost.iter().all(|c| c.is_finite()));
+
+        // Default deadline is the hardware photon lifetime: no overrun.
+        let lenient = ResourceDeadlineModel::new();
+        assert_eq!(lenient.cost(&sample)[0], 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_optimistic() {
+        let model = ResourceDeadlineModel::new();
+        let config = CompilerConfig::for_qubits(4, 0.9, 1);
+        let bound = model.lower_bound(&config, 7).expect("built-in model bounds");
+        // Evaluate a minimal run: one merged layer consumed, nothing formed.
+        let mf = config.hardware.merging_factor() as u64;
+        let reports = [report(mf, 0, false)];
+        let cost = model.cost(&PointSample { config: &config, reports: &reports });
+        for (b, c) in bound.iter().zip(&cost) {
+            assert!(b <= c, "bound {b} must not exceed true cost {c}");
+        }
+    }
+
+    #[test]
+    fn model_fingerprint_tracks_parameters() {
+        let a = ResourceDeadlineModel::new();
+        let b = ResourceDeadlineModel::new().with_deadline_cycles(100);
+        let c = ResourceDeadlineModel::new().with_deadline_cycles(200);
+        assert_eq!(a.fingerprint(), ResourceDeadlineModel::new().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,180 @@
+//! Online Pareto pruning over cost vectors.
+//!
+//! Every objective is minimized. Dominance is the usual product order:
+//! `a` dominates `b` when `a` is no worse on every objective and strictly
+//! better on at least one — a **strict partial order** (irreflexive,
+//! asymmetric, transitive; `tests/pareto_props.rs` checks all three by
+//! exhaustion over random vectors). [`ParetoFront::insert`] maintains the
+//! set of mutually non-dominated points online: a candidate dominated by a
+//! resident point is rejected, and an admitted candidate evicts every
+//! resident point it dominates. The surviving *set* is insensitive to
+//! arrival order (also property-tested); iteration order is not, so
+//! callers that serialize a frontier sort it canonically first (see
+//! [`ParetoFront::into_sorted_entries`]).
+
+use std::cmp::Ordering;
+
+/// Whether cost vector `a` dominates `b`: no worse everywhere, strictly
+/// better somewhere. Both vectors must have the same length and should be
+/// finite (comparison uses [`f64::total_cmp`], so NaNs order after
+/// infinity rather than poisoning the result).
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths — comparing costs from
+/// different models is a caller bug, not a tie.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "cost vectors must share their objective axes");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            Ordering::Greater => return false,
+            Ordering::Less => strictly_better = true,
+            Ordering::Equal => {}
+        }
+    }
+    strictly_better
+}
+
+/// One resident point of a [`ParetoFront`]: its cost vector plus the
+/// caller's payload (for the tuner, the evaluated configuration).
+#[derive(Debug, Clone)]
+pub struct FrontEntry<T> {
+    /// The point's cost vector (all objectives minimized).
+    pub cost: Vec<f64>,
+    /// The caller's payload for this point.
+    pub item: T,
+}
+
+/// A set of mutually non-dominated cost vectors, pruned online.
+///
+/// Points with *equal* cost vectors are both kept: neither dominates the
+/// other, and for tuning both configurations are equally good answers.
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct ParetoFront<T> {
+    entries: Vec<FrontEntry<T>>,
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        ParetoFront { entries: Vec::new() }
+    }
+
+    /// Number of resident points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The resident points, in insertion order (survivors only).
+    pub fn entries(&self) -> &[FrontEntry<T>] {
+        &self.entries
+    }
+
+    /// Whether a point with this cost would survive insertion — i.e. no
+    /// resident point dominates it. Used by the tuner to shed in-flight
+    /// evaluations whose *optimistic lower bound* is already dominated:
+    /// if the bound cannot get in, the true cost (componentwise ≥ the
+    /// bound) cannot either.
+    pub fn would_admit(&self, cost: &[f64]) -> bool {
+        !self.entries.iter().any(|e| dominates(&e.cost, cost))
+    }
+
+    /// Offers a point to the frontier. Returns `true` when the point was
+    /// admitted (it is now resident, and every resident point it dominates
+    /// has been evicted) and `false` when a resident point dominates it.
+    pub fn insert(&mut self, cost: Vec<f64>, item: T) -> bool {
+        if !self.would_admit(&cost) {
+            return false;
+        }
+        self.entries.retain(|e| !dominates(&cost, &e.cost));
+        self.entries.push(FrontEntry { cost, item });
+        true
+    }
+
+    /// Consumes the frontier into its entries in **canonical order**:
+    /// lexicographic by cost vector ([`f64::total_cmp`] per axis), ties
+    /// broken by the caller's key. This is the order the tuner serializes,
+    /// making the artifact independent of evaluation arrival order.
+    pub fn into_sorted_entries<K: Ord>(self, key: impl Fn(&T) -> K) -> Vec<FrontEntry<T>> {
+        let mut entries = self.entries;
+        entries.sort_by(|a, b| {
+            for (x, y) in a.cost.iter().zip(&b.cost) {
+                match x.total_cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            key(&a.item).cmp(&key(&b.item))
+        });
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "trade-offs do not dominate");
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "irreflexive on equals");
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "objective axes")]
+    fn mismatched_axes_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn insert_prunes_dominated_residents() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(vec![3.0, 3.0], "worse"));
+        assert!(front.insert(vec![2.0, 4.0], "trade-off"));
+        // Dominates "worse" but not "trade-off".
+        assert!(front.insert(vec![2.5, 3.0], "better"));
+        let names: Vec<_> = front.entries().iter().map(|e| e.item).collect();
+        assert_eq!(names, ["trade-off", "better"]);
+        // Dominated by "better": rejected, frontier unchanged.
+        assert!(!front.insert(vec![2.5, 3.5], "late"));
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn equal_costs_are_both_kept() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(vec![1.0, 2.0], "a"));
+        assert!(front.insert(vec![1.0, 2.0], "b"));
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn would_admit_matches_insert() {
+        let mut front = ParetoFront::new();
+        front.insert(vec![1.0, 1.0], ());
+        assert!(!front.would_admit(&[2.0, 2.0]));
+        assert!(front.would_admit(&[0.5, 3.0]));
+        assert!(front.would_admit(&[1.0, 1.0]), "equal cost is admitted");
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_cost_then_key() {
+        let mut front = ParetoFront::new();
+        front.insert(vec![2.0, 1.0], 7u64);
+        front.insert(vec![1.0, 2.0], 9u64);
+        front.insert(vec![1.0, 2.0], 3u64);
+        let sorted = front.into_sorted_entries(|&id| id);
+        let ids: Vec<_> = sorted.iter().map(|e| e.item).collect();
+        assert_eq!(ids, [3, 9, 7]);
+    }
+}

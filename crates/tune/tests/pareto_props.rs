@@ -1,0 +1,174 @@
+//! Property tests for the Pareto pruner (ISSUE 9 satellite).
+//!
+//! No crates.io access means no `proptest`; following the workspace
+//! idiom, every property runs over a deterministic family of seeded
+//! random cost vectors, with the failing seed in the panic message.
+//!
+//! Properties:
+//! 1. Dominance is a **strict partial order**: irreflexive, asymmetric,
+//!    transitive.
+//! 2. Pruning is **insensitive to arrival order**: any permutation of the
+//!    same points leaves the same surviving cost set.
+//! 3. **No non-dominated point is ever dropped** (and no dominated point
+//!    ever kept): the online frontier equals the brute-force frontier.
+
+use oneperc_tune::{dominates, ParetoFront};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 64;
+
+/// A random batch of small-alphabet cost vectors. The coordinate values
+/// are drawn from a handful of levels so that dominance, ties, and exact
+/// duplicates all actually occur.
+fn random_costs(rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let axes = 1 + rng.gen_range(0..4);
+    let n = 1 + rng.gen_range(0..24);
+    (0..n)
+        .map(|_| (0..axes).map(|_| rng.gen_range(0..5) as f64 * 0.5).collect())
+        .collect()
+}
+
+/// Brute-force frontier: keep exactly the points no other point dominates.
+fn brute_force_frontier(costs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    costs
+        .iter()
+        .filter(|c| !costs.iter().any(|other| dominates(other, c)))
+        .cloned()
+        .collect()
+}
+
+/// Multiset-equality of cost sets, independent of order.
+fn same_cost_multiset(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> bool {
+    let key = |c: &Vec<f64>| c.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    a.sort_by_key(key);
+    b.sort_by_key(key);
+    a == b
+}
+
+/// In-order Fisher–Yates over the shim RNG.
+fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..i + 1));
+    }
+}
+
+#[test]
+fn dominance_is_irreflexive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in random_costs(&mut rng) {
+            assert!(!dominates(&c, &c), "seed {seed}: {c:?} dominated itself");
+        }
+    }
+}
+
+#[test]
+fn dominance_is_asymmetric() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(&mut rng);
+        for a in &costs {
+            for b in &costs {
+                if dominates(a, b) {
+                    assert!(
+                        !dominates(b, a),
+                        "seed {seed}: {a:?} and {b:?} dominate each other"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_is_transitive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(&mut rng);
+        for a in &costs {
+            for b in &costs {
+                for c in &costs {
+                    if dominates(a, b) && dominates(b, c) {
+                        assert!(
+                            dominates(a, c),
+                            "seed {seed}: transitivity broke on {a:?} ≺ {b:?} ≺ {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_is_arrival_order_insensitive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(&mut rng);
+
+        let mut front = ParetoFront::new();
+        for (i, c) in costs.iter().enumerate() {
+            front.insert(c.clone(), i);
+        }
+        let baseline: Vec<Vec<f64>> =
+            front.entries().iter().map(|e| e.cost.clone()).collect();
+
+        // Insert the same points in a few random permutations.
+        for round in 0..4 {
+            let mut shuffled = costs.clone();
+            shuffle(&mut rng, &mut shuffled);
+            let mut front = ParetoFront::new();
+            for (i, c) in shuffled.iter().enumerate() {
+                front.insert(c.clone(), i);
+            }
+            let survivors: Vec<Vec<f64>> =
+                front.entries().iter().map(|e| e.cost.clone()).collect();
+            assert!(
+                same_cost_multiset(baseline.clone(), survivors),
+                "seed {seed}, permutation {round}: surviving set changed with arrival order"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_non_dominated_point_is_dropped() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(&mut rng);
+        let mut front = ParetoFront::new();
+        for (i, c) in costs.iter().enumerate() {
+            front.insert(c.clone(), i);
+        }
+        let survivors: Vec<Vec<f64>> = front.entries().iter().map(|e| e.cost.clone()).collect();
+        let expected = brute_force_frontier(&costs);
+        assert!(
+            same_cost_multiset(expected.clone(), survivors.clone()),
+            "seed {seed}: online frontier {survivors:?} != brute force {expected:?}"
+        );
+        // And the survivors are mutually non-dominated.
+        for a in &survivors {
+            for b in &survivors {
+                assert!(
+                    !dominates(a, b),
+                    "seed {seed}: frontier kept dominated point {b:?} (under {a:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn would_admit_agrees_with_insert_on_random_streams() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = random_costs(&mut rng);
+        let mut front = ParetoFront::new();
+        for (i, c) in costs.iter().enumerate() {
+            let predicted = front.would_admit(c);
+            let admitted = front.insert(c.clone(), i);
+            assert_eq!(predicted, admitted, "seed {seed}: would_admit lied about {c:?}");
+        }
+    }
+}

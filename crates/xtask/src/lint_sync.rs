@@ -39,6 +39,7 @@ const CRATES: &[(&str, bool)] = &[
     ("oneperc", true),
     ("oneq", false),
     ("percolation", true),
+    ("tune", false),
 ];
 
 // Not scanned: `verify` (the shim itself — the one place raw `std::sync`
