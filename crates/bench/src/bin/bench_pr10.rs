@@ -1,0 +1,224 @@
+//! Measures gate-count → wall-clock scaling of the offline and online
+//! passes over the PR-10 corpus families and writes `BENCH_PR10.json`
+//! (the PR-10 acceptance artifact).
+//!
+//! Three scaling series, every circuit a pure function of its
+//! [`CorpusSpec`] + seed:
+//!
+//! * **`layered`** — brickwork CNOT+T layers: a geometric depth sweep at
+//!   width 9 up to the mapper's 100 000-IR-layer safety cap, then a width
+//!   sweep (16/25/36 qubits) that crosses 10^5 gates — wider layers pack
+//!   more gates per IR layer, so width is how a program gets big under
+//!   the cap. The curve shows where the unoptimized mapper /
+//!   `FlexLattice` offline pass stops being "free" relative to the
+//!   online pass.
+//! * **`rcachain`** — repeated 9-qubit ripple-carry adder passes, the
+//!   arithmetic-shaped version of the same sweep (Toffoli-dense, ~300 IR
+//!   layers per 24-gate round, swept to the same layer budget).
+//! * **`qftadder`** — the Draper QFT adder swept by operand width. Gate
+//!   count is O(bits²) but every extra bit is two more *qubits*, so this
+//!   curve scales hardware footprint rather than program length and stays
+//!   small by design.
+//!
+//! Per point: raw gate count, IR layers, mapped program nodes, offline
+//! wall-clock, online wall-clock per seed, RSL consumed, completion.
+//!
+//! Run with `--release`; debug timings are meaningless.
+//!
+//! Usage: `bench_pr10 [--out <path>] [--smoke]`
+
+use std::time::Instant;
+
+use oneperc::{CompilerConfig, Session};
+use oneperc_corpus::CorpusSpec;
+
+const P: f64 = 0.9;
+const EXEC_SEEDS: [u64; 2] = [1000, 1001];
+const CIRCUIT_SEED: u64 = 2024;
+
+struct Args {
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_PR10.json".to_string(), smoke: false };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                args.out = iter.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "bench_pr10: offline/online wall-clock scaling curves over the \
+                     corpus families (layered and rcachain to >= 1e5 gates, qftadder \
+                     by qubit footprint); writes BENCH_PR10.json"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The sweep grid: geometric in the size knob so the curves are straight
+/// lines on a log axis.
+///
+/// The mapper carries a hard 100 000-IR-layer safety cap
+/// (`MapperConfig::max_layers`) and packs ~0.5 gates per IR layer at
+/// width 9 (the incomplete-node occupancy cap is 0.25 × nodes/layer), so
+/// no width-9 program can reach 10^5 gates. The depth sweeps therefore
+/// stop near the cap, and the final 10^5-gate point is reached by
+/// *widening* the brickwork instead — wider layers pack more gates per IR
+/// layer, which is itself a scaling fact the curve should show.
+fn grid(smoke: bool) -> Vec<CorpusSpec> {
+    let layered =
+        |width, depth| CorpusSpec::Layered { width, depth, entanglement_permille: 400 };
+    let rcachain = |rounds| CorpusSpec::RcaChain { qubits: 9, rounds };
+    let qftadder = |bits| CorpusSpec::QftAdder { bits };
+    if smoke {
+        return vec![
+            layered(9, 8),
+            layered(9, 32),
+            rcachain(2),
+            rcachain(8),
+            qftadder(2),
+            qftadder(3),
+        ];
+    }
+    let mut specs = Vec::new();
+    // Depth sweep at fixed width 9, up to the mapper's layer budget.
+    for depth in [16, 64, 256, 1024, 4096] {
+        specs.push(layered(9, depth));
+    }
+    // Width sweep at ~constant IR-layer load, crossing 1e5 gates.
+    specs.push(layered(16, 2048));
+    specs.push(layered(25, 2885));
+    specs.push(layered(36, 3500));
+    // Toffoli-dense arithmetic; ~300 IR layers per round caps the sweep.
+    for rounds in [2, 8, 32, 128, 300] {
+        specs.push(rcachain(rounds));
+    }
+    for bits in [2, 3, 4, 5, 6] {
+        specs.push(qftadder(bits));
+    }
+    specs
+}
+
+struct Row {
+    spec: CorpusSpec,
+    qubits: usize,
+    gates: usize,
+    ir_layers: usize,
+    program_nodes: usize,
+    offline_ms: f64,
+    online_ms_per_seed: f64,
+    rsl_consumed: u64,
+    complete: bool,
+}
+
+/// One point: compile once (offline timing), then a warm two-seed batch
+/// (online timing per seed).
+fn measure(spec: CorpusSpec) -> Row {
+    let circuit = spec.circuit(CIRCUIT_SEED);
+    let gates = circuit.gates().len();
+    let config = CompilerConfig::for_qubits(spec.qubits().max(2), P, 0);
+    let session = Session::new(config);
+    let start = Instant::now();
+    let compiled = session.compile(&circuit).expect("offline pass succeeds");
+    let offline_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let outcomes = session.execute_batch(&compiled, &EXEC_SEEDS);
+    let online_ms_per_seed = start.elapsed().as_secs_f64() * 1e3 / EXEC_SEEDS.len() as f64;
+    let reports: Vec<_> = outcomes.into_iter().map(|o| o.into_report()).collect();
+    Row {
+        spec,
+        qubits: spec.qubits(),
+        gates,
+        ir_layers: reports[0].ir_layers,
+        program_nodes: reports[0].program_nodes,
+        offline_ms,
+        online_ms_per_seed,
+        rsl_consumed: reports.iter().map(|r| r.rsl_consumed).sum::<u64>()
+            / reports.len() as u64,
+        complete: reports.iter().all(|r| r.complete),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut max_gates = 0usize;
+    for spec in grid(args.smoke) {
+        let row = measure(spec);
+        println!(
+            "{:<22} {:>7} gates | offline {:>9.2} ms | online {:>9.2} ms/seed | \
+             {:>6} IR layers | RSL {:>8} | complete {}",
+            row.spec.to_token(),
+            row.gates,
+            row.offline_ms,
+            row.online_ms_per_seed,
+            row.ir_layers,
+            row.rsl_consumed,
+            row.complete,
+        );
+        max_gates = max_gates.max(row.gates);
+        rows.push(row);
+    }
+    assert!(
+        args.smoke || max_gates >= 100_000,
+        "full grid must reach 1e5 gates (got {max_gates})"
+    );
+
+    let series: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"spec\": \"{}\", \"qubits\": {}, \"gates\": {}, \"ir_layers\": {}, \
+                 \"program_nodes\": {}, \"offline_ms\": {:.3}, \"online_ms_per_seed\": {:.3}, \
+                 \"rsl_consumed\": {}, \"complete\": {} }}",
+                r.spec.to_token(),
+                r.qubits,
+                r.gates,
+                r.ir_layers,
+                r.program_nodes,
+                r.offline_ms,
+                r.online_ms_per_seed,
+                r.rsl_consumed,
+                r.complete,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"corpus gate-count scaling of the offline and online passes \
+         (PR 10)\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"smoke\": {},\n  \
+         \"fusion_success_prob\": {P},\n  \
+         \"circuit_seed\": {CIRCUIT_SEED},\n  \
+         \"exec_seeds\": {:?},\n  \
+         \"max_gates\": {max_gates},\n  \
+         \"series\": [\n{}\n  ],\n  \
+         \"basis\": \"one fresh single-lane serial Session per point; offline_ms is one \
+         compile of the corpus circuit, online_ms_per_seed averages a two-seed warm batch; \
+         layered sweeps depth at width 9 up to the mapper's 100k-IR-layer budget and then \
+         width 16/25/36 across 1e5 gates, rcachain sweeps Toffoli-dense rounds to the same \
+         layer budget, qftadder sweeps qubit footprint at O(bits^2) gates\"\n}}\n",
+        args.smoke,
+        EXEC_SEEDS,
+        series.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_PR10.json");
+    println!("{json}");
+    println!("wrote {}", args.out);
+}

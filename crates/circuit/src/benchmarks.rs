@@ -67,6 +67,15 @@ impl std::fmt::Display for Benchmark {
 /// possible edges are present (as specified in Section 7.1), one
 /// cost+mixer layer.
 ///
+/// **Edge-count contract:** the graph has `max(1, ⌊n(n-1)/2 / 2⌋)` edges —
+/// "half of all possible edges" rounded down, floored at one edge so the
+/// cost unitary is never empty. The floor only binds at `n = 2`, where the
+/// single possible edge would otherwise round away and the circuit would
+/// degenerate to bare single-qubit layers; from `n = 3` on the plain
+/// rounded half applies (including odd totals: 3 possible edges at
+/// `n = 3` give 1, 15 at `n = 6` give 7). `tests::qaoa_edge_count_contract`
+/// asserts this across `n = 2..=12`.
+///
 /// # Panics
 ///
 /// Panics when `n < 2`.
@@ -80,8 +89,9 @@ pub fn qaoa(n: usize, seed: u64) -> Circuit {
         }
     }
     all_edges.shuffle(&mut rng);
-    let m = all_edges.len() / 2;
-    let edges = &all_edges[..m.max(1)];
+    // Half of all possible edges, floored at 1 (see the contract above).
+    let m = (all_edges.len() / 2).max(1);
+    let edges = &all_edges[..m];
 
     let gamma: f64 = rng.gen_range(0.1..PI);
     let beta: f64 = rng.gen_range(0.1..PI);
@@ -125,10 +135,15 @@ pub fn qft(n: usize) -> Circuit {
 
 /// Cuccaro-style ripple-carry adder using `n` qubits in total.
 ///
-/// The register is split into an ancilla/carry-in qubit, two ⌊(n-2)/2⌋-bit
-/// operand registers and (when `n` is even) a carry-out qubit; this mirrors
-/// the structure of the original construction while letting the caller pick
-/// the total qubit budget as in the paper's benchmark table.
+/// The register is split into an ancilla/carry-in qubit, two ⌊(n-1)/2⌋-bit
+/// operand registers and (when `n` is even) a carry-out qubit, so every
+/// qubit of the budget participates for both parities: even `n` is
+/// `1 + 2·(n-2)/2 + 1` and odd `n` is `1 + 2·(n-1)/2`, with the would-be
+/// carry-out bit folded into the operands instead of left idle. This
+/// mirrors the structure of the original construction while letting the
+/// caller pick the total qubit budget as in the paper's benchmark table.
+/// `tests::rca_touches_every_qubit` pins the no-idle-qubit property across
+/// `n = 4..=12`.
 ///
 /// # Panics
 ///
@@ -136,7 +151,10 @@ pub fn qft(n: usize) -> Circuit {
 /// operand and a carry-out).
 pub fn rca(n: usize) -> Circuit {
     assert!(n >= 4, "the ripple-carry adder needs at least 4 qubits");
-    let bits = (n - 2) / 2;
+    // ⌊(n-1)/2⌋ operand bits: equal to (n-2)/2 for even n (carry-out takes
+    // the last qubit) and one more than the old (n-2)/2 sizing for odd n,
+    // which used to leave the top two qubits of e.g. rca(5) untouched.
+    let bits = (n - 1) / 2;
     let carry_in = 0usize;
     let a = |i: usize| 1 + 2 * i; // operand A bit i
     let b = |i: usize| 2 + 2 * i; // operand B bit i
@@ -230,6 +248,44 @@ mod tests {
         assert_eq!(cnots, 2 * (n * (n - 1) / 2 / 2));
     }
 
+    /// The documented contract: `max(1, ⌊possible/2⌋)` *distinct* edges,
+    /// asserted across `n = 2..=12` — covering the `n = 2` floor case and
+    /// odd possible-edge totals (3 at `n = 3`, 15 at `n = 6`, 21 at
+    /// `n = 7`), not just one even case.
+    #[test]
+    fn qaoa_edge_count_contract() {
+        for n in 2..=12usize {
+            for seed in [0u64, 1, 7] {
+                let c = qaoa(n, seed);
+                let expected = (n * (n - 1) / 2 / 2).max(1);
+                // Cost structure per edge: CNOT(i,j) · Rz(j) · CNOT(i,j).
+                let cnot_pairs: Vec<(usize, usize)> = c
+                    .gates()
+                    .iter()
+                    .filter_map(|g| match *g {
+                        Gate::Cnot { control, target } => Some((control, target)),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(
+                    cnot_pairs.len(),
+                    2 * expected,
+                    "n={n} seed={seed}: CNOT count off the contract"
+                );
+                let rzs = c.gates().iter().filter(|g| matches!(g, Gate::Rz { .. })).count();
+                assert_eq!(rzs, expected, "n={n} seed={seed}: one Rz per edge");
+                // Edges are distinct simple edges with i < j: the two CNOTs
+                // of one edge agree, and no edge repeats.
+                let mut edges: Vec<(usize, usize)> = cnot_pairs.chunks(2).map(|p| p[0]).collect();
+                assert!(cnot_pairs.chunks(2).all(|p| p[0] == p[1]), "n={n}: edge CNOTs pair up");
+                assert!(edges.iter().all(|&(i, j)| i < j && j < n), "n={n}: simple edges");
+                edges.sort_unstable();
+                edges.dedup();
+                assert_eq!(edges.len(), expected, "n={n} seed={seed}: edges are distinct");
+            }
+        }
+    }
+
     #[test]
     fn qft_gate_count() {
         let n = 5;
@@ -274,6 +330,50 @@ mod tests {
             assert!(!b.name().is_empty());
             assert_eq!(b.to_string(), b.name());
         }
+    }
+
+    /// The odd-`n` regression: `rca(5)` used to size its operands as
+    /// `(n-2)/2 = 1` bit and leave qubits 3–4 completely idle. Every qubit
+    /// of the budget must now appear in some gate, for both parities.
+    #[test]
+    fn rca_touches_every_qubit() {
+        for n in 4..=12usize {
+            let c = rca(n);
+            let mut touched = vec![false; n];
+            for gate in c.gates() {
+                for q in gate.qubits() {
+                    touched[q] = true;
+                }
+            }
+            let idle: Vec<usize> =
+                (0..n).filter(|&q| !touched[q]).collect();
+            assert!(idle.is_empty(), "rca({n}) leaves qubits {idle:?} idle");
+        }
+    }
+
+    /// Odd-`n` adders use ⌊(n-1)/2⌋-bit operands and no carry-out; even-`n`
+    /// circuits keep their pre-fix shape (one fewer operand bit plus the
+    /// carry-out CNOT).
+    #[test]
+    fn rca_operand_sizing_per_parity() {
+        // rca(5): 2-bit operands → 2 MAJ + 2 UMA = 4 Toffolis, no carry-out.
+        let odd = rca(5);
+        let toffolis =
+            odd.gates().iter().filter(|g| matches!(g, Gate::Toffoli { .. })).count();
+        assert_eq!(toffolis, 4);
+        // No carry-out on odd n: the top qubit is operand B's high bit,
+        // written by the MAJ/UMA ladder rather than a final CNOT target.
+        assert!(odd.gates().iter().any(|g| g.qubits().contains(&4)));
+        // rca(6) is byte-identical to the pre-fix construction: same
+        // operand sizing, carry-out CNOT onto qubit 5 present.
+        let even = rca(6);
+        let toffolis =
+            even.gates().iter().filter(|g| matches!(g, Gate::Toffoli { .. })).count();
+        assert_eq!(toffolis, 4);
+        assert!(even
+            .gates()
+            .iter()
+            .any(|g| matches!(g, Gate::Cnot { target: 5, .. })));
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Bounded determinism-fuzz smoke for tier-1 `cargo test -q`.
+//!
+//! The full corpus sweep (200+ circuits, release mode) runs as its own CI
+//! job via `cargo xtask fuzz-determinism`; this test pins a fixed
+//! four-seed slice of the same corpus through the same 24-shape path
+//! matrix so corpus/compiler drift fails loudly in every debug test run,
+//! sized for a ~30 s debug budget.
+
+use oneperc_corpus::fuzz::{run_fuzz, run_replay, FuzzOptions, Replay};
+
+#[test]
+fn bounded_corpus_slice_is_byte_identical_across_all_paths() {
+    let options = FuzzOptions {
+        circuits: 4,
+        base_seed: FuzzOptions::default().base_seed,
+        exec_seeds: 1,
+        shrink: true,
+        progress: false,
+    };
+    let stats = run_fuzz(&options).unwrap_or_else(|divergence| {
+        panic!("determinism divergence in the smoke slice:\n{divergence}")
+    });
+    assert_eq!(stats.circuits + stats.skipped, 4);
+    assert!(stats.circuits >= 3, "smoke slice mostly compiles: {stats}");
+    assert_eq!(stats.executions, stats.circuits * 25);
+}
+
+#[test]
+fn replay_path_checks_one_pinned_circuit() {
+    // The replay workflow end to end, on a deliberately tiny spec: parse a
+    // token, re-check it through the full matrix, expect it clean.
+    let replay = Replay::parse("rev:w4,g12,s2@11:5").expect("valid token");
+    let stats = run_replay(&replay, &FuzzOptions { shrink: false, ..FuzzOptions::default() })
+        .unwrap_or_else(|divergence| panic!("pinned replay diverged:\n{divergence}"));
+    assert_eq!(stats.circuits, 1);
+    assert_eq!(stats.executions, 25);
+}

@@ -32,6 +32,7 @@ use crate::{rust_sources, Finding};
 /// `crate::sync` façade (which tightens the rule set).
 const CRATES: &[(&str, bool)] = &[
     ("circuit", false),
+    ("corpus", false),
     ("graphstate", false),
     ("hardware", false),
     ("ir", false),

@@ -13,6 +13,10 @@
 //!   and may not use the `.lock().unwrap()` idiom (poison recovery is
 //!   `unwrap_or_else(PoisonError::into_inner)` or an `expect` with an
 //!   invariant message).
+//! * `fuzz-determinism` — builds the `oneperc-corpus` fuzzer in release
+//!   mode and forwards the remaining flags to it verbatim (see
+//!   `crates/corpus/README.md` for the flags and the
+//!   `ONEPERC_FUZZ_REPLAY` workflow).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -24,6 +28,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-sync") => lint_sync::run(&repo_root()),
+        Some("fuzz-determinism") => fuzz_determinism(args),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
             eprintln!("{USAGE}");
@@ -36,7 +41,26 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask <command>\n\ncommands:\n    lint-sync    reject raw std synchronization outside the sync façades";
+const USAGE: &str = "usage: cargo xtask <command>\n\ncommands:\n    lint-sync            reject raw std synchronization outside the sync façades\n    fuzz-determinism     sweep random corpus circuits across all execution paths\n                         (flags are forwarded to the fuzzer; try --help)";
+
+/// Runs the corpus determinism fuzzer in release mode, forwarding every
+/// remaining argument. xtask stays dependency-free, so this shells out to
+/// cargo rather than linking the corpus crate.
+fn fuzz_determinism(args: impl Iterator<Item = String>) -> ExitCode {
+    let status = std::process::Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(repo_root())
+        .args(["run", "--release", "-q", "-p", "oneperc-corpus", "--bin", "fuzz-determinism", "--"])
+        .args(args)
+        .status();
+    match status {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(error) => {
+            eprintln!("xtask: failed to launch cargo: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// The workspace root: `cargo xtask` runs with the xtask crate as cwd or
 /// the workspace root depending on invocation, so walk up to the directory

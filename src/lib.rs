@@ -20,6 +20,9 @@
 //!   compile cache under `compiler::service`) and its metrics.
 //! * [`tune`] — the auto-tuner: cost-model-driven configuration search
 //!   over the service tier, with a cached Pareto-frontier artifact.
+//! * [`corpus`] — structured random-circuit corpus (layered, reversible,
+//!   chained-RCA, QFT-adder families) and the cross-path determinism
+//!   fuzzer behind `cargo xtask fuzz-determinism`.
 //!
 //! # Example
 //!
@@ -62,6 +65,22 @@
 //! assert_eq!(tuner.tune(&benchmarks::qaoa(4, 1)).unwrap().source, TuneSource::MemoryCache);
 //! # let _ = best;
 //! ```
+//!
+//! # Sampling the random-circuit corpus
+//!
+//! Corpus circuits are pure functions of a [`corpus::CorpusSpec`] plus a
+//! seed — the same pair yields a byte-identical circuit on any host, which
+//! is what makes the determinism fuzzer's findings replayable:
+//!
+//! ```
+//! use oneperc_suite::corpus::CorpusSpec;
+//!
+//! // Specs round-trip through compact tokens (see crates/corpus/README.md).
+//! let spec: CorpusSpec = "layered:w5,d8,e400".parse().unwrap();
+//! let circuit = spec.circuit(7);
+//! assert_eq!(circuit, spec.circuit(7));
+//! assert_eq!(spec.to_token().parse::<CorpusSpec>().unwrap(), spec);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,3 +108,8 @@ pub use oneperc as compiler;
 /// the tuner drives the session tier, so `oneperc::tune` would be a
 /// dependency cycle.)
 pub use oneperc_tune as tune;
+
+/// Structured random-circuit corpus and the cross-path determinism
+/// fuzzer. (Also beside `oneperc` rather than inside it: the fuzzer
+/// drives whole sessions across path shapes.)
+pub use oneperc_corpus as corpus;
